@@ -1,0 +1,113 @@
+// Ablations beyond the paper's figures, for the design choices DESIGN.md
+// calls out:
+//   1. Scaling-mode spectrum (Sec. 5.2.2): pre vs discretized vs post —
+//      modeled cost AND numeric health on the hub dataset.
+//   2. edges-per-warp (the discretization batch size; Sec. 4.1.1 requires
+//      >= 64): cost across 64 / 128 / 256.
+//   3. Staging-buffer footprint across datasets (Sec. 5.2.3: |CTA| x |F|).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+
+namespace hg::bench {
+namespace {
+
+void scaling_modes() {
+  std::cout << "=== Ablation: degree-norm scaling placement (Sec. 5.2.2) "
+               "===\n";
+  Table t({"mode", "modeled ms (reddit-sim)", "extra h2 instrs vs post",
+           "INF rows"});
+  const Dataset d = make_dataset(DatasetId::kReddit);
+  const auto g = kernels::view(d.csr, d.coo);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const int feat = 64;
+  AlignedVec<half_t> x(n * 64);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int j = 0; j < 64; ++j) {
+      x[v * 64 + static_cast<std::size_t>(j)] =
+          half_t(d.features[v * static_cast<std::size_t>(d.feat_dim) +
+                            static_cast<std::size_t>(j)]);
+    }
+  }
+  AlignedVec<half_t> y(n * 64);
+
+  std::uint64_t post_alu = 0;
+  for (auto [mode, name] : {std::pair{kernels::ScaleMode::kPost, "post"},
+                            std::pair{kernels::ScaleMode::kDiscretized,
+                                      "discretized (ours)"},
+                            std::pair{kernels::ScaleMode::kPre, "pre"}}) {
+    kernels::HalfgnnSpmmOpts opts;
+    opts.reduce = kernels::Reduce::kMean;
+    opts.scale = mode;
+    const auto ks = kernels::spmm_halfgnn(simt::a100_spec(), true, g, {}, x,
+                                          y, feat, opts);
+    if (mode == kernels::ScaleMode::kPost) post_alu = ks.alu_instrs;
+    std::size_t inf_rows = 0;
+    for (vid_t v = 0; v < d.num_vertices(); ++v) {
+      for (int j = 0; j < 64; ++j) {
+        if (!y[static_cast<std::size_t>(v) * 64 + static_cast<std::size_t>(j)]
+                 .is_finite()) {
+          ++inf_rows;
+          break;
+        }
+      }
+    }
+    t.row({name, fmt(ks.time_ms, 4),
+           std::to_string(static_cast<std::int64_t>(ks.alu_instrs) -
+                          static_cast<std::int64_t>(post_alu)),
+           std::to_string(inf_rows)});
+  }
+  t.print();
+}
+
+void edges_per_warp() {
+  std::cout << "\n=== Ablation: discretization batch size (edges per warp) "
+               "===\n";
+  Table t({"dataset", "epw=64", "epw=128 (default)", "epw=256"});
+  for (DatasetId id : {DatasetId::kKron, DatasetId::kReddit,
+                       DatasetId::kRoadNetCA}) {
+    const Dataset d = make_dataset(id);
+    const auto g = kernels::view(d.csr, d.coo);
+    const auto n = static_cast<std::size_t>(d.num_vertices());
+    const auto xh = random_h16(n * 64, 7);
+    const auto wh = random_h16(static_cast<std::size_t>(d.num_edges()), 8);
+    AlignedVec<half_t> y(n * 64);
+    std::vector<std::string> cells{short_name(d)};
+    for (int epw : {64, 128, 256}) {
+      kernels::HalfgnnSpmmOpts opts;
+      opts.edges_per_warp = epw;
+      const auto ks = kernels::spmm_halfgnn(simt::a100_spec(), true, g, wh,
+                                            xh, y, 64, opts);
+      cells.push_back(fmt(ks.time_ms, 4) + " ms");
+    }
+    t.row(cells);
+  }
+  t.print();
+}
+
+void staging_footprint() {
+  std::cout << "\n=== Staging-buffer footprint (|CTA| x |F| halves, "
+               "Sec. 5.2.3) ===\n";
+  Table t({"dataset", "CTAs", "staging KB (F=64)", "fraction of state"});
+  for (DatasetId id : perf_dataset_ids()) {
+    const Dataset d = make_dataset(id);
+    const int ctas = kernels::num_ctas_for_edges(d.num_edges());
+    const double kb = static_cast<double>(ctas) * 64 * 2 / 1024.0;
+    const double state_mb = static_cast<double>(d.num_vertices()) * 64 * 2 /
+                            (1024.0 * 1024.0);
+    t.row({short_name(d), std::to_string(ctas), fmt(kb, 1),
+           fmt_pct(kb / 1024.0 / state_mb)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::scaling_modes();
+  hg::bench::edges_per_warp();
+  hg::bench::staging_footprint();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared infrastructure for the figure/table bench binaries.
+//
+// Environment knobs:
+//   HALFGNN_QUICK=1      — restrict dataset sweeps to a small subset and
+//                          cut training epochs (for smoke runs).
+//   HALFGNN_EPOCHS=<n>   — override training epoch counts.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "kernels/api.hpp"
+#include "tensor/tensor.hpp"
+#include "util/table.hpp"
+
+namespace hg::bench {
+
+inline bool quick_mode() {
+  const char* q = std::getenv("HALFGNN_QUICK");
+  return q != nullptr && q[0] == '1';
+}
+
+inline int epochs_override(int dflt) {
+  if (const char* e = std::getenv("HALFGNN_EPOCHS")) {
+    const int v = std::atoi(e);
+    if (v > 0) return v;
+  }
+  return quick_mode() ? std::max(5, dflt / 10) : dflt;
+}
+
+// The perf-sweep datasets (paper: G1-G2 excluded from runtime results as
+// too small to measure reliably; we follow the same rule and sweep G3-G16).
+inline std::vector<DatasetId> perf_dataset_ids() {
+  if (quick_mode()) {
+    return {DatasetId::kKron, DatasetId::kReddit};
+  }
+  std::vector<DatasetId> ids;
+  for (DatasetId id : all_dataset_ids()) {
+    if (id == DatasetId::kCora || id == DatasetId::kCiteseer) continue;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+inline std::vector<DatasetId> accuracy_dataset_ids() {
+  if (quick_mode()) return {DatasetId::kCora, DatasetId::kReddit};
+  return labeled_dataset_ids();
+}
+
+// Deterministic random features/labels for performance measurements on
+// unlabeled datasets (the GNNBench-style generated inputs, Sec. 6).
+inline void ensure_features(Dataset& d, std::uint64_t seed = 1234) {
+  if (!d.features.empty()) return;
+  d.labeled = true;  // generated labels/features (GNNBench-style)
+  Rng rng(seed ^ static_cast<std::uint64_t>(d.id));
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const auto f = static_cast<std::size_t>(d.feat_dim);
+  d.features.resize(n * f);
+  for (auto& v : d.features) v = rng.next_float() * 2 - 1;
+  d.labels.resize(n);
+  for (auto& l : d.labels) {
+    l = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(d.num_classes)));
+  }
+  d.train_mask.resize(n);
+  for (std::size_t v = 0; v < n; ++v) d.train_mask[v] = (v % 10) < 6;
+}
+
+// Random half/float feature matrices for kernel-level benches.
+inline AlignedVec<half_t> random_h16(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  AlignedVec<half_t> v(count);
+  for (auto& x : v) x = half_t(rng.next_float() * 2 - 1);
+  return v;
+}
+inline AlignedVec<float> random_f32(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  AlignedVec<float> v(count);
+  for (auto& x : v) x = rng.next_float() * 2 - 1;
+  return v;
+}
+inline AlignedVec<float> to_f32(std::span<const half_t> h) {
+  AlignedVec<float> v(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) v[i] = h[i].to_float();
+  return v;
+}
+
+inline std::string short_name(const Dataset& d) {
+  return "G" + std::to_string(static_cast<int>(d.id)) + ":" + d.name;
+}
+
+}  // namespace hg::bench

@@ -1,0 +1,82 @@
+// Fig. 1: the motivating analysis of DGL's half-precision support.
+//  (a) cuSPARSE half SpMM is much *slower* than cuSPARSE float SpMM.
+//  (b) DGL half SDDMM gains nothing over DGL float SDDMM.
+//  (c) DGL-half training accuracy collapses for GCN and GIN on the hub
+//      datasets (Ogb-product, Reddit) while DGL-float trains fine.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "nn/trainer.hpp"
+
+namespace hg::bench {
+namespace {
+
+void kernels_part() {
+  Table t({"dataset", "F", "SpMM half ms", "SpMM float ms", "half/float",
+           "SDDMM half ms", "SDDMM float ms", "half/float"});
+  const auto& spec = simt::a100_spec();
+  for (DatasetId id : {DatasetId::kOgbProduct, DatasetId::kReddit}) {
+    const Dataset d = make_dataset(id);
+    const auto g = kernels::view(d.csr, d.coo);
+    const auto n = static_cast<std::size_t>(d.num_vertices());
+    const auto m = static_cast<std::size_t>(d.num_edges());
+    for (int feat : {32, 64}) {
+      const auto f = static_cast<std::size_t>(feat);
+      const auto xh = random_h16(n * f, 3);
+      const auto wh = random_h16(m, 4);
+      const auto xf = to_f32(xh);
+      const auto wf = to_f32(wh);
+      AlignedVec<half_t> yh(n * f), eh(m);
+      AlignedVec<float> yf(n * f), ef(m);
+
+      const auto sp_h = kernels::spmm_cusparse_f16(
+          spec, true, g, wh, xh, yh, feat, kernels::Reduce::kSum);
+      const auto sp_f = kernels::spmm_cusparse_f32(
+          spec, true, g, wf, xf, yf, feat, kernels::Reduce::kSum);
+      const auto sd_h =
+          kernels::sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat);
+      const auto sd_f =
+          kernels::sddmm_dgl_f32(spec, true, g, xf, xf, ef, feat);
+      t.row({short_name(d), std::to_string(feat), fmt(sp_h.time_ms, 3),
+             fmt(sp_f.time_ms, 3), fmt_times(sp_h.time_ms / sp_f.time_ms),
+             fmt(sd_h.time_ms, 3), fmt(sd_f.time_ms, 3),
+             fmt_times(sd_h.time_ms / sd_f.time_ms)});
+    }
+  }
+  std::cout << "=== Fig. 1a/1b: DGL half kernels vs float (paper: half SpMM "
+               "much slower; half SDDMM ~equal) ===\n";
+  t.print();
+}
+
+void accuracy_part() {
+  Table t({"dataset", "model", "DGL-float acc", "DGL-half acc",
+           "DGL-half NaN epochs"});
+  const int epochs = epochs_override(50);
+  for (DatasetId id : {DatasetId::kOgbProduct, DatasetId::kReddit}) {
+    const Dataset d = make_dataset(id);
+    for (nn::ModelKind kind : {nn::ModelKind::kGcn, nn::ModelKind::kGin}) {
+      nn::TrainConfig cfg = nn::default_config(kind);
+      cfg.epochs = epochs;
+      const auto f32 = nn::train(kind, nn::SystemMode::kDglFloat, d, cfg);
+      const auto f16 = nn::train(kind, nn::SystemMode::kDglHalf, d, cfg);
+      t.row({short_name(d), nn::model_name(kind),
+             fmt_pct(f32.best_test_acc), fmt_pct(f16.best_test_acc),
+             std::to_string(f16.nan_loss_epochs) + "/" +
+                 std::to_string(epochs)});
+    }
+  }
+  std::cout << "\n=== Fig. 1c: DGL-half training collapses for GCN/GIN on "
+               "the hub datasets (loss -> NaN) ===\n";
+  t.print();
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::kernels_part();
+  hg::bench::accuracy_part();
+  return 0;
+}

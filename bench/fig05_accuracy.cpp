@@ -1,0 +1,100 @@
+// Fig. 5: HalfGNN reaches the same accuracy as float-based DGL for GCN,
+// GAT and GIN on all labeled datasets (paper: within 0.3%, except PubMed
+// GIN within 1.0%; half precision acts as a mild regularizer).
+//
+// Also runs the Sec. 6.1.1 ablation: replacing the discretized reduction
+// with the usual (post-scaled) reduction reproduces the DGL-half-like
+// collapse for GCN on the hub datasets.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "nn/trainer.hpp"
+
+namespace hg::bench {
+namespace {
+
+int epochs_for(const Dataset& d) {
+  // Small citation graphs get more epochs (cheap); hub datasets converge
+  // quickly and cost more per epoch. (Accuracy plateaus well before these
+  // budgets; the paper's 400-epoch setting is far past convergence here.)
+  const int base = d.num_edges() < 100000 ? 90 : 60;
+  return epochs_override(base);
+}
+
+void run() {
+  Table t({"dataset", "model", "DGL-float", "HalfGNN", "delta",
+           "HalfGNN NaN epochs"});
+  std::vector<double> deltas;
+  for (DatasetId id : accuracy_dataset_ids()) {
+    const Dataset d = make_dataset(id);
+    for (nn::ModelKind kind :
+         {nn::ModelKind::kGcn, nn::ModelKind::kGat, nn::ModelKind::kGin}) {
+      nn::TrainConfig cfg = nn::default_config(kind);
+      cfg.epochs = epochs_for(d);
+      const auto f32 = nn::train(kind, nn::SystemMode::kDglFloat, d, cfg);
+      const auto ours = nn::train(kind, nn::SystemMode::kHalfGnn, d, cfg);
+      const double delta = ours.best_test_acc - f32.best_test_acc;
+      deltas.push_back(delta);
+      t.row({short_name(d), nn::model_name(kind),
+             fmt_pct(f32.best_test_acc), fmt_pct(ours.best_test_acc),
+             fmt(delta * 100, 2) + "pp",
+             std::to_string(ours.nan_loss_epochs)});
+    }
+  }
+  std::cout << "=== Fig. 5: HalfGNN accuracy vs DGL-float (paper: matches "
+               "within ~0.3pp) ===\n";
+  t.print();
+  double max_abs = 0;
+  for (double x : deltas) max_abs = std::max(max_abs, std::abs(x));
+  std::cout << "max |delta| = " << fmt(max_abs * 100, 2) << "pp\n";
+}
+
+void ablation() {
+  // Kernel-level confirmation that overflow protection is the key
+  // (Sec. 6.1.1): same HalfGNN kernel, discretized vs post scaling, on the
+  // real hub dataset's layer-1-like input.
+  std::cout << "\n=== Sec. 6.1.1 ablation: overflow protection is the key "
+               "===\n";
+  const Dataset d = make_dataset(DatasetId::kReddit);
+  const auto g = kernels::view(d.csr, d.coo);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  // Use the dataset's real features (first 64 columns) — the ones whose
+  // hub sums overflow.
+  const int feat = 64;
+  AlignedVec<half_t> x(n * 64);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int j = 0; j < 64; ++j) {
+      x[v * 64 + static_cast<std::size_t>(j)] =
+          half_t(d.features[v * static_cast<std::size_t>(d.feat_dim) +
+                            static_cast<std::size_t>(j)]);
+    }
+  }
+  AlignedVec<half_t> y(n * 64);
+  Table t({"scaling mode", "INF outputs", "NaN outputs"});
+  for (auto [mode, name] :
+       {std::pair{kernels::ScaleMode::kPost, "post (usual reduction)"},
+        std::pair{kernels::ScaleMode::kDiscretized, "discretized (ours)"},
+        std::pair{kernels::ScaleMode::kPre, "pre"}}) {
+    kernels::HalfgnnSpmmOpts opts;
+    opts.reduce = kernels::Reduce::kMean;
+    opts.scale = mode;
+    kernels::spmm_halfgnn(simt::a100_spec(), false, g, {}, x, y, feat, opts);
+    std::size_t infs = 0, nans = 0;
+    for (const half_t v : y) {
+      infs += v.is_inf();
+      nans += v.is_nan();
+    }
+    t.row({name, std::to_string(infs), std::to_string(nans)});
+  }
+  t.print();
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::run();
+  hg::bench::ablation();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 7 + Fig. 8: end-to-end training-time speedup of HalfGNN over
+// DGL-half (paper: 2.44x / 3.84x / 2.42x for GCN / GAT / GIN) and over
+// DGL-float (paper: 1.85x / 3.55x / 1.78x), feature size 64.
+//
+// Method: every mode's epoch is profiled once under the SIMT cost model
+// (kernels are shape-deterministic, so one epoch represents all); the
+// per-epoch modeled time combines simulated sparse kernels, the analytic
+// dense-op roofline (identical across modes, as the paper notes), and the
+// metered dtype-conversion churn.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "nn/trainer.hpp"
+
+namespace hg::bench {
+namespace {
+
+void run() {
+  struct Row {
+    std::string ds;
+    double over_half[3];
+    double over_float[3];
+  };
+  std::vector<Row> rows;
+  const nn::ModelKind kinds[3] = {nn::ModelKind::kGcn, nn::ModelKind::kGat,
+                                  nn::ModelKind::kGin};
+
+  for (DatasetId id : perf_dataset_ids()) {
+    Dataset d = make_dataset(id);
+    ensure_features(d);
+    Row r;
+    r.ds = short_name(d);
+    for (int k = 0; k < 3; ++k) {
+      nn::TrainConfig cfg = nn::default_config(kinds[k]);
+      cfg.epochs = 1;
+      cfg.profile_first_epoch = true;
+      const auto f32 =
+          nn::train(kinds[k], nn::SystemMode::kDglFloat, d, cfg);
+      const auto f16 = nn::train(kinds[k], nn::SystemMode::kDglHalf, d, cfg);
+      const auto ours =
+          nn::train(kinds[k], nn::SystemMode::kHalfGnn, d, cfg);
+      const double t32 = f32.epoch_ledger.total_ms();
+      const double t16 = f16.epoch_ledger.total_ms();
+      const double to = ours.epoch_ledger.total_ms();
+      r.over_half[k] = t16 / to;
+      r.over_float[k] = t32 / to;
+    }
+    rows.push_back(r);
+  }
+
+  for (int fig = 0; fig < 2; ++fig) {
+    Table t({"dataset", "GCN", "GAT", "GIN"});
+    std::vector<double> g1, g2, g3;
+    for (const Row& r : rows) {
+      const double* v = fig == 0 ? r.over_half : r.over_float;
+      g1.push_back(v[0]);
+      g2.push_back(v[1]);
+      g3.push_back(v[2]);
+      t.row({r.ds, fmt_times(v[0]), fmt_times(v[1]), fmt_times(v[2])});
+    }
+    t.row({"AVERAGE", fmt_times(mean(g1)), fmt_times(mean(g2)),
+           fmt_times(mean(g3))});
+    if (fig == 0) {
+      std::cout << "=== Fig. 7: HalfGNN training speedup over DGL-half "
+                   "(paper avg 2.44 / 3.84 / 2.42) ===\n";
+    } else {
+      std::cout << "\n=== Fig. 8: HalfGNN training speedup over DGL-float "
+                   "(paper avg 1.85 / 3.55 / 1.78) ===\n";
+    }
+    t.print();
+  }
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::run();
+  return 0;
+}

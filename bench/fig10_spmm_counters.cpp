@@ -1,0 +1,69 @@
+// Fig. 10: NCU-style performance counters for SpMM — memory-bandwidth and
+// SM utilization for cuSPARSE-half, cuSPARSE-float, and HalfGNN.
+// Paper: BW% 20.22 / 51.99 / 80.92; SM% 21.58 / 50.81 / 72.26 (averages).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+
+namespace hg::bench {
+namespace {
+
+void run() {
+  Table t({"dataset", "BW% cusp-half", "BW% cusp-float", "BW% HalfGNN",
+           "SM% cusp-half", "SM% cusp-float", "SM% HalfGNN"});
+  std::vector<double> bwh, bwf, bwo, smh, smf, smo;
+  const auto& spec = simt::a100_spec();
+  const int feat = 64;
+
+  for (DatasetId id : perf_dataset_ids()) {
+    const Dataset d = make_dataset(id);
+    const auto g = kernels::view(d.csr, d.coo);
+    const auto n = static_cast<std::size_t>(d.num_vertices());
+    const auto m = static_cast<std::size_t>(d.num_edges());
+    const auto f = static_cast<std::size_t>(feat);
+
+    const auto xh = random_h16(n * f, 7);
+    const auto wh = random_h16(m, 8);
+    const auto xf = to_f32(xh);
+    const auto wf = to_f32(wh);
+    AlignedVec<half_t> yh(n * f);
+    AlignedVec<float> yf(n * f);
+
+    const auto cus_h = kernels::spmm_cusparse_f16(spec, true, g, wh, xh, yh,
+                                                  feat,
+                                                  kernels::Reduce::kSum);
+    const auto cus_f = kernels::spmm_cusparse_f32(spec, true, g, wf, xf, yf,
+                                                  feat,
+                                                  kernels::Reduce::kSum);
+    kernels::HalfgnnSpmmOpts opts;
+    const auto ours =
+        kernels::spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts);
+
+    bwh.push_back(cus_h.bw_utilization);
+    bwf.push_back(cus_f.bw_utilization);
+    bwo.push_back(ours.bw_utilization);
+    smh.push_back(cus_h.sm_utilization);
+    smf.push_back(cus_f.sm_utilization);
+    smo.push_back(ours.sm_utilization);
+    t.row({short_name(d), fmt_pct(cus_h.bw_utilization),
+           fmt_pct(cus_f.bw_utilization), fmt_pct(ours.bw_utilization),
+           fmt_pct(cus_h.sm_utilization), fmt_pct(cus_f.sm_utilization),
+           fmt_pct(ours.sm_utilization)});
+  }
+  t.row({"AVERAGE", fmt_pct(mean(bwh)), fmt_pct(mean(bwf)),
+         fmt_pct(mean(bwo)), fmt_pct(mean(smh)), fmt_pct(mean(smf)),
+         fmt_pct(mean(smo))});
+  std::cout << "=== Fig. 10: SpMM utilization (paper avg BW%: 20.2 / 52.0 / "
+               "80.9; SM%: 21.6 / 50.8 / 72.3) ===\n";
+  t.print();
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 12: half8-based SDDMM vs half2-based SDDMM (paper: avg 1.67x
+// speedup across F in {32, 64}, up to ~3x). half4 included as the
+// intermediate point the paper's data-type family provides.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/sddmm.hpp"
+
+namespace hg::bench {
+namespace {
+
+void run() {
+  Table t({"dataset", "F", "half2 ms", "half4 ms", "half8 ms",
+           "h8 speedup over h2"});
+  std::vector<double> sp;
+  const auto& spec = simt::a100_spec();
+
+  for (DatasetId id : perf_dataset_ids()) {
+    const Dataset d = make_dataset(id);
+    const auto g = kernels::view(d.csr, d.coo);
+    const auto n = static_cast<std::size_t>(d.num_vertices());
+    const auto m = static_cast<std::size_t>(d.num_edges());
+    for (int feat : {32, 64}) {
+      const auto xh = random_h16(n * static_cast<std::size_t>(feat), 7);
+      AlignedVec<half_t> eh(m);
+      const auto h2 = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+                                             feat,
+                                             kernels::SddmmVec::kHalf2);
+      const auto h4 = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+                                             feat,
+                                             kernels::SddmmVec::kHalf4);
+      const auto h8 = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+                                             feat,
+                                             kernels::SddmmVec::kHalf8);
+      const double s = h2.time_ms / h8.time_ms;
+      sp.push_back(s);
+      t.row({short_name(d), std::to_string(feat), fmt(h2.time_ms, 3),
+             fmt(h4.time_ms, 3), fmt(h8.time_ms, 3), fmt_times(s)});
+    }
+  }
+  t.row({"AVERAGE", "", "", "", "", fmt_times(mean(sp))});
+  std::cout << "=== Fig. 12: half8 vs half2 SDDMM (paper avg 1.67x, up to "
+               "~3x) ===\n";
+  t.print();
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 3 microbench: the three half-arithmetic paths, both as modeled
+// device cost (instruction issue per op) and as measured host throughput
+// of the software fp16 substrate (google-benchmark wall time).
+#include <benchmark/benchmark.h>
+
+#include "half/vec.hpp"
+#include "simt/simt.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using hg::half2;
+using hg::half_t;
+
+// ---- modeled device cost of 1M fma ops per path (Fig. 3) -----------------
+void BM_Modeled_Fig3(benchmark::State& state) {
+  const auto op = static_cast<hg::simt::Op>(state.range(0));
+  const auto& spec = hg::simt::a100_spec();
+  double cycles = 0;
+  for (auto _ : state) {
+    auto ks = hg::simt::launch<true>(
+        spec, "fig3", {.ctas = 1, .warps_per_cta = 1},
+        [&](hg::simt::Cta<true>& cta) {
+          cta.for_each_warp(
+              [&](hg::simt::Warp<true>& w) { w.alu(op, 1000); });
+        });
+    cycles = ks.device_cycles - spec.launch_overhead_cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["modeled_cycles_per_kop"] = cycles;
+  // Lane-ops per issue: half2 does 2 (Fig. 3c).
+  state.counters["lane_ops_per_instr"] =
+      op == hg::simt::Op::kHalf2 ? 2.0 : 1.0;
+}
+BENCHMARK(BM_Modeled_Fig3)
+    ->Arg(static_cast<int>(hg::simt::Op::kHalfNaive))   // Fig. 3a
+    ->Arg(static_cast<int>(hg::simt::Op::kHalfIntrin))  // Fig. 3b
+    ->Arg(static_cast<int>(hg::simt::Op::kHalf2))       // Fig. 3c
+    ->Arg(static_cast<int>(hg::simt::Op::kFloatAlu));
+
+// ---- host throughput of the software fp16 substrate ----------------------
+void BM_Host_HalfFma(benchmark::State& state) {
+  hg::Rng rng(1);
+  std::vector<half_t> a(1024), b(1024);
+  for (auto& v : a) v = half_t(rng.next_float());
+  for (auto& v : b) v = half_t(rng.next_float());
+  half_t acc(0.0f);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < a.size(); ++i) acc = hfma(a[i], b[i], acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Host_HalfFma);
+
+void BM_Host_Half2Fma(benchmark::State& state) {
+  hg::Rng rng(2);
+  std::vector<half2> a(512), b(512);
+  for (auto& v : a) v = half2(rng.next_float(), rng.next_float());
+  for (auto& v : b) v = half2(rng.next_float(), rng.next_float());
+  half2 acc(0.0f, 0.0f);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < a.size(); ++i) acc = h2fma(a[i], b[i], acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Host_Half2Fma);
+
+void BM_Host_HalfToFloatTable(benchmark::State& state) {
+  std::vector<std::uint16_t> bits(4096);
+  hg::Rng rng(3);
+  for (auto& b : bits) b = static_cast<std::uint16_t>(rng.next_u64());
+  float acc = 0;
+  for (auto _ : state) {
+    for (auto b : bits) acc += hg::half_bits_to_float_fast(b);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Host_HalfToFloatTable);
+
+void BM_Host_FloatToHalf(benchmark::State& state) {
+  std::vector<float> vals(4096);
+  hg::Rng rng(4);
+  for (auto& v : vals) v = rng.next_float() * 100.0f;
+  std::uint16_t acc = 0;
+  for (auto _ : state) {
+    for (float v : vals) acc ^= hg::float_to_half_bits(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Host_FloatToHalf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

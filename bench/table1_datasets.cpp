@@ -1,0 +1,34 @@
+// Table 1: the dataset roster. Prints the synthetic analogue of every
+// paper dataset with its structural statistics and the scale factor
+// relative to the original.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace hg::bench {
+namespace {
+
+void run() {
+  Table t({"paper name", "ours", "|V|", "|E|", "|F|", "|C|", "labeled",
+           "~scale 1/x", "max deg", "avg deg"});
+  for (DatasetId id : all_dataset_ids()) {
+    const Dataset d = make_dataset(id);
+    const GraphStats s = compute_stats(d.csr);
+    t.row({d.paper_name, d.name, std::to_string(d.num_vertices()),
+           std::to_string(d.num_edges()), std::to_string(d.feat_dim),
+           std::to_string(d.num_classes), d.labeled ? "yes" : "gen",
+           std::to_string(d.scale_denominator), std::to_string(s.max_degree),
+           fmt(s.avg_degree, 1)});
+  }
+  std::cout << "=== Table 1: datasets (synthetic analogues; see DESIGN.md "
+               "for the structure-preserving construction) ===\n";
+  t.print();
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main() {
+  hg::bench::run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// GAT attention + shadow-API walkthrough (paper Sec. 3.1.2 / 5.3).
+//
+// Builds the edge-softmax pipeline of Eq. 1 by hand from the kernel API,
+// in two flavors:
+//   - AMP-style: exp promoted to float, with the resulting half->float->
+//     half tensor conversions (what DGL-half pays);
+//   - shadow-API: everything stays in half, safe because e - max <= 0.
+// Prints the conversion churn both ways and verifies the attention
+// distributions match.
+#include <cmath>
+#include <cstdio>
+
+#include "graph/datasets.hpp"
+#include "nn/common.hpp"
+#include "nn/sparse_dispatch.hpp"
+
+int main() {
+  using namespace hg;
+  using namespace hg::nn;
+
+  const Dataset data = make_dataset(DatasetId::kCiteseer);
+  GraphCtx g(data.csr, data.coo);
+  std::printf("graph: |V|=%d |E|=%ld\n", g.n(), static_cast<long>(g.m()));
+
+  // Synthesize per-vertex attention scores (z a_l and z a_r of Eq. 1).
+  Rng rng(7);
+  MTensor el = MTensor::f16(g.n(), 1), er = MTensor::f16(g.n(), 1);
+  for (vid_t v = 0; v < g.n(); ++v) {
+    el.set(v, 0, static_cast<float>(rng.next_normal()) * 3.0f);
+    er.set(v, 0, static_cast<float>(rng.next_normal()) * 3.0f);
+  }
+
+  auto run = [&](SystemMode mode, const char* label) {
+    CostLedger ledger;
+    SparseCtx ctx;
+    ctx.mode = mode;
+    ctx.ledger = &ledger;
+    MTensor s = edge_add_scalars(ctx, g, el, er, 0.2f);
+    MTensor mx = seg_reduce(ctx, g, s, kernels::SegReduce::kMax);
+    MTensor p = edge_exp_sub_row(ctx, g, s, mx);        // the exp in question
+    MTensor d = seg_reduce(ctx, g, p, kernels::SegReduce::kSum);
+    MTensor alpha = edge_div_row(ctx, g, p, d);
+    std::printf(
+        "%-12s tensor conversions: %llu (%.1f KB moved through dtype "
+        "casts)\n",
+        label, static_cast<unsigned long long>(ledger.conversions),
+        static_cast<double>(ledger.converted_bytes) / 1024.0);
+    return alpha;
+  };
+
+  const MTensor amp = run(SystemMode::kDglHalf, "AMP (DGL)");
+  const MTensor shadow = run(SystemMode::kHalfGnn, "shadow API");
+
+  // Same math, different plumbing: distributions agree and never overflow.
+  double max_diff = 0;
+  bool all_finite = true;
+  for (eid_t e = 0; e < g.m(); ++e) {
+    const float a = amp.get(e, 0), b = shadow.get(e, 0);
+    max_diff = std::max(max_diff, static_cast<double>(std::abs(a - b)));
+    all_finite = all_finite && std::isfinite(b);
+  }
+  std::printf(
+      "\nmax |alpha_amp - alpha_shadow| = %.5f, all finite: %s\n"
+      "The shadow exp is safe because exp(e - max) is in (0, 1] — the "
+      "guarantee\nPyTorch's blanket float-promotion cannot see "
+      "(Sec. 3.1.2).\n",
+      max_diff, all_finite ? "yes" : "NO");
+  return all_finite && max_diff < 0.01 ? 0 : 1;
+}

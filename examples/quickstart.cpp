@@ -1,0 +1,50 @@
+// Quickstart: train a 2-layer GCN on the Cora-like dataset in all three
+// system modes and compare accuracy + modeled epoch time.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the full public API surface: dataset registry -> training
+// configuration -> mode selection -> results.
+#include <cstdio>
+
+#include "graph/datasets.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace hg;
+
+  // 1. Load a dataset (synthetic analogue of Cora; see DESIGN.md).
+  const Dataset data = make_dataset(DatasetId::kCora);
+  const GraphStats stats = compute_stats(data.csr);
+  std::printf("dataset %s: |V|=%d |E|=%ld avg-degree %.1f classes %d\n\n",
+              data.name.c_str(), data.num_vertices(),
+              static_cast<long>(data.num_edges()), stats.avg_degree,
+              data.num_classes);
+
+  // 2. Configure training (paper setup: hidden width 64, Adam).
+  nn::TrainConfig cfg = nn::default_config(nn::ModelKind::kGcn);
+  cfg.epochs = 150;
+  cfg.profile_first_epoch = true;  // models one epoch's device time
+
+  // 3. Train under each system design.
+  for (nn::SystemMode mode :
+       {nn::SystemMode::kDglFloat, nn::SystemMode::kDglHalf,
+        nn::SystemMode::kHalfGnn}) {
+    const nn::TrainResult res =
+        nn::train(nn::ModelKind::kGcn, mode, data, cfg);
+    std::printf(
+        "%-10s  best test acc %.2f%%  final loss %.4f  NaN epochs %d\n"
+        "            modeled epoch time %.3f ms (sparse %.3f, dense %.3f, "
+        "dtype-conversions %.3f)  memory %.1f MB\n",
+        nn::mode_name(mode), 100.0 * res.best_test_acc, res.losses.back(),
+        res.nan_loss_epochs, res.epoch_ledger.total_ms(),
+        res.epoch_ledger.sparse_ms, res.epoch_ledger.dense_ms,
+        res.epoch_ledger.convert_ms,
+        static_cast<double>(res.memory.total()) / (1024 * 1024));
+  }
+
+  std::printf(
+      "\nExpected shape: all three modes reach ~99%% here (no hubs in "
+      "Cora);\nHalfGNN's epoch is the fastest and uses the least memory.\n");
+  return 0;
+}

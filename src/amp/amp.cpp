@@ -1,0 +1,37 @@
+#include "amp/amp.hpp"
+
+#include <array>
+
+namespace hg::amp {
+
+namespace {
+// torch.amp's "ops that autocast to float32" list, restricted to the ones
+// a GNN actually hits (Sec. 3.1.2 "General Trend").
+constexpr std::array<std::string_view, 8> kPromoted = {
+    "exp",         "softmax", "log_softmax", "log",
+    "cross_entropy", "sum",   "mean",        "norm",
+};
+
+// Shadow-API coverage (Sec. 5.3): promoted ops whose GNN call sites
+// guarantee half range. exp is the paper's flagship case (input <= 0 after
+// the edge-softmax max subtraction); the row-sum of exp values and the
+// division are bounded by the neighborhood size times 1.
+constexpr std::array<std::string_view, 3> kShadow = {
+    "exp", "edge_softmax_sum", "edge_softmax_div"};
+}  // namespace
+
+bool autocast_promotes_to_f32(std::string_view op) {
+  for (auto p : kPromoted) {
+    if (p == op) return true;
+  }
+  return false;
+}
+
+bool shadow_half_available(std::string_view op) {
+  for (auto p : kShadow) {
+    if (p == op) return true;
+  }
+  return false;
+}
+
+}  // namespace hg::amp

@@ -1,0 +1,73 @@
+// Mixed-precision machinery (paper Sec. 3, 5.3).
+//
+//  * autocast policy — the list of operations PyTorch AMP promotes to
+//    float32 out of "fear of overflow" (Sec. 3.1.2): exp, softmax, log,
+//    sum, cross-entropy... A naive half-precision GNN (our DGL-half mode)
+//    obeys this list, paying a half->float->half round trip around each
+//    such op. HalfGNN replaces the promotions whose inputs provably stay in
+//    range with shadow APIs (Sec. 5.3) that execute in half.
+//
+//  * GradScaler — dynamic loss scaling exactly like torch.cuda.amp: scale
+//    the loss, unscale the master gradients, skip the optimizer step and
+//    back off when any gradient is non-finite, grow the scale after a
+//    streak of clean steps. Note what it can and cannot fix: gradient
+//    underflow yes, *forward* overflow (INF from an unprotected SpMM
+//    reduction) no — which is why DGL-half still collapses in Fig. 1c.
+#pragma once
+
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace hg::amp {
+
+// Ops PyTorch autocast executes in float32 (the Sec. 3.1.2 list).
+bool autocast_promotes_to_f32(std::string_view op);
+
+// Shadow-API eligibility: ops whose GNN usage guarantees the half range,
+// so HalfGNN runs them in half (Sec. 5.3). The canonical example is
+// exp(e - max) with e - max <= 0.
+bool shadow_half_available(std::string_view op);
+
+class GradScaler {
+ public:
+  explicit GradScaler(float init_scale = 1024.0f, float growth = 2.0f,
+                      float backoff = 0.5f, int growth_interval = 200)
+      : scale_(init_scale),
+        growth_(growth),
+        backoff_(backoff),
+        growth_interval_(growth_interval) {}
+
+  float scale() const noexcept { return scale_; }
+
+  // Call with whether any unscaled master gradient was non-finite.
+  // Returns true if the optimizer step should proceed.
+  bool update(bool found_nonfinite) {
+    if (found_nonfinite) {
+      scale_ = std::max(1.0f, scale_ * backoff_);
+      clean_steps_ = 0;
+      ++skipped_;
+      return false;
+    }
+    if (++clean_steps_ >= growth_interval_) {
+      scale_ = std::min(65536.0f, scale_ * growth_);
+      clean_steps_ = 0;
+    }
+    ++stepped_;
+    return true;
+  }
+
+  int skipped_steps() const noexcept { return skipped_; }
+  int taken_steps() const noexcept { return stepped_; }
+
+ private:
+  float scale_;
+  float growth_;
+  float backoff_;
+  int growth_interval_;
+  int clean_steps_ = 0;
+  int skipped_ = 0;
+  int stepped_ = 0;
+};
+
+}  // namespace hg::amp

@@ -1,0 +1,176 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hg {
+
+Coo erdos_renyi(vid_t n, eid_t m, Rng& rng) {
+  Coo g;
+  g.num_vertices = n;
+  g.row.reserve(static_cast<std::size_t>(m));
+  g.col.reserve(static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    g.row.push_back(static_cast<vid_t>(rng.next_below(
+        static_cast<std::uint64_t>(n))));
+    g.col.push_back(static_cast<vid_t>(rng.next_below(
+        static_cast<std::uint64_t>(n))));
+  }
+  return g;
+}
+
+Coo sbm(vid_t n, int k, eid_t m, double frac_in, Rng& rng,
+        std::vector<int>& labels) {
+  if (k <= 0) throw std::invalid_argument("sbm: k must be positive");
+  labels.resize(static_cast<std::size_t>(n));
+  // Contiguous equal blocks keep the generator simple; vertex ids are
+  // shuffled nowhere downstream, so block = v * k / n.
+  for (vid_t v = 0; v < n; ++v) {
+    labels[static_cast<std::size_t>(v)] =
+        static_cast<int>((static_cast<std::int64_t>(v) * k) / n);
+  }
+  const vid_t block_size = (n + k - 1) / k;
+
+  Coo g;
+  g.num_vertices = n;
+  g.row.reserve(static_cast<std::size_t>(m));
+  g.col.reserve(static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    const vid_t u = static_cast<vid_t>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    vid_t v;
+    if (rng.next_double() < frac_in) {
+      const vid_t b = static_cast<vid_t>(labels[static_cast<std::size_t>(u)]);
+      const vid_t lo = b * block_size;
+      const vid_t hi = std::min<vid_t>(n, lo + block_size);
+      v = lo + static_cast<vid_t>(rng.next_below(
+          static_cast<std::uint64_t>(hi - lo)));
+    } else {
+      v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    }
+    g.row.push_back(u);
+    g.col.push_back(v);
+  }
+  return g;
+}
+
+Coo rmat(int scale, eid_t m, double a, double b, double c, Rng& rng) {
+  const vid_t n = static_cast<vid_t>(1) << scale;
+  Coo g;
+  g.num_vertices = n;
+  g.row.reserve(static_cast<std::size_t>(m));
+  g.col.reserve(static_cast<std::size_t>(m));
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t r = 0, col = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double p = rng.next_double();
+      r <<= 1;
+      col <<= 1;
+      if (p < a) {
+        // upper-left quadrant: nothing to add
+      } else if (p < a + b) {
+        col |= 1;
+      } else if (p < a + b + c) {
+        r |= 1;
+      } else {
+        r |= 1;
+        col |= 1;
+      }
+    }
+    g.row.push_back(r);
+    g.col.push_back(col);
+  }
+  return g;
+}
+
+Coo barabasi_albert(vid_t n, int m_per_vertex, Rng& rng) {
+  if (n <= m_per_vertex) {
+    throw std::invalid_argument("barabasi_albert: n must exceed m_per_vertex");
+  }
+  Coo g;
+  g.num_vertices = n;
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is degree-proportional sampling (the classic BA trick).
+  std::vector<vid_t> targets;
+  targets.reserve(2 * static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(m_per_vertex));
+  // Seed clique over the first m_per_vertex+1 vertices.
+  for (vid_t u = 0; u <= m_per_vertex; ++u) {
+    for (vid_t v = 0; v < u; ++v) {
+      g.row.push_back(u);
+      g.col.push_back(v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (vid_t u = m_per_vertex + 1; u < n; ++u) {
+    for (int j = 0; j < m_per_vertex; ++j) {
+      const vid_t v = targets[static_cast<std::size_t>(
+          rng.next_below(targets.size()))];
+      g.row.push_back(u);
+      g.col.push_back(v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return g;
+}
+
+Coo lattice2d(vid_t rows, vid_t cols) {
+  Coo g;
+  g.num_vertices = rows * cols;
+  const auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.row.push_back(id(r, c));
+        g.col.push_back(id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        g.row.push_back(id(r, c));
+        g.col.push_back(id(r + 1, c));
+      }
+    }
+  }
+  return g;
+}
+
+void plant_hubs(Coo& coo, int num_hubs, vid_t hub_degree, Rng& rng,
+                const std::vector<int>* labels, int within_block) {
+  const vid_t n = coo.num_vertices;
+  assert(num_hubs <= n && hub_degree < n);
+
+  // Precompute the candidate pool for block-biased hub neighborhoods.
+  std::vector<vid_t> block_pool;
+  if (labels != nullptr && within_block >= 0) {
+    for (vid_t v = 0; v < n; ++v) {
+      if ((*labels)[static_cast<std::size_t>(v)] == within_block) {
+        block_pool.push_back(v);
+      }
+    }
+  }
+
+  for (int h = 0; h < num_hubs; ++h) {
+    const vid_t hub = static_cast<vid_t>(h);
+    std::unordered_set<vid_t> chosen;
+    chosen.reserve(static_cast<std::size_t>(hub_degree) * 2);
+    while (static_cast<vid_t>(chosen.size()) < hub_degree) {
+      vid_t v;
+      if (!block_pool.empty() && rng.next_double() < 0.9) {
+        v = block_pool[static_cast<std::size_t>(
+            rng.next_below(block_pool.size()))];
+      } else {
+        v = static_cast<vid_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      }
+      if (v != hub) chosen.insert(v);
+    }
+    for (vid_t v : chosen) {
+      coo.row.push_back(hub);
+      coo.col.push_back(v);
+    }
+  }
+}
+
+}  // namespace hg

@@ -1,0 +1,45 @@
+// Synthetic graph generators used to build the G1-G16 dataset analogues
+// (see DESIGN.md Sec. 1). Each generator reproduces the *structural* family
+// of the corresponding real dataset: community structure (SBM) for the
+// labeled citation/social sets, power-law degree distributions (R-MAT /
+// preferential attachment) for the web/social sets, near-uniform low degree
+// (2-D lattice) for the road network, and planted hubs that make
+// unprotected half-precision reduction overflow, as Reddit's 20k-degree
+// vertices do in the paper.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hg {
+
+// Erdos-Renyi G(n, m): m edges sampled uniformly.
+Coo erdos_renyi(vid_t n, eid_t m, Rng& rng);
+
+// Stochastic block model: n vertices in k equal blocks; edges are sampled
+// so ~frac_in of endpoints fall inside the same block. Returns the graph;
+// labels[v] = block of v (written into `labels`).
+Coo sbm(vid_t n, int k, eid_t m, double frac_in, Rng& rng,
+        std::vector<int>& labels);
+
+// R-MAT / Kronecker generator (a,b,c,d quadrant probabilities). Skewed
+// parameters (e.g. .57/.19/.19/.05) yield heavy-tailed degrees like Kron-21.
+Coo rmat(int scale, eid_t m, double a, double b, double c, Rng& rng);
+
+// Preferential attachment (Barabasi-Albert): each new vertex attaches to
+// `m_per_vertex` existing vertices with probability proportional to degree.
+Coo barabasi_albert(vid_t n, int m_per_vertex, Rng& rng);
+
+// 2-D lattice (rows x cols grid, 4-neighborhood): RoadNet-like topology.
+Coo lattice2d(vid_t rows, vid_t cols);
+
+// Connects `num_hubs` vertices (ids 0..num_hubs-1) to `hub_degree` distinct
+// random vertices each. If `within_block >= 0`, hub neighbors are drawn
+// predominantly (90%) from vertices whose labels[v] == within_block —
+// correlated neighborhoods are what make the half-precision reduction grow
+// linearly in degree rather than sqrt(degree).
+void plant_hubs(Coo& coo, int num_hubs, vid_t hub_degree, Rng& rng,
+                const std::vector<int>* labels = nullptr,
+                int within_block = -1);
+
+}  // namespace hg

@@ -1,0 +1,27 @@
+// Binary dataset serialization (.hgds).
+//
+// Generating the larger synthetic datasets costs seconds; a downstream user
+// iterating on kernels wants them cached. The format is a small
+// versioned binary container holding the CSR topology, features, labels and
+// the train split; `load_dataset` rebuilds the derived views (COO order,
+// transpose) on load.
+#pragma once
+
+#include <string>
+
+#include "graph/datasets.hpp"
+
+namespace hg {
+
+// Writes `d` to `path`. Throws std::runtime_error on I/O failure.
+void save_dataset(const Dataset& d, const std::string& path);
+
+// Reads a dataset written by save_dataset. Throws std::runtime_error on
+// I/O failure, format mismatch, or corruption.
+Dataset load_dataset(const std::string& path);
+
+// Convenience: returns the cached dataset at `cache_path` if present and
+// loadable; otherwise builds it with make_dataset, saves it, and returns it.
+Dataset make_dataset_cached(DatasetId id, const std::string& cache_path);
+
+}  // namespace hg

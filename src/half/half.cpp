@@ -1,0 +1,23 @@
+#include "half/half.hpp"
+
+#include <array>
+#include <memory>
+
+namespace hg::detail {
+
+namespace {
+std::unique_ptr<std::array<float, 65536>> build_table() {
+  auto t = std::make_unique<std::array<float, 65536>>();
+  for (std::uint32_t i = 0; i < 65536; ++i) {
+    (*t)[i] = half_bits_to_float(static_cast<std::uint16_t>(i));
+  }
+  return t;
+}
+}  // namespace
+
+const float* half_to_float_table() noexcept {
+  static const std::unique_ptr<std::array<float, 65536>> table = build_table();
+  return table->data();
+}
+
+}  // namespace hg::detail

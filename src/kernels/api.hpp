@@ -1,0 +1,72 @@
+// Common vocabulary for the sparse kernels.
+//
+// Kernel inventory (each maps to a paper system):
+//   spmm_cusparse_like : the cuSPARSE float / half SpMM the paper profiles
+//                        (workload-balanced, atomic conflict writes).
+//   spmm_halfgnn       : the paper's edge-parallel SpMM — two-phase data
+//                        load, half2 + mirroring, sub-warps, discretized
+//                        reduction scaling, staging buffer + follow-up
+//                        kernel (non-atomic). Also an atomic-write variant
+//                        for the Fig. 13 ablation.
+//   spmm_vertex        : GE-SpMM-style vanilla vertex-parallel and the
+//                        Huang et al. neighbor-group-balanced SpMM, float
+//                        and half2 (Fig. 14).
+//   sddmm_dgl_like     : DGL's SDDMM, float and the naive half swap.
+//   sddmm_halfgnn      : HalfGNN SDDMM with half2 / half4 / half8 loads
+//                        (Fig. 12 ablation across vector widths).
+//   edge_ops           : the edge-level kernels GAT's edge-softmax needs
+//                        (exp(e - m[row]), e / s[row]), in float and in
+//                        shadow-API half (Sec. 5.3).
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "half/vec.hpp"
+#include "simt/simt.hpp"
+#include "util/aligned.hpp"
+
+namespace hg::kernels {
+
+// Reduction applied across the neighborhood dimension in SpMM.
+enum class Reduce {
+  kSum,   // plain sum (GIN default; overflows in half on hubs)
+  kMean,  // sum / degree — SpMM + right degree-norm fused
+  kMax,   // neighborhood max (edge-softmax m_i)
+};
+
+// Where degree-norm scaling happens relative to the reduction
+// (Sec. 5.2.2). Only meaningful for Reduce::kMean.
+enum class ScaleMode {
+  kPost,         // divide once after the full reduction (DGL; overflows)
+  kPre,          // divide every dot product (safe, more arithmetic)
+  kDiscretized,  // the paper's batch-wise scaling (safe, cheap)
+};
+
+// Graph views a kernel needs: CSR for degrees/offsets, COO (in CSR
+// traversal order) for edge-parallel iteration.
+struct GraphView {
+  const Csr* csr = nullptr;
+  const Coo* coo = nullptr;
+
+  vid_t n() const noexcept { return csr->num_vertices; }
+  eid_t m() const noexcept { return csr->num_edges(); }
+};
+
+inline GraphView view(const Csr& csr, const Coo& coo) {
+  return GraphView{&csr, &coo};
+}
+
+// Geometry shared by the edge-parallel kernels (paper Fig. 4: each warp
+// handles 128 edges, 4 warps per CTA; Sec. 4.1.1 requires >= 64).
+inline constexpr int kEdgesPerWarp = 128;
+inline constexpr int kWarpsPerCta = 4;
+
+inline int num_ctas_for_edges(eid_t m, int edges_per_warp = kEdgesPerWarp,
+                              int warps_per_cta = kWarpsPerCta) {
+  const eid_t per_cta =
+      static_cast<eid_t>(edges_per_warp) * warps_per_cta;
+  return static_cast<int>((m + per_cta - 1) / per_cta);
+}
+
+}  // namespace hg::kernels

@@ -1,0 +1,22 @@
+// Serial reference implementations (double accumulation) used as ground
+// truth in kernel tests and for measuring half-kernel numeric error.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+// Y[v,:] = reduce_{e=(v,u)} w[e] * X[u,:]   (SpMMve; pass empty w for SpMMv)
+// with optional mean scaling (divide by degree, the "right" norm).
+std::vector<double> reference_spmm(const Csr& csr, std::span<const float> w,
+                                   std::span<const float> x, int feat,
+                                   Reduce reduce);
+
+// out[e] = dot(A[row(e),:], B[col(e),:]) for each edge.
+std::vector<double> reference_sddmm(const Coo& coo, std::span<const float> a,
+                                    std::span<const float> b, int feat);
+
+}  // namespace hg::kernels

@@ -1,0 +1,45 @@
+// SDDMM kernels: out[e] = dot(A[row(e),:], B[col(e),:]) for every NZE.
+//
+//   sddmm_dgl_f32 / sddmm_dgl_f16 — the DGL design the paper profiles
+//     (Sec. 3.1.1): feature-parallel dot product, full-warp shuffle
+//     reduction, one scalar store per edge. The half version is exactly the
+//     float kernel with the data type swapped (no half2, Fig. 3a
+//     arithmetic) — which is why Fig. 1b shows it gaining nothing.
+//
+//   sddmm_halfgnn — the paper's design (Sec. 5.1): two-phase load, sub-warp
+//     feature parallelism, and a configurable vector width:
+//       half2 : the Sec. 4 baseline (1 x 32-bit load per lane per step)
+//       half4 : rides the float2 load path (64-bit)
+//       half8 : rides the float4 load path (128-bit), the recommended
+//               configuration — 4x fewer load issues before each shuffle
+//               barrier and half the shuffle rounds (Fig. 12).
+//     Results are buffered in shared memory and stored coalesced.
+#pragma once
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+enum class SddmmVec { kHalf2 = 2, kHalf4 = 4, kHalf8 = 8 };
+
+// out has one entry per edge (COO order). feat must be a multiple of the
+// vector width (feature padding, Sec. 5.1.3).
+simt::KernelStats sddmm_dgl_f32(const simt::DeviceSpec& spec, bool profiled,
+                                const GraphView& g, std::span<const float> a,
+                                std::span<const float> b,
+                                std::span<float> out, int feat);
+
+simt::KernelStats sddmm_dgl_f16(const simt::DeviceSpec& spec, bool profiled,
+                                const GraphView& g,
+                                std::span<const half_t> a,
+                                std::span<const half_t> b,
+                                std::span<half_t> out, int feat);
+
+simt::KernelStats sddmm_halfgnn(const simt::DeviceSpec& spec, bool profiled,
+                                const GraphView& g,
+                                std::span<const half_t> a,
+                                std::span<const half_t> b,
+                                std::span<half_t> out, int feat,
+                                SddmmVec vec = SddmmVec::kHalf8);
+
+}  // namespace hg::kernels

@@ -1,0 +1,55 @@
+// cuSPARSE-like SpMM baselines — the kernels behind "DGL-float" and
+// "DGL-half" in the paper's evaluation.
+//
+// cuSPARSE is closed source; the paper characterizes it externally
+// (Sec. 3.1.1): the float path is a competent workload-balanced SpMM that
+// resolves conflicting writes with float atomics; the half path is the
+// notoriously slow one — scalar (non-vectorized) half loads, arithmetic via
+// implicit float conversion (Fig. 3a), and atomic-half conflict writes,
+// which profile as the dominant cost. We implement exactly that
+// characterization:
+//
+//   spmm_cusparse_f32 : edge-parallel segments, register accumulation per
+//                       row run, direct stores for warp-interior rows,
+//                       atomic-float adds at segment boundaries.
+//   spmm_cusparse_f16 : scatter-style half path — every edge's product is
+//                       atomically accumulated into Y in half precision.
+//                       This both reproduces the measured ~9x slowdown over
+//                       the float path (Fig. 1a / Fig. 9) and the value
+//                       overflow of Sec. 3.1.3 (the output accumulates in
+//                       half, so hub rows saturate to INF).
+//
+// Degree-norm (mean) is applied as a separate post-pass (`scale_rows_*`),
+// matching DGL: the norm runs *after* the reduction — which is precisely
+// why it cannot protect the half path from overflow.
+#pragma once
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+// Y (size n*feat) is fully overwritten. `edge_w` empty => SpMMv (weights 1).
+// Returns modeled kernel stats when `profiled`; otherwise only numerics.
+simt::KernelStats spmm_cusparse_f32(const simt::DeviceSpec& spec,
+                                    bool profiled, const GraphView& g,
+                                    std::span<const float> edge_w,
+                                    std::span<const float> x,
+                                    std::span<float> y, int feat,
+                                    Reduce reduce);
+
+simt::KernelStats spmm_cusparse_f16(const simt::DeviceSpec& spec,
+                                    bool profiled, const GraphView& g,
+                                    std::span<const half_t> edge_w,
+                                    std::span<const half_t> x,
+                                    std::span<half_t> y, int feat,
+                                    Reduce reduce);
+
+// DGL-style separate degree-norm pass: y[v,:] /= max(1, deg(v)).
+simt::KernelStats scale_rows_f32(const simt::DeviceSpec& spec, bool profiled,
+                                 const Csr& csr, std::span<float> y,
+                                 int feat);
+simt::KernelStats scale_rows_f16(const simt::DeviceSpec& spec, bool profiled,
+                                 const Csr& csr, std::span<half_t> y,
+                                 int feat);
+
+}  // namespace hg::kernels

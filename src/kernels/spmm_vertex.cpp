@@ -1,0 +1,370 @@
+#include "kernels/spmm_vertex.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hg::kernels {
+
+namespace {
+
+using simt::Cta;
+using simt::KernelStats;
+using simt::Lanes;
+using simt::LaunchCfg;
+using simt::Op;
+using simt::prefix_mask;
+using simt::Warp;
+
+}  // namespace
+
+NeighborGroups build_neighbor_groups(const Csr& csr, int group_size) {
+  NeighborGroups ng;
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const eid_t lo = csr.offsets[v];
+    const eid_t hi = csr.offsets[v + 1];
+    if (lo == hi) continue;
+    const int total = static_cast<int>(
+        (hi - lo + group_size - 1) / group_size);
+    if (total > 1) {
+      ng.multi_rows.push_back(v);
+      ng.multi_first_group.push_back(static_cast<eid_t>(ng.vertex.size()));
+    }
+    for (eid_t s = lo; s < hi; s += group_size) {
+      ng.vertex.push_back(v);
+      ng.start.push_back(s);
+      ng.count.push_back(static_cast<int>(std::min<eid_t>(group_size,
+                                                          hi - s)));
+      ng.vertex_groups.push_back(total);
+    }
+  }
+  return ng;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// GE-SpMM: warp per row, no balancing, no atomics.
+// ---------------------------------------------------------------------------
+template <bool P>
+KernelStats gespmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
+                        std::span<const float> edge_w,
+                        std::span<const float> x, std::span<float> y,
+                        int feat) {
+  const vid_t n = g.n();
+  const int fchunks = (feat + 31) / 32;
+  std::fill(y.begin(), y.end(), 0.0f);
+  const LaunchCfg cfg{static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
+                      kWarpsPerCta};
+  return simt::launch<P>(spec, "gespmm_f32", cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
+                      w.warp_in_cta();
+      if (r >= n) return;
+      const eid_t lo = g.csr->offsets[r];
+      const eid_t hi = g.csr->offsets[r + 1];
+      std::vector<float> acc(static_cast<std::size_t>(feat), 0.0f);
+      for (eid_t b = lo; b < hi; b += 32) {
+        const int cnt = static_cast<int>(std::min<eid_t>(32, hi - b));
+        Lanes<vid_t> cols{};
+        w.template load_contiguous<vid_t>(g.csr->cols, b, cnt, cols);
+        Lanes<float> wv{};
+        if (!edge_w.empty()) {
+          w.template load_contiguous<float>(edge_w, b, cnt, wv);
+        }
+        for (int k = 0; k < cnt; ++k) {
+          const auto col = static_cast<std::int64_t>(
+              cols[static_cast<std::size_t>(k)]);
+          const float we =
+              edge_w.empty() ? 1.0f : wv[static_cast<std::size_t>(k)];
+          for (int fc = 0; fc < fchunks; ++fc) {
+            const int lanes = std::min(32, feat - fc * 32);
+            Lanes<std::int64_t> idx{};
+            for (int l = 0; l < lanes; ++l) {
+              idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
+            }
+            Lanes<float> xv{};
+            w.template gather<float>(x, idx, prefix_mask(lanes), xv);
+            for (int l = 0; l < lanes; ++l) {
+              acc[static_cast<std::size_t>(fc * 32 + l)] +=
+                  we * xv[static_cast<std::size_t>(l)];
+            }
+            w.alu(Op::kFloatAlu, 1, lanes);
+          }
+        }
+      }
+      for (int fc = 0; fc < fchunks; ++fc) {
+        const int lanes = std::min(32, feat - fc * 32);
+        Lanes<float> v{};
+        for (int l = 0; l < lanes; ++l) {
+          v[static_cast<std::size_t>(l)] =
+              acc[static_cast<std::size_t>(fc * 32 + l)];
+        }
+        w.template store_contiguous<float>(
+            y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
+      }
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Huang et al.: warp per 32-neighbor group; float atomics for partials.
+// ---------------------------------------------------------------------------
+template <bool P>
+KernelStats huang_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
+                           const NeighborGroups& ng,
+                           std::span<const float> edge_w,
+                           std::span<const float> x, std::span<float> y,
+                           int feat) {
+  const int fchunks = (feat + 31) / 32;
+  std::fill(y.begin(), y.end(), 0.0f);
+  const int groups = static_cast<int>(ng.num_groups());
+  const LaunchCfg cfg{(groups + kWarpsPerCta - 1) / kWarpsPerCta,
+                      kWarpsPerCta};
+  return simt::launch<P>(spec, "huang_f32", cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const int gi = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
+      if (gi >= groups) return;
+      const auto gu = static_cast<std::size_t>(gi);
+      const vid_t r = ng.vertex[gu];
+      const eid_t lo = ng.start[gu];
+      const int cnt = ng.count[gu];
+
+      Lanes<vid_t> cols{};
+      w.template load_contiguous<vid_t>(g.csr->cols, lo, cnt, cols);
+      Lanes<float> wv{};
+      if (!edge_w.empty()) {
+        w.template load_contiguous<float>(edge_w, lo, cnt, wv);
+      }
+
+      std::vector<float> acc(static_cast<std::size_t>(feat), 0.0f);
+      for (int k = 0; k < cnt; ++k) {
+        const auto col =
+            static_cast<std::int64_t>(cols[static_cast<std::size_t>(k)]);
+        const float we =
+            edge_w.empty() ? 1.0f : wv[static_cast<std::size_t>(k)];
+        for (int fc = 0; fc < fchunks; ++fc) {
+          const int lanes = std::min(32, feat - fc * 32);
+          Lanes<std::int64_t> idx{};
+          for (int l = 0; l < lanes; ++l) {
+            idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
+          }
+          Lanes<float> xv{};
+          w.template gather<float>(x, idx, prefix_mask(lanes), xv);
+          for (int l = 0; l < lanes; ++l) {
+            acc[static_cast<std::size_t>(fc * 32 + l)] +=
+                we * xv[static_cast<std::size_t>(l)];
+          }
+          w.alu(Op::kFloatAlu, 1, lanes);
+        }
+      }
+
+      const bool whole_row = ng.vertex_groups[gu] == 1;
+      const int contention = std::min(32, ng.vertex_groups[gu]);
+      for (int fc = 0; fc < fchunks; ++fc) {
+        const int lanes = std::min(32, feat - fc * 32);
+        Lanes<std::int64_t> idx{};
+        Lanes<float> v{};
+        for (int l = 0; l < lanes; ++l) {
+          idx[static_cast<std::size_t>(l)] =
+              static_cast<std::int64_t>(r) * feat + fc * 32 + l;
+          v[static_cast<std::size_t>(l)] =
+              acc[static_cast<std::size_t>(fc * 32 + l)];
+        }
+        if (whole_row) {
+          w.template store_contiguous<float>(
+              y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
+        } else {
+          w.atomic_add(y, idx, prefix_mask(lanes), v, contention);
+        }
+      }
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Huang half2: the paper's adaptation (Sec. 5.4) — half2 loads, mirroring
+// with the odd-offset fix-up, staging buffer + follow-up instead of atomics.
+// ---------------------------------------------------------------------------
+template <bool P>
+KernelStats huang_half2_impl(const simt::DeviceSpec& spec, const GraphView& g,
+                             const NeighborGroups& ng,
+                             std::span<const half_t> edge_w,
+                             std::span<const half_t> x, std::span<half_t> y,
+                             int feat) {
+  if (feat % 2 != 0) {
+    throw std::invalid_argument("huang_half2: feat must be even");
+  }
+  const int half_f = feat / 2;
+  const int fchunks = (half_f + 31) / 32;
+  std::fill(y.begin(), y.end(), half_t(0.0f));
+  auto y2 = simt::as_vec_mut<half2>(y);
+  auto x2 = simt::as_vec<half2>(x);
+  const bool has_w = !edge_w.empty();
+
+  const int groups = static_cast<int>(ng.num_groups());
+  // Staging: one partial row of F halves per group of a multi-group row.
+  AlignedVec<half_t> staging(static_cast<std::size_t>(groups) *
+                                 static_cast<std::size_t>(feat),
+                             half_t(0.0f));
+  auto staging2 = simt::as_vec_mut<half2>(std::span<half_t>(staging));
+
+  const LaunchCfg cfg{(groups + kWarpsPerCta - 1) / kWarpsPerCta,
+                      kWarpsPerCta};
+  KernelStats ks = simt::launch<P>(spec, "huang_half2", cfg, [&](Cta<P>&
+                                                                     cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const int gi = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
+      if (gi >= groups) return;
+      w.set_load_ilp(2.0);  // vectorized loads (Sec. 5.4 adaptation)
+      const auto gu = static_cast<std::size_t>(gi);
+      const vid_t r = ng.vertex[gu];
+      const eid_t lo = ng.start[gu];
+      const int cnt = ng.count[gu];
+
+      Lanes<vid_t> cols{};
+      w.template load_contiguous<vid_t>(g.csr->cols, lo, cnt, cols);
+
+      // Edge features as half2, starting one position earlier when the
+      // group begins at an odd offset (Sec. 5.4) — functionally we read
+      // the exact scalars; the accounting below issues the vectorized
+      // 64-byte load the design describes.
+      Lanes<half_t> wv{};
+      if (has_w) {
+        const eid_t aligned_lo = lo - (lo % 2);
+        const int span_halves = static_cast<int>(lo - aligned_lo) + cnt;
+        const int pairs = (span_halves + 1) / 2;
+        auto w2v = simt::as_vec<half2>(
+            edge_w.subspan(0, (edge_w.size() / 2) * 2));
+        Lanes<half2> packed{};
+        w.template load_contiguous<half2>(
+            w2v, aligned_lo / 2,
+            std::min<int>(pairs, static_cast<int>(w2v.size() -
+                                                  aligned_lo / 2)),
+            packed);
+        for (int k = 0; k < cnt; ++k) {
+          wv[static_cast<std::size_t>(k)] =
+              edge_w[static_cast<std::size_t>(lo + k)];
+        }
+        w.alu(Op::kHalf2, 1);  // mirroring fix-up
+      }
+
+      std::vector<half2> acc(static_cast<std::size_t>(half_f),
+                             half2(0.0f, 0.0f));
+      for (int k = 0; k < cnt; ++k) {
+        const auto col =
+            static_cast<std::int64_t>(cols[static_cast<std::size_t>(k)]);
+        const half2 w2m = has_w
+                              ? half2::broadcast(wv[static_cast<std::size_t>(
+                                    k)])
+                              : half2(1.0f, 1.0f);
+        for (int fc = 0; fc < fchunks; ++fc) {
+          const int lanes = std::min(32, half_f - fc * 32);
+          Lanes<std::int64_t> idx{};
+          for (int l = 0; l < lanes; ++l) {
+            idx[static_cast<std::size_t>(l)] = col * half_f + fc * 32 + l;
+          }
+          Lanes<half2> xv{};
+          w.template gather<half2>(x2, idx, prefix_mask(lanes), xv);
+          for (int l = 0; l < lanes; ++l) {
+            auto& slot = acc[static_cast<std::size_t>(fc * 32 + l)];
+            slot = has_w ? h2fma(xv[static_cast<std::size_t>(l)], w2m, slot)
+                         : h2add(slot, xv[static_cast<std::size_t>(l)]);
+          }
+          w.alu(Op::kHalf2, 1, lanes);
+        }
+      }
+
+      const bool whole_row = ng.vertex_groups[gu] == 1;
+      for (int fc = 0; fc < fchunks; ++fc) {
+        const int lanes = std::min(32, half_f - fc * 32);
+        Lanes<half2> v{};
+        for (int l = 0; l < lanes; ++l) {
+          v[static_cast<std::size_t>(l)] =
+              acc[static_cast<std::size_t>(fc * 32 + l)];
+        }
+        if (whole_row) {
+          w.template store_contiguous<half2>(
+              y2, static_cast<std::int64_t>(r) * half_f + fc * 32, lanes, v);
+        } else {
+          // Non-atomic: park the partial in this group's staging slot.
+          w.template store_contiguous<half2>(
+              staging2, static_cast<std::int64_t>(gi) * half_f + fc * 32,
+              lanes, v);
+        }
+      }
+    });
+  });
+
+  // Follow-up kernel: one warp per multi-group row merges its group
+  // partials and stores the full row (no other writer exists).
+  const int multis = static_cast<int>(ng.multi_rows.size());
+  if (multis > 0) {
+    KernelStats fks = simt::launch<P>(
+        spec, "huang_half2_followup",
+        LaunchCfg{(multis + kWarpsPerCta - 1) / kWarpsPerCta, kWarpsPerCta},
+        [&](Cta<P>& cta) {
+          cta.for_each_warp([&](Warp<P>& w) {
+            const int mi = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
+            if (mi >= multis) return;
+            const auto mu = static_cast<std::size_t>(mi);
+            const vid_t r = ng.multi_rows[mu];
+            const eid_t g0 = ng.multi_first_group[mu];
+            const int total =
+                ng.vertex_groups[static_cast<std::size_t>(g0)];
+            for (int fc = 0; fc < fchunks; ++fc) {
+              const int lanes = std::min(32, half_f - fc * 32);
+              Lanes<half2> accv{};
+              for (auto& a : accv) a = half2(0.0f, 0.0f);
+              for (int k = 0; k < total; ++k) {
+                Lanes<half2> v{};
+                w.template load_contiguous<half2>(
+                    simt::as_vec<half2>(std::span<const half_t>(staging)),
+                    (g0 + k) * half_f + fc * 32, lanes, v);
+                for (int l = 0; l < lanes; ++l) {
+                  accv[static_cast<std::size_t>(l)] =
+                      h2add(accv[static_cast<std::size_t>(l)],
+                            v[static_cast<std::size_t>(l)]);
+                }
+                w.alu(Op::kHalf2, 1, lanes);
+              }
+              w.template store_contiguous<half2>(
+                  y2, static_cast<std::int64_t>(r) * half_f + fc * 32,
+                  lanes, accv);
+            }
+          });
+        });
+    ks += fks;
+  }
+  return ks;
+}
+
+}  // namespace
+
+KernelStats gespmm_f32(const simt::DeviceSpec& spec, bool profiled,
+                       const GraphView& g, std::span<const float> edge_w,
+                       std::span<const float> x, std::span<float> y,
+                       int feat) {
+  return profiled ? gespmm_impl<true>(spec, g, edge_w, x, y, feat)
+                  : gespmm_impl<false>(spec, g, edge_w, x, y, feat);
+}
+
+KernelStats huang_f32(const simt::DeviceSpec& spec, bool profiled,
+                      const GraphView& g, const NeighborGroups& groups,
+                      std::span<const float> edge_w, std::span<const float> x,
+                      std::span<float> y, int feat) {
+  return profiled
+             ? huang_f32_impl<true>(spec, g, groups, edge_w, x, y, feat)
+             : huang_f32_impl<false>(spec, g, groups, edge_w, x, y, feat);
+}
+
+KernelStats huang_half2(const simt::DeviceSpec& spec, bool profiled,
+                        const GraphView& g, const NeighborGroups& groups,
+                        std::span<const half_t> edge_w,
+                        std::span<const half_t> x, std::span<half_t> y,
+                        int feat) {
+  return profiled
+             ? huang_half2_impl<true>(spec, g, groups, edge_w, x, y, feat)
+             : huang_half2_impl<false>(spec, g, groups, edge_w, x, y, feat);
+}
+
+}  // namespace hg::kernels

@@ -1,0 +1,58 @@
+// Vertex-parallel SpMM kernels (paper Sec. 2.1.3, 5.4, 6.3.3).
+//
+//   gespmm_f32   — GE-SpMM-style vanilla vertex-parallel SpMM: one warp per
+//                  row, neighbors consumed in batches of 32, no workload
+//                  balancing (hub rows make their warp the critical path),
+//                  but also never any conflicting write.
+//
+//   huang_f32    — Huang et al. [20]-style workload-balanced vertex-parallel
+//                  SpMM: each warp owns one group of <= 32 neighbors of one
+//                  vertex; partial groups combine through float atomics.
+//
+//   huang_half2  — the paper's half-precision adaptation (Sec. 5.4,
+//                  Fig. 14): half2 vertex-feature and edge-feature loads
+//                  (starting the edge-feature fetch one position early when
+//                  a group begins at an odd offset, fixed up during
+//                  mirroring), half2 arithmetic, and non-atomic conflict
+//                  handling via a per-group staging buffer + follow-up
+//                  kernel. Neighbor grouping stays at the original 32, so
+//                  edge-feature loads are 64 B, as Sec. 6.3.3 notes.
+#pragma once
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+// Precomputed neighbor grouping (one warp's work per entry).
+struct NeighborGroups {
+  std::vector<vid_t> vertex;        // group -> row
+  std::vector<eid_t> start;         // group -> first CSR edge index
+  std::vector<int> count;           // group -> neighbors in this group (<=32)
+  std::vector<int> vertex_groups;   // group -> total groups of its row
+  // Rows owning more than one group, for the follow-up merge.
+  std::vector<vid_t> multi_rows;
+  std::vector<eid_t> multi_first_group;  // index of the row's first group
+
+  std::size_t num_groups() const noexcept { return vertex.size(); }
+};
+
+NeighborGroups build_neighbor_groups(const Csr& csr, int group_size = 32);
+
+simt::KernelStats gespmm_f32(const simt::DeviceSpec& spec, bool profiled,
+                             const GraphView& g, std::span<const float> edge_w,
+                             std::span<const float> x, std::span<float> y,
+                             int feat);
+
+simt::KernelStats huang_f32(const simt::DeviceSpec& spec, bool profiled,
+                            const GraphView& g, const NeighborGroups& groups,
+                            std::span<const float> edge_w,
+                            std::span<const float> x, std::span<float> y,
+                            int feat);
+
+simt::KernelStats huang_half2(const simt::DeviceSpec& spec, bool profiled,
+                              const GraphView& g, const NeighborGroups& groups,
+                              std::span<const half_t> edge_w,
+                              std::span<const half_t> x,
+                              std::span<half_t> y, int feat);
+
+}  // namespace hg::kernels

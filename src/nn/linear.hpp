@@ -1,0 +1,54 @@
+// Linear layer: y = x W (+ b). Compute runs in the mode's working dtype
+// (f16 GEMM = tensor-core path, float accumulate); weight gradients land
+// directly in float master storage.
+#pragma once
+
+#include "nn/param.hpp"
+
+namespace hg::nn {
+
+class Linear {
+ public:
+  Linear(int in, int out, bool bias, Rng& rng)
+      : w_(in, out), b_(1, out), has_bias_(bias) {
+    xavier_init(w_.master(), rng);
+  }
+
+  MTensor forward(const SparseCtx& ctx, const MTensor& x) {
+    saved_x_ = to_dtype(x, x.dtype(), nullptr);  // state tensor (copy)
+    if (ctx.meter != nullptr) ctx.meter->add_state(saved_x_.bytes());
+    MTensor y = MTensor::zeros(x.dtype(), x.rows(), w_.master().cols());
+    gemm(x, false, w_.working(ctx.mode, ctx.ledger), false, y, ctx.ledger);
+    if (has_bias_) add_bias_rows(y, b_.master(), ctx.ledger);
+    return y;
+  }
+
+  // Returns dx; accumulates float master gradients.
+  MTensor backward(const SparseCtx& ctx, const MTensor& dy) {
+    // dW = x^T dy, accumulated straight into float (no half rounding).
+    MTensor dw = MTensor::f32(w_.master().rows(), w_.master().cols());
+    gemm(saved_x_, true, dy, false, dw, ctx.ledger);
+    axpby(dw, 1.0f, w_.grad(), 1.0f, nullptr);
+    if (has_bias_) {
+      MTensor db = MTensor::f32(1, b_.master().cols());
+      colsum(dy, db, ctx.ledger);
+      axpby(db, 1.0f, b_.grad(), 1.0f, nullptr);
+    }
+    MTensor dx = MTensor::zeros(dy.dtype(), dy.rows(), w_.master().rows());
+    gemm(dy, false, w_.working(ctx.mode, ctx.ledger), true, dx, ctx.ledger);
+    return dx;
+  }
+
+  std::vector<Param*> params() {
+    std::vector<Param*> p{&w_};
+    if (has_bias_) p.push_back(&b_);
+    return p;
+  }
+
+ private:
+  Param w_, b_;
+  bool has_bias_;
+  MTensor saved_x_;
+};
+
+}  // namespace hg::nn

@@ -1,0 +1,86 @@
+#include "nn/models.hpp"
+
+namespace hg::nn {
+
+namespace {
+
+template <class Conv>
+class TwoLayer final : public Model {
+ public:
+  TwoLayer(int in, int hidden, int out, Rng& rng)
+      : c1_(in, hidden, rng), c2_(hidden, out, rng) {}
+
+  MTensor forward(const SparseCtx& ctx, const GraphCtx& g,
+                  const MTensor& x) override {
+    MTensor h = c1_.forward(ctx, g, x);
+    relu_forward(h, mask_, ctx.ledger);
+    return c2_.forward(ctx, g, h);
+  }
+
+  void backward(const SparseCtx& ctx, const GraphCtx& g,
+                const MTensor& dlogits) override {
+    MTensor dh = c2_.backward(ctx, g, dlogits);
+    relu_backward(dh, mask_, ctx.ledger);
+    (void)c1_.backward(ctx, g, dh);  // dX is not needed
+  }
+
+  std::vector<Param*> params() override {
+    auto p = c1_.params();
+    for (auto* q : c2_.params()) p.push_back(q);
+    return p;
+  }
+
+ private:
+  Conv c1_, c2_;
+  std::vector<std::uint8_t> mask_;
+};
+
+// GIN convolutions carry their own hidden MLP width.
+class GinTwoLayer final : public Model {
+ public:
+  GinTwoLayer(int in, int hidden, int out, Rng& rng)
+      : c1_(in, hidden, hidden, rng), c2_(hidden, hidden, out, rng) {}
+
+  MTensor forward(const SparseCtx& ctx, const GraphCtx& g,
+                  const MTensor& x) override {
+    MTensor h = c1_.forward(ctx, g, x);
+    relu_forward(h, mask_, ctx.ledger);
+    return c2_.forward(ctx, g, h);
+  }
+
+  void backward(const SparseCtx& ctx, const GraphCtx& g,
+                const MTensor& dlogits) override {
+    MTensor dh = c2_.backward(ctx, g, dlogits);
+    relu_backward(dh, mask_, ctx.ledger);
+    (void)c1_.backward(ctx, g, dh);
+  }
+
+  std::vector<Param*> params() override {
+    auto p = c1_.params();
+    for (auto* q : c2_.params()) p.push_back(q);
+    return p;
+  }
+
+ private:
+  GinConv c1_, c2_;
+  std::vector<std::uint8_t> mask_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_model(ModelKind kind, int in_dim, int hidden,
+                                  int out_dim, Rng& rng) {
+  switch (kind) {
+    case ModelKind::kGcn:
+      return std::make_unique<TwoLayer<GcnConv>>(in_dim, hidden, out_dim,
+                                                 rng);
+    case ModelKind::kGat:
+      return std::make_unique<TwoLayer<GatConv>>(in_dim, hidden, out_dim,
+                                                 rng);
+    case ModelKind::kGin:
+      return std::make_unique<GinTwoLayer>(in_dim, hidden, out_dim, rng);
+  }
+  throw std::invalid_argument("make_model: unknown kind");
+}
+
+}  // namespace hg::nn

@@ -1,0 +1,218 @@
+// GCN, GIN and GAT convolutions and the two-layer models the paper trains
+// (Sec. 6: hidden width 64, 400 epochs), with hand-derived backward passes
+// expressed in the paper's own kernel vocabulary: SpMM for aggregation,
+// SpMM over A^T + SDDMM for the backward pass (Sec. 2.1.2), and the
+// edge-softmax kernel chain for GAT (Eq. 1).
+#pragma once
+
+#include <memory>
+
+#include "nn/linear.hpp"
+#include "nn/sparse_dispatch.hpp"
+
+namespace hg::nn {
+
+// ---------------------------------------------------------------------------
+// GCN (Eq. 2, right degree-norm): y = D^-1 A (x W + b)
+// ---------------------------------------------------------------------------
+class GcnConv {
+ public:
+  GcnConv(int in, int out, Rng& rng) : lin_(in, out, /*bias=*/true, rng) {}
+
+  MTensor forward(const SparseCtx& ctx, const GraphCtx& g, const MTensor& x) {
+    MTensor z = lin_.forward(ctx, x);
+    // DGL modes: sum + post degree-norm (overflows in half at hubs);
+    // HalfGNN: discretized-scaled mean — same math, protected range.
+    return spmm(ctx, g, nullptr, z, kernels::Reduce::kMean);
+  }
+
+  MTensor backward(const SparseCtx& ctx, const GraphCtx& g,
+                   const MTensor& dy) {
+    // d(D^-1 A z) / dz = A^T D^-1: scale rows by 1/deg, then SpMM-sum over
+    // the (symmetric) transpose.
+    MTensor t = to_dtype(dy, dy.dtype(), nullptr);
+    scale_rows(t, g.inv_deg(), ctx.ledger);
+    MTensor dz = spmm_transposed(ctx, g, nullptr, t, kernels::Reduce::kSum);
+    return lin_.backward(ctx, dz);
+  }
+
+  std::vector<Param*> params() { return lin_.params(); }
+
+ private:
+  Linear lin_;
+};
+
+// ---------------------------------------------------------------------------
+// GIN with DGL's 'mean' aggregation variant (Sec. 3.1.3(b)); HalfGNN uses
+// the paper's Eq. 4: h = MLP((1+eps) x + lambda * mean_agg(x)), lambda=0.1.
+// ---------------------------------------------------------------------------
+class GinConv {
+ public:
+  GinConv(int in, int hidden, int out, Rng& rng)
+      : mlp1_(in, hidden, true, rng), mlp2_(hidden, out, true, rng) {}
+
+  // Aggregation follows Sec. 3.1.3(b): the DGL modes use DGL's 'mean'
+  // reduction variant of GIN (plain Eq. 3 sums explode numerically on hub
+  // graphs even in float32) — implemented as sum + post degree-norm, which
+  // is exactly why DGL-half still overflows. HalfGNN uses Eq. 4:
+  // discretized mean plus the lambda damping.
+  MTensor forward(const SparseCtx& ctx, const GraphCtx& g, const MTensor& x) {
+    const bool eq4 = ctx.mode == SystemMode::kHalfGnn;
+    const float lambda = eq4 ? kLambda : 1.0f;
+    MTensor agg = spmm(ctx, g, nullptr, x, kernels::Reduce::kMean);
+    // comb = (1 + eps) x + lambda * agg  (eps = 0, DGL's default).
+    MTensor comb = agg;
+    axpby(x, 1.0f + kEps, comb, lambda, ctx.ledger);
+    MTensor h = mlp1_.forward(ctx, comb);
+    relu_forward(h, relu_mask_, ctx.ledger);
+    return mlp2_.forward(ctx, h);
+  }
+
+  MTensor backward(const SparseCtx& ctx, const GraphCtx& g,
+                   const MTensor& dout) {
+    const bool eq4 = ctx.mode == SystemMode::kHalfGnn;
+    const float lambda = eq4 ? kLambda : 1.0f;
+    MTensor dh = mlp2_.backward(ctx, dout);
+    relu_backward(dh, relu_mask_, ctx.ledger);
+    MTensor dcomb = mlp1_.backward(ctx, dh);
+    // dx = (1+eps) dcomb + lambda * MeanAgg^T(dcomb).
+    MTensor t = to_dtype(dcomb, dcomb.dtype(), nullptr);
+    scale_rows(t, g.inv_deg(), ctx.ledger);
+    MTensor dx = spmm_transposed(ctx, g, nullptr, t, kernels::Reduce::kSum);
+    axpby(dcomb, 1.0f + kEps, dx, lambda, ctx.ledger);
+    return dx;
+  }
+
+  std::vector<Param*> params() {
+    auto p = mlp1_.params();
+    for (auto* q : mlp2_.params()) p.push_back(q);
+    return p;
+  }
+
+  static constexpr float kEps = 0.0f;
+  static constexpr float kLambda = 0.1f;  // Eq. 4
+
+ private:
+  Linear mlp1_, mlp2_;
+  std::vector<std::uint8_t> relu_mask_;
+};
+
+// ---------------------------------------------------------------------------
+// GAT (Eq. 1, single head): z = xW; e = LeakyReLU(z a_l [row] + z a_r [col]);
+// alpha = edge_softmax(e); y = SpMMve(alpha, z).
+// ---------------------------------------------------------------------------
+class GatConv {
+ public:
+  GatConv(int in, int out, Rng& rng)
+      : lin_(in, out, /*bias=*/false, rng), al_(out, 1), ar_(out, 1) {
+    xavier_init(al_.master(), rng);
+    xavier_init(ar_.master(), rng);
+    // Gentle attention init: raw scores start near zero so the edge
+    // softmax starts near uniform (mean aggregation) instead of saturated.
+    for (auto& v : al_.master().f()) v *= 0.2f;
+    for (auto& v : ar_.master().f()) v *= 0.2f;
+  }
+
+  MTensor forward(const SparseCtx& ctx, const GraphCtx& g, const MTensor& x) {
+    z_ = lin_.forward(ctx, x);
+    MTensor el = MTensor::zeros(z_.dtype(), z_.rows(), 1);
+    MTensor er = MTensor::zeros(z_.dtype(), z_.rows(), 1);
+    gemm(z_, false, al_.working(ctx.mode, ctx.ledger), false, el,
+         ctx.ledger);
+    gemm(z_, false, ar_.working(ctx.mode, ctx.ledger), false, er,
+         ctx.ledger);
+    s_ = edge_add_scalars(ctx, g, el, er, kSlope);
+    MTensor mx = seg_reduce(ctx, g, s_, kernels::SegReduce::kMax);
+    MTensor p = edge_exp_sub_row(ctx, g, s_, mx);
+    MTensor d = seg_reduce(ctx, g, p, kernels::SegReduce::kSum);
+    alpha_ = edge_div_row(ctx, g, p, d);
+    if (ctx.meter != nullptr) {
+      // State tensors the backward pass holds on to.
+      ctx.meter->add_state(z_.bytes() + s_.bytes() + alpha_.bytes());
+    }
+    // alpha is a convex combination: SpMMve-sum cannot overflow.
+    return spmm(ctx, g, &alpha_, z_, kernels::Reduce::kSum);
+  }
+
+  MTensor backward(const SparseCtx& ctx, const GraphCtx& g,
+                   const MTensor& dy) {
+    // d alpha_e = dot(dy[row], z[col]) — the backward SDDMM (Sec. 2.1.2).
+    MTensor dalpha = sddmm(ctx, g, dy, z_);
+    // dz (aggregation term) = SpMMve(alpha, dy) over A^T.
+    MTensor dz = spmm_transposed(ctx, g, &alpha_, dy, kernels::Reduce::kSum);
+    // Softmax backward: ds = alpha * (dalpha - sum_row(alpha * dalpha)).
+    MTensor t = edge_mul(ctx, alpha_, dalpha);
+    MTensor csum = seg_reduce(ctx, g, t, kernels::SegReduce::kSum);
+    MTensor ds = edge_softmax_backward(ctx, g, alpha_, dalpha, csum);
+    // LeakyReLU backward (slope > 0, so sign(s) == sign(pre-activation)).
+    ds = edge_leaky_backward(ctx, s_, ds, kSlope);
+    // Score backward: del_i = sum_{row=i} ds; der_j = sum_{col=j} ds.
+    MTensor del = seg_reduce(ctx, g, ds, kernels::SegReduce::kSum);
+    MTensor ds_rev = edge_permute(ctx, ds, g.rev_perm());
+    MTensor der = seg_reduce(ctx, g, ds_rev, kernels::SegReduce::kSum);
+    // Attention-vector gradients (float accumulate).
+    {
+      MTensor dal = MTensor::f32(al_.master().rows(), 1);
+      gemm(z_, true, del, false, dal, ctx.ledger);
+      axpby(dal, 1.0f, al_.grad(), 1.0f, nullptr);
+      MTensor dar = MTensor::f32(ar_.master().rows(), 1);
+      gemm(z_, true, der, false, dar, ctx.ledger);
+      axpby(dar, 1.0f, ar_.grad(), 1.0f, nullptr);
+    }
+    // dz += del a_l^T + der a_r^T (rank-1 updates).
+    {
+      MTensor r1 = MTensor::zeros(dz.dtype(), dz.rows(), dz.cols());
+      gemm(del, false, al_.working(ctx.mode, ctx.ledger), true, r1,
+           ctx.ledger);
+      axpby(r1, 1.0f, dz, 1.0f, ctx.ledger);
+      MTensor r2 = MTensor::zeros(dz.dtype(), dz.rows(), dz.cols());
+      gemm(der, false, ar_.working(ctx.mode, ctx.ledger), true, r2,
+           ctx.ledger);
+      axpby(r2, 1.0f, dz, 1.0f, ctx.ledger);
+    }
+    return lin_.backward(ctx, dz);
+  }
+
+  std::vector<Param*> params() {
+    auto p = lin_.params();
+    p.push_back(&al_);
+    p.push_back(&ar_);
+    return p;
+  }
+
+  static constexpr float kSlope = 0.2f;
+
+ private:
+  Linear lin_;
+  Param al_, ar_;
+  MTensor z_, s_, alpha_;
+};
+
+// ---------------------------------------------------------------------------
+// Two-layer models (hidden = 64, as in Sec. 6)
+// ---------------------------------------------------------------------------
+enum class ModelKind { kGcn, kGat, kGin };
+
+inline const char* model_name(ModelKind k) {
+  switch (k) {
+    case ModelKind::kGcn: return "GCN";
+    case ModelKind::kGat: return "GAT";
+    case ModelKind::kGin: return "GIN";
+  }
+  return "?";
+}
+
+class Model {
+ public:
+  virtual ~Model() = default;
+  virtual MTensor forward(const SparseCtx& ctx, const GraphCtx& g,
+                          const MTensor& x) = 0;
+  virtual void backward(const SparseCtx& ctx, const GraphCtx& g,
+                        const MTensor& dlogits) = 0;
+  virtual std::vector<Param*> params() = 0;
+};
+
+std::unique_ptr<Model> make_model(ModelKind kind, int in_dim, int hidden,
+                                  int out_dim, Rng& rng);
+
+}  // namespace hg::nn

@@ -1,0 +1,255 @@
+#include "nn/sparse_dispatch.hpp"
+
+#include <stdexcept>
+
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "tensor/dense_ops.hpp"
+
+namespace hg::nn {
+
+namespace {
+
+void charge(const SparseCtx& ctx, const simt::KernelStats& ks) {
+  if (ctx.ledger != nullptr) ctx.ledger->add_sparse(ks);
+}
+
+// kDglHalf promotion helper: run `f32_op` on a half tensor through the AMP
+// float round trip, charging both conversions.
+template <class F32Op>
+MTensor promoted(const SparseCtx& ctx, const MTensor& in, F32Op&& op) {
+  MTensor in_f = to_dtype(in, Dtype::kF32, ctx.ledger);
+  MTensor out_f = op(in_f);
+  return to_dtype(out_f, Dtype::kF16, ctx.ledger);
+}
+
+}  // namespace
+
+MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
+             const MTensor& x, kernels::Reduce reduce) {
+  const std::int64_t feat = x.cols();
+  MTensor y = MTensor::zeros(x.dtype(), g.n(), feat);
+  switch (ctx.mode) {
+    case SystemMode::kDglFloat: {
+      charge(ctx, kernels::spmm_cusparse_f32(
+                      *ctx.spec, ctx.profiled, g.view(),
+                      edge_w != nullptr ? edge_w->f()
+                                        : std::span<const float>{},
+                      x.f(), y.f(), static_cast<int>(feat), reduce));
+      break;
+    }
+    case SystemMode::kDglHalf: {
+      charge(ctx, kernels::spmm_cusparse_f16(
+                      *ctx.spec, ctx.profiled, g.view(),
+                      edge_w != nullptr ? edge_w->h()
+                                        : std::span<const half_t>{},
+                      x.h(), y.h(), static_cast<int>(feat), reduce));
+      break;
+    }
+    case SystemMode::kHalfGnn: {
+      kernels::HalfgnnSpmmOpts opts;
+      opts.reduce = reduce;
+      opts.scale = kernels::ScaleMode::kDiscretized;
+      charge(ctx, kernels::spmm_halfgnn(
+                      *ctx.spec, ctx.profiled, g.view(),
+                      edge_w != nullptr ? edge_w->h()
+                                        : std::span<const half_t>{},
+                      x.h(), y.h(), static_cast<int>(feat), opts));
+      break;
+    }
+  }
+  return y;
+}
+
+MTensor spmm_transposed(const SparseCtx& ctx, const GraphCtx& g,
+                        const MTensor* edge_w, const MTensor& x,
+                        kernels::Reduce reduce) {
+  if (edge_w == nullptr) {
+    return spmm(ctx, g, nullptr, x, reduce);  // symmetric topology
+  }
+  MTensor wp = edge_permute(ctx, *edge_w, g.rev_perm());
+  return spmm(ctx, g, &wp, x, reduce);
+}
+
+MTensor sddmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor& a,
+              const MTensor& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("sddmm: feature width mismatch");
+  }
+  const int feat = static_cast<int>(a.cols());
+  MTensor out = MTensor::zeros(a.dtype(), g.m(), 1);
+  switch (ctx.mode) {
+    case SystemMode::kDglFloat:
+      charge(ctx, kernels::sddmm_dgl_f32(*ctx.spec, ctx.profiled, g.view(),
+                                         a.f(), b.f(), out.f(), feat));
+      break;
+    case SystemMode::kDglHalf:
+      charge(ctx, kernels::sddmm_dgl_f16(*ctx.spec, ctx.profiled, g.view(),
+                                         a.h(), b.h(), out.h(), feat));
+      break;
+    case SystemMode::kHalfGnn:
+      charge(ctx, kernels::sddmm_halfgnn(*ctx.spec, ctx.profiled, g.view(),
+                                         a.h(), b.h(), out.h(), feat,
+                                         kernels::SddmmVec::kHalf8));
+      break;
+  }
+  return out;
+}
+
+MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
+                   const MTensor& edge_vals, kernels::SegReduce reduce) {
+  if (ctx.mode == SystemMode::kDglFloat) {
+    MTensor out = MTensor::f32(g.n(), 1);
+    charge(ctx, kernels::edge_segment_reduce_f32(*ctx.spec, ctx.profiled,
+                                                 g.view(), edge_vals.f(),
+                                                 out.f(), reduce));
+    return out;
+  }
+  if (ctx.mode == SystemMode::kDglHalf &&
+      reduce == kernels::SegReduce::kSum) {
+    // AMP: 'sum' is float-promoted.
+    return promoted(ctx, edge_vals, [&](const MTensor& in_f) {
+      MTensor out = MTensor::f32(g.n(), 1);
+      charge(ctx, kernels::edge_segment_reduce_f32(*ctx.spec, ctx.profiled,
+                                                   g.view(), in_f.f(),
+                                                   out.f(), reduce));
+      return out;
+    });
+  }
+  MTensor out = MTensor::f16(g.n(), 1);
+  charge(ctx, kernels::edge_segment_reduce_f16(*ctx.spec, ctx.profiled,
+                                               g.view(), edge_vals.h(),
+                                               out.h(), reduce));
+  return out;
+}
+
+MTensor edge_add_scalars(const SparseCtx& ctx, const GraphCtx& g,
+                         const MTensor& el, const MTensor& er, float slope) {
+  if (ctx.mode == SystemMode::kDglFloat) {
+    MTensor out = MTensor::f32(g.m(), 1);
+    charge(ctx, kernels::edge_add_scalars_f32(*ctx.spec, ctx.profiled,
+                                              g.view(), el.f(), er.f(),
+                                              out.f(), slope));
+    return out;
+  }
+  MTensor out = MTensor::f16(g.m(), 1);
+  charge(ctx,
+         kernels::edge_add_scalars_f16(*ctx.spec, ctx.profiled, g.view(),
+                                       el.h(), er.h(), out.h(), slope));
+  return out;
+}
+
+MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
+                         const MTensor& vals, const MTensor& rowv) {
+  switch (ctx.mode) {
+    case SystemMode::kDglFloat: {
+      MTensor out = MTensor::f32(g.m(), 1);
+      charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.spec, ctx.profiled,
+                                                g.view(), vals.f(),
+                                                rowv.f(), out.f()));
+      return out;
+    }
+    case SystemMode::kDglHalf: {
+      // AMP promotes exp: both operands ride to float, the result rides
+      // back (the exact churn Sec. 3.1.2 dissects).
+      MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
+      return promoted(ctx, vals, [&](const MTensor& vals_f) {
+        MTensor out = MTensor::f32(g.m(), 1);
+        charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.spec, ctx.profiled,
+                                                  g.view(), vals_f.f(),
+                                                  rowv_f.f(), out.f()));
+        return out;
+      });
+    }
+    case SystemMode::kHalfGnn: {
+      // Shadow exp (Sec. 5.3): vals - rowmax <= 0, so half is safe.
+      MTensor out = MTensor::f16(g.m(), 1);
+      charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.spec, ctx.profiled,
+                                                g.view(), vals.h(),
+                                                rowv.h(), out.h()));
+      return out;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+MTensor edge_div_row(const SparseCtx& ctx, const GraphCtx& g,
+                     const MTensor& vals, const MTensor& rowv) {
+  if (ctx.mode == SystemMode::kDglFloat) {
+    MTensor out = MTensor::f32(g.m(), 1);
+    charge(ctx, kernels::edge_div_row_f32(*ctx.spec, ctx.profiled, g.view(),
+                                          vals.f(), rowv.f(), out.f()));
+    return out;
+  }
+  // Inputs may arrive in float (post-promotion); bring them home to half
+  // first — DGL does exactly this to invoke its half kernels (Sec. 3.1.2).
+  const MTensor vh = vals.dtype() == Dtype::kF16
+                         ? to_dtype(vals, Dtype::kF16, nullptr)
+                         : to_dtype(vals, Dtype::kF16, ctx.ledger);
+  const MTensor rh = rowv.dtype() == Dtype::kF16
+                         ? to_dtype(rowv, Dtype::kF16, nullptr)
+                         : to_dtype(rowv, Dtype::kF16, ctx.ledger);
+  MTensor out = MTensor::f16(g.m(), 1);
+  charge(ctx, kernels::edge_div_row_f16(*ctx.spec, ctx.profiled, g.view(),
+                                        vh.h(), rh.h(), out.h()));
+  return out;
+}
+
+MTensor edge_mul(const SparseCtx& ctx, const MTensor& a, const MTensor& b) {
+  MTensor out = MTensor::zeros(a.dtype(), a.rows(), a.cols());
+  if (a.dtype() == Dtype::kF32) {
+    charge(ctx, kernels::edge_mul_f32(*ctx.spec, ctx.profiled, a.f(), b.f(),
+                                      out.f()));
+  } else {
+    charge(ctx, kernels::edge_mul_f16(*ctx.spec, ctx.profiled, a.h(), b.h(),
+                                      out.h()));
+  }
+  return out;
+}
+
+MTensor edge_softmax_backward(const SparseCtx& ctx, const GraphCtx& g,
+                              const MTensor& alpha, const MTensor& dalpha,
+                              const MTensor& c) {
+  MTensor out = MTensor::zeros(alpha.dtype(), alpha.rows(), 1);
+  if (alpha.dtype() == Dtype::kF32) {
+    charge(ctx, kernels::edge_softmax_backward_f32(
+                    *ctx.spec, ctx.profiled, g.view(), alpha.f(),
+                    dalpha.f(), c.f(), out.f()));
+  } else {
+    charge(ctx, kernels::edge_softmax_backward_f16(
+                    *ctx.spec, ctx.profiled, g.view(), alpha.h(),
+                    dalpha.h(), c.h(), out.h()));
+  }
+  return out;
+}
+
+MTensor edge_leaky_backward(const SparseCtx& ctx, const MTensor& pre,
+                            const MTensor& grad, float slope) {
+  MTensor out = MTensor::zeros(grad.dtype(), grad.rows(), 1);
+  if (grad.dtype() == Dtype::kF32) {
+    charge(ctx, kernels::edge_leaky_backward_f32(*ctx.spec, ctx.profiled,
+                                                 pre.f(), grad.f(), out.f(),
+                                                 slope));
+  } else {
+    charge(ctx, kernels::edge_leaky_backward_f16(*ctx.spec, ctx.profiled,
+                                                 pre.h(), grad.h(), out.h(),
+                                                 slope));
+  }
+  return out;
+}
+
+MTensor edge_permute(const SparseCtx& ctx, const MTensor& in,
+                     std::span<const eid_t> perm) {
+  MTensor out = MTensor::zeros(in.dtype(), in.rows(), in.cols());
+  if (in.dtype() == Dtype::kF32) {
+    charge(ctx, kernels::edge_permute_f32(*ctx.spec, ctx.profiled, in.f(),
+                                          perm, out.f()));
+  } else {
+    charge(ctx, kernels::edge_permute_f16(*ctx.spec, ctx.profiled, in.h(),
+                                          perm, out.h()));
+  }
+  return out;
+}
+
+}  // namespace hg::nn

@@ -1,0 +1,142 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/dense_ops.hpp"
+
+namespace hg::nn {
+
+TrainConfig default_config(ModelKind kind) {
+  TrainConfig cfg;
+  switch (kind) {
+    case ModelKind::kGcn:
+      cfg.lr = 0.01f;
+      break;
+    case ModelKind::kGat:
+      cfg.lr = 0.005f;
+      break;
+    case ModelKind::kGin:
+      cfg.lr = 0.01f;
+      break;
+  }
+  return cfg;
+}
+
+namespace {
+
+// Fig. 6 memory model (full details in EXPERIMENTS.md): DGL materializes
+// COO + CSR + CSC and carries measured framework overhead on its state
+// tensors [GNNBench]; HalfGNN keeps COO + CSR plus its small staging
+// workspace.
+void fill_memory_model(MemoryMeter& m, SystemMode mode, const Dataset& d,
+                       int hidden) {
+  const auto e = static_cast<std::uint64_t>(d.num_edges());
+  const auto n = static_cast<std::uint64_t>(d.num_vertices());
+  const std::uint64_t coo = 2 * 4 * e;
+  const std::uint64_t csr = 4 * e + 8 * (n + 1);
+  if (mode == SystemMode::kHalfGnn) {
+    m.graph_bytes = coo + csr;
+    const auto ctas = static_cast<std::uint64_t>(
+        kernels::num_ctas_for_edges(d.num_edges()));
+    m.workspace_bytes = ctas * static_cast<std::uint64_t>(hidden) * 2 + ctas * 4;
+    m.framework_overhead = 0;
+  } else {
+    m.graph_bytes = coo + 2 * csr;  // + CSC
+    m.workspace_bytes = 0;
+    m.framework_overhead =
+        static_cast<std::uint64_t>(0.35 * static_cast<double>(m.state_bytes));
+  }
+}
+
+}  // namespace
+
+TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
+                  const TrainConfig& cfg) {
+  if (!d.labeled) {
+    throw std::invalid_argument("train: dataset has no labels/features");
+  }
+  Rng rng(cfg.seed);
+  GraphCtx g(d.csr, d.coo);
+  const int classes = d.num_classes;
+  const int out_dim = pad_feat(classes);  // feature padding for half kernels
+  auto model = make_model(kind, d.feat_dim, cfg.hidden, out_dim, rng);
+
+  // Input features, cast once to the working dtype (a one-time cost, not
+  // part of the per-epoch ledger).
+  MTensor x_master = MTensor::f32(d.num_vertices(), d.feat_dim);
+  std::copy(d.features.begin(), d.features.end(), x_master.f().begin());
+  MTensor x = mode == SystemMode::kDglFloat
+                  ? std::move(x_master)
+                  : to_dtype(x_master, Dtype::kF16, nullptr);
+
+  const bool half = mode != SystemMode::kDglFloat;
+  amp::GradScaler scaler;
+  TrainResult res;
+  int adam_t = 0;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    SparseCtx ctx;
+    ctx.mode = mode;
+    ctx.profiled = cfg.profile_first_epoch && epoch == 0;
+    ctx.ledger = ctx.profiled ? &res.epoch_ledger : nullptr;
+    ctx.meter = epoch == 0 ? &res.memory : nullptr;
+    if (ctx.ledger != nullptr) {
+      // Framework dispatch per launched kernel: DGL's Python/op overhead
+      // (GNNBench) vs HalfGNN's leaner integrated path.
+      ctx.ledger->dispatch_us_per_kernel =
+          mode == SystemMode::kHalfGnn ? 10.0 : 25.0;
+    }
+
+    for (auto* p : model->params()) p->zero_grad();
+
+    MTensor logits = model->forward(ctx, g, x);
+    const float gscale = half ? scaler.scale() : 1.0f;
+    MTensor dlogits;
+    const LossResult lr = softmax_xent(logits, d.labels, d.train_mask,
+                                       /*use_masked=*/true, classes, gscale,
+                                       &dlogits, ctx.ledger);
+    model->backward(ctx, g, dlogits);
+
+    const float inv_scale = 1.0f / gscale;
+    bool nonfinite = false;
+    for (auto* p : model->params()) {
+      nonfinite = nonfinite || p->grad_nonfinite(inv_scale);
+    }
+    const bool do_step = half ? scaler.update(nonfinite) : !nonfinite;
+    if (do_step) {
+      ++adam_t;
+      for (auto* p : model->params()) {
+        p->adam_step(cfg.lr, 0.9f, 0.999f, 1e-8f, inv_scale, adam_t);
+      }
+    }
+
+    res.losses.push_back(lr.loss);
+    if (std::isnan(lr.loss)) ++res.nan_loss_epochs;
+    const double acc =
+        masked_accuracy(logits, d.labels, d.train_mask, 0, classes);
+    res.test_accs.push_back(acc);
+    res.best_test_acc = std::max(res.best_test_acc, acc);
+    if (cfg.verbose && epoch % 10 == 0) {
+      std::printf("[%s/%s] epoch %3d loss %.4f test-acc %.4f scale %g\n",
+                  model_name(kind), mode_name(mode), epoch, lr.loss, acc,
+                  static_cast<double>(gscale));
+    }
+  }
+  res.final_test_acc = res.test_accs.empty() ? 0.0 : res.test_accs.back();
+  res.scaler_skipped = scaler.skipped_steps();
+
+  // Parameter + input memory.
+  for (auto* p : model->params()) {
+    res.memory.param_bytes += p->master_bytes();
+  }
+  res.memory.add_state(x.bytes());
+  if (mode == SystemMode::kDglHalf) {
+    // DGL retains the original float features next to the half copy.
+    res.memory.add_state(x.numel() * 4);
+  }
+  fill_memory_model(res.memory, mode, d, cfg.hidden);
+  return res;
+}
+
+}  // namespace hg::nn

@@ -1,0 +1,40 @@
+// Full-batch transductive training loop with mixed-precision semantics:
+// float master weights + Adam (Micikevicius et al.), dynamic loss scaling,
+// NaN-skip steps, per-epoch cost ledger (Fig. 7/8), and the memory meter
+// (Fig. 6).
+#pragma once
+
+#include "amp/amp.hpp"
+#include "nn/models.hpp"
+
+namespace hg::nn {
+
+struct TrainConfig {
+  int epochs = 200;
+  float lr = 0.01f;
+  int hidden = 64;  // the paper's intermediate feature length
+  std::uint64_t seed = 42;
+  // Run epoch 0 under the SIMT cost model to obtain the per-epoch modeled
+  // time (identical numerics; the model is shape-deterministic so one
+  // epoch's cost represents them all).
+  bool profile_first_epoch = false;
+  bool verbose = false;
+};
+
+TrainConfig default_config(ModelKind kind);
+
+struct TrainResult {
+  double final_test_acc = 0;
+  double best_test_acc = 0;
+  std::vector<double> losses;    // per-epoch train loss (NaN stays NaN)
+  std::vector<double> test_accs;
+  int scaler_skipped = 0;   // optimizer steps skipped on non-finite grads
+  int nan_loss_epochs = 0;  // epochs whose loss was NaN (Fig. 1c mechanism)
+  CostLedger epoch_ledger;  // one epoch's modeled cost, if profiled
+  MemoryMeter memory;
+};
+
+TrainResult train(ModelKind kind, SystemMode mode, const Dataset& data,
+                  const TrainConfig& cfg);
+
+}  // namespace hg::nn

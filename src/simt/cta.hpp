@@ -1,0 +1,107 @@
+// Cta<Profiled>: a cooperative thread array (thread block) of warps plus a
+// shared-memory arena.
+//
+// Kernels are phase-structured: each CTA-barrier-separated region is
+// expressed as one `for_each_warp` call, with `barrier()` between regions —
+// the simulator equivalent of __syncthreads(). Per-warp state that must
+// survive across phases lives in kernel-owned arrays indexed by warp id, or
+// in the shared arena, exactly as it would on the GPU.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "simt/warp.hpp"
+
+namespace hg::simt {
+
+template <bool Profiled>
+class Cta {
+ public:
+  // A100 shared memory: up to 164 KB per SM; we give each CTA the full
+  // carveout and enforce the capacity like the hardware would.
+  Cta(const DeviceSpec& spec, KernelStats& ks, int cta_id, int num_warps,
+      std::size_t smem_bytes = 164 * 1024)
+      : spec_(spec), cta_id_(cta_id), smem_(smem_bytes) {
+    warps_.reserve(static_cast<std::size_t>(num_warps));
+    for (int w = 0; w < num_warps; ++w) {
+      warps_.push_back(std::make_unique<Warp<Profiled>>(spec, ks, w, cta_id));
+    }
+    if constexpr (Profiled) ks_ = &ks;
+  }
+
+  int cta_id() const noexcept { return cta_id_; }
+  int num_warps() const noexcept { return static_cast<int>(warps_.size()); }
+  Warp<Profiled>& warp(int i) { return *warps_[static_cast<std::size_t>(i)]; }
+
+  // Bump-allocate a typed array from the shared-memory arena. Arena
+  // contents persist for the CTA's lifetime (across phases), like real
+  // __shared__ declarations.
+  template <class T>
+  std::span<T> shared(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "shared memory holds PODs only");
+    const std::size_t align = alignof(T) < 8 ? 8 : alignof(T);
+    smem_used_ = (smem_used_ + align - 1) / align * align;
+    const std::size_t bytes = n * sizeof(T);
+    if (smem_used_ + bytes > smem_.size()) {
+      throw std::runtime_error(
+          "Cta::shared: shared-memory capacity exceeded (164 KB)");
+    }
+    T* p = reinterpret_cast<T*>(smem_.data() + smem_used_);
+    smem_used_ += bytes;
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T{};
+    return {p, n};
+  }
+
+  // Run `f(Warp&)` for every warp of the CTA (one barrier-free phase).
+  template <class F>
+  void for_each_warp(F&& f) {
+    for (auto& w : warps_) f(*w);
+  }
+
+  // __syncthreads(): all warps advance to the slowest warp, plus the
+  // barrier cost; pending load latency is exposed.
+  void barrier() {
+    for (auto& w : warps_) w->sync();
+    if constexpr (Profiled) {
+      double mi = 0, mm = 0, ms = 0;
+      for (auto& w : warps_) {
+        mi = std::max(mi, w->issue_cycles());
+        mm = std::max(mm, w->mem_cycles());
+        ms = std::max(ms, w->stall_cycles());
+      }
+      for (auto& w : warps_) {
+        w->align_to(mi + spec_.cta_barrier_cycles, mm, ms);
+      }
+      ks_->cta_barriers += 1;
+    }
+  }
+
+  // Final sync; returns (work = issue+mem, stall) of the CTA critical path.
+  std::pair<double, double> finish() {
+    double max_work = 0, max_stall = 0;
+    for (auto& w : warps_) {
+      w->finish();
+      max_work = std::max(max_work, w->busy_cycles());
+      max_stall = std::max(max_stall, w->stall_cycles());
+    }
+    return {max_work, max_stall};
+  }
+
+ private:
+  const DeviceSpec& spec_;
+  int cta_id_;
+  // unique_ptr because Warp is non-copyable and non-movable by design.
+  std::vector<std::unique_ptr<Warp<Profiled>>> warps_;
+  std::vector<std::byte> smem_;
+  std::size_t smem_used_ = 0;
+  KernelStats* ks_ = nullptr;
+};
+
+}  // namespace hg::simt

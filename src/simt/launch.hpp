@@ -1,0 +1,100 @@
+// Kernel launch + device-level scheduling model.
+//
+// CTAs are distributed round-robin over SMs; each SM overlaps up to
+// `max_concurrent_ctas_per_sm` resident CTAs, which hides stall (latency)
+// cycles but cannot compress issue (busy) cycles. The final kernel time is
+// additionally clamped by peak DRAM bandwidth, from which the NCU-style
+// utilization percentages are derived.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "simt/cta.hpp"
+
+namespace hg::simt {
+
+struct LaunchCfg {
+  int ctas = 1;
+  int warps_per_cta = 4;
+};
+
+namespace detail {
+
+inline void finalize(KernelStats& ks, const DeviceSpec& spec,
+                     const std::vector<std::pair<double, double>>& cta_cost) {
+  const int sms =
+      std::min<int>(spec.num_sms,
+                    std::max<int>(1, static_cast<int>(cta_cost.size())));
+  std::vector<double> sm_busy(static_cast<std::size_t>(sms), 0.0);
+  std::vector<double> sm_stall(static_cast<std::size_t>(sms), 0.0);
+  for (std::size_t c = 0; c < cta_cost.size(); ++c) {
+    sm_busy[c % static_cast<std::size_t>(sms)] += cta_cost[c].first;
+    sm_stall[c % static_cast<std::size_t>(sms)] += cta_cost[c].second;
+  }
+  const double conc = std::max(
+      1.0,
+      std::min({static_cast<double>(spec.max_concurrent_ctas_per_sm),
+                static_cast<double>(cta_cost.size()) / sms,
+                spec.stall_hide}));
+  double sched_cycles = 0;
+  for (std::size_t s = 0; s < sm_busy.size(); ++s) {
+    // Concurrent CTAs hide each other's stalls but contend for issue slots.
+    sched_cycles = std::max(sched_cycles, sm_busy[s] + sm_stall[s] / conc);
+  }
+  sched_cycles += spec.launch_overhead_cycles;
+
+  // DRAM bandwidth clamp.
+  const double bw_bytes_per_cycle = spec.peak_bw_gbps / spec.clock_ghz;
+  const double bw_cycles =
+      static_cast<double>(ks.bytes_moved) / bw_bytes_per_cycle;
+  ks.device_cycles = std::max(sched_cycles, bw_cycles);
+  ks.time_ms = spec.cycles_to_ms(ks.device_cycles);
+
+  ks.bw_utilization =
+      ks.device_cycles > 0
+          ? static_cast<double>(ks.bytes_moved) /
+                (ks.device_cycles * bw_bytes_per_cycle)
+          : 0.0;
+  // SM utilization (NCU "SM %" analogue): occupancy of the issue + memory
+  // pipes of the resident warps, excluding time spent *waiting* on
+  // contended atomics (the warp occupies no pipe while its CAS retries).
+  const double capacity =
+      ks.device_cycles * sms * std::max(1, ks.warps_per_cta);
+  ks.sm_utilization =
+      capacity > 0
+          ? std::min(1.0, (ks.issue_cycles + ks.mem_cycles -
+                           ks.atomic_wait_cycles) /
+                              capacity)
+          : 0.0;
+}
+
+}  // namespace detail
+
+// Execute `body(Cta&)` for every CTA. With Profiled=true, returns the full
+// cost model evaluation; with Profiled=false, runs the same numerics at
+// full host speed and returns a stats object holding only the name.
+template <bool Profiled, class Body>
+KernelStats launch(const DeviceSpec& spec, std::string name, LaunchCfg cfg,
+                   Body&& body) {
+  KernelStats ks;
+  ks.name = std::move(name);
+  ks.ctas = cfg.ctas;
+  ks.warps_per_cta = cfg.warps_per_cta;
+
+  std::vector<std::pair<double, double>> cta_cost;
+  if constexpr (Profiled) {
+    cta_cost.reserve(static_cast<std::size_t>(cfg.ctas));
+  }
+  for (int c = 0; c < cfg.ctas; ++c) {
+    Cta<Profiled> cta(spec, ks, c, cfg.warps_per_cta);
+    body(cta);
+    auto cost = cta.finish();
+    if constexpr (Profiled) cta_cost.push_back(cost);
+  }
+  if constexpr (Profiled) detail::finalize(ks, spec, cta_cost);
+  return ks;
+}
+
+}  // namespace hg::simt

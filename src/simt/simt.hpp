@@ -1,0 +1,42 @@
+// Umbrella header for the SIMT execution simulator.
+#pragma once
+
+#include "simt/cta.hpp"     // IWYU pragma: export
+#include "simt/launch.hpp"  // IWYU pragma: export
+#include "simt/spec.hpp"    // IWYU pragma: export
+#include "simt/stats.hpp"   // IWYU pragma: export
+#include "simt/warp.hpp"    // IWYU pragma: export
+
+namespace hg::simt {
+
+// Reinterpret a scalar buffer as a vector-typed buffer, enforcing the GPU
+// alignment/size contract (paper Sec. 5.1.2: a half* may be re-typed to
+// half2*/half4*/half8* when the array size is a multiple of 2/4/8 and the
+// base address is suitably aligned — feature padding guarantees this).
+template <class V, class T>
+std::span<const V> as_vec(std::span<const T> s) {
+  static_assert(sizeof(V) % sizeof(T) == 0);
+  constexpr std::size_t k = sizeof(V) / sizeof(T);
+  if (s.size() % k != 0) {
+    throw std::invalid_argument("as_vec: size not a multiple of vector width");
+  }
+  if (reinterpret_cast<std::uintptr_t>(s.data()) % sizeof(V) != 0) {
+    throw std::invalid_argument("as_vec: misaligned base address");
+  }
+  return {reinterpret_cast<const V*>(s.data()), s.size() / k};
+}
+
+template <class V, class T>
+std::span<V> as_vec_mut(std::span<T> s) {
+  static_assert(sizeof(V) % sizeof(T) == 0);
+  constexpr std::size_t k = sizeof(V) / sizeof(T);
+  if (s.size() % k != 0) {
+    throw std::invalid_argument("as_vec: size not a multiple of vector width");
+  }
+  if (reinterpret_cast<std::uintptr_t>(s.data()) % sizeof(V) != 0) {
+    throw std::invalid_argument("as_vec: misaligned base address");
+  }
+  return {reinterpret_cast<V*>(s.data()), s.size() / k};
+}
+
+}  // namespace hg::simt

@@ -1,0 +1,87 @@
+// DeviceSpec: the cost-model parameters of the simulated GPU.
+//
+// Calibrated to an A100-40GB-like part (the paper's testbed): 108 SMs at
+// 1.41 GHz, 1555 GB/s HBM, 32-byte memory sectors, 32-lane warps. The
+// per-instruction-class costs are the knobs the whole performance model
+// hangs off; they are chosen so that
+//   - a fully vectorized streaming kernel is bandwidth-bound (~80% BW),
+//   - a scalar-load kernel is issue-bound (~half the instruction-issue rate
+//     wasted re-describing the same sectors),
+//   - atomics serialize under contention, with 16-bit atomics paying the
+//     CAS-loop penalty the paper measures (Sec. 3.1.1, 6.3.2).
+#pragma once
+
+#include <cstdint>
+
+namespace hg::simt {
+
+// Instruction classes the cost model distinguishes. Arithmetic classes
+// mirror Fig. 3 of the paper: the implicit-conversion path (a), the
+// intrinsic scalar-half path (b), and the packed half2 path (c).
+enum class Op : std::uint8_t {
+  kFloatAlu,     // one f32 op (add/mul/fma count as one issue)
+  kHalfNaive,    // half op via implicit conversion: cvt, cvt, f32 op, cvt
+  kHalfIntrin,   // CUDA intrinsic scalar-half op: one issue, one lane-op
+  kHalf2,        // packed half2 op: one issue, two lane-ops
+  kCvt,          // explicit data-type conversion instruction
+  kIntAlu,       // address / index arithmetic
+  kSpecial,      // exp, rsqrt, ... (SFU)
+};
+
+struct DeviceSpec {
+  // Machine shape.
+  int num_sms = 108;
+  int warp_size = 32;
+  int max_concurrent_ctas_per_sm = 4;   // occupancy proxy
+  int max_warps_per_sm = 32;            // for SM-utilization normalization
+  double clock_ghz = 1.41;
+  double peak_bw_gbps = 1555.0;
+  int sector_bytes = 32;                // DRAM transaction granularity
+  int max_sectors_per_instr = 16;       // one 512B half8 warp load
+
+  // Memory-system costs (cycles, per warp).
+  double ld_issue_cycles = 4.0;    // fixed cost of one load/store instruction
+  // Chosen so a resident CTA (4 warps) doing nothing but loads exactly
+  // saturates device DRAM bandwidth: 4 x 32 B / 12.5 cy = 10.2 B/cy/SM.
+  double sector_cycles = 12.5;
+  double load_latency = 380.0;     // exposed once per sync with pending loads
+  // Steady-state MSHR pressure: every global-load *instruction* holds a
+  // miss slot; with a finite slot pool each additional load instruction
+  // costs amortized stall. This is what rewards wide (vectorized) loads:
+  // the same bytes in fewer instructions stall less (Sec. 5.1.1).
+  double ld_pipeline_stall = 70.0;
+  double smem_cycles = 2.0;        // one shared-memory access instruction
+  double shfl_cycles = 12.0;       // one warp-shuffle round (also a sync)
+  double cta_barrier_cycles = 30.0;
+  // How much of stall time concurrent CTAs can hide (1 = none).
+  double stall_hide = 3.0;
+
+  // Arithmetic costs (cycles per warp instruction).
+  double alu_cycles = 1.0;      // f32 / intrinsic-half / half2 / int
+  double cvt_cycles = 1.0;      // data-type conversion
+  double special_cycles = 4.0;  // SFU ops (exp, rsqrt)
+
+  // Atomics (cycles per warp atomic instruction, before serialization).
+  double atomic_cycles = 30.0;
+  // 16-bit atomics compile to a CAS loop on the containing 32-bit word;
+  // the paper measures them as substantially more costly than f32 atomics.
+  double atomic_half_penalty = 4.0;
+  // Additional serialization: lanes hitting the same word execute one at a
+  // time; cost multiplies by the max same-address group size.
+
+  // Kernel launch overhead (cycles, added once per launch). Makes the
+  // follow-up staging kernel a real (small) cost, as in the paper.
+  double launch_overhead_cycles = 1200.0;
+
+  double cycles_to_ms(double cycles) const {
+    return cycles / (clock_ghz * 1e6);
+  }
+};
+
+// The default device every bench uses.
+inline const DeviceSpec& a100_spec() {
+  static const DeviceSpec spec{};
+  return spec;
+}
+
+}  // namespace hg::simt

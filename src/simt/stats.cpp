@@ -1,0 +1,44 @@
+#include "simt/stats.hpp"
+
+#include <ostream>
+
+namespace hg::simt {
+
+KernelStats& KernelStats::operator+=(const KernelStats& o) {
+  device_cycles += o.device_cycles;
+  time_ms += o.time_ms;
+  bytes_moved += o.bytes_moved;
+  useful_bytes += o.useful_bytes;
+  ld_instrs += o.ld_instrs;
+  st_instrs += o.st_instrs;
+  sectors += o.sectors;
+  alu_instrs += o.alu_instrs;
+  lane_ops += o.lane_ops;
+  cvt_instrs += o.cvt_instrs;
+  smem_instrs += o.smem_instrs;
+  shfl_instrs += o.shfl_instrs;
+  cta_barriers += o.cta_barriers;
+  atomic_instrs += o.atomic_instrs;
+  atomic_serialized += o.atomic_serialized;
+  issue_cycles += o.issue_cycles;
+  mem_cycles += o.mem_cycles;
+  stall_cycles += o.stall_cycles;
+  atomic_wait_cycles += o.atomic_wait_cycles;
+  warp_busy_cycles += o.warp_busy_cycles;
+  return *this;
+}
+
+std::ostream& operator<<(std::ostream& os, const KernelStats& s) {
+  os << "[" << s.name << "] time=" << s.time_ms << "ms"
+     << " cycles=" << s.device_cycles << " bytes=" << s.bytes_moved
+     << " (useful " << s.useful_bytes << ")"
+     << " ld=" << s.ld_instrs << " st=" << s.st_instrs
+     << " alu=" << s.alu_instrs << " shfl=" << s.shfl_instrs
+     << " atomics=" << s.atomic_instrs << "(+" << s.atomic_serialized
+     << " serialized)"
+     << " bw%=" << s.bw_utilization * 100.0
+     << " sm%=" << s.sm_utilization * 100.0;
+  return os;
+}
+
+}  // namespace hg::simt

@@ -1,0 +1,59 @@
+// Per-launch performance counters: the simulator's equivalent of an Nsight
+// Compute profile. Fig. 10 / Fig. 11 of the paper are regenerated directly
+// from these.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "simt/spec.hpp"
+
+namespace hg::simt {
+
+struct KernelStats {
+  std::string name;
+
+  // Timing.
+  double device_cycles = 0;  // modeled critical path
+  double time_ms = 0;
+
+  // Memory traffic (sector-granular, i.e. what HBM actually moves).
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t useful_bytes = 0;  // bytes the kernel actually consumed
+  std::uint64_t ld_instrs = 0;
+  std::uint64_t st_instrs = 0;
+  std::uint64_t sectors = 0;
+
+  // Compute.
+  std::uint64_t alu_instrs = 0;
+  std::uint64_t lane_ops = 0;  // scalar operations performed (2 per half2)
+  std::uint64_t cvt_instrs = 0;
+  std::uint64_t smem_instrs = 0;
+  std::uint64_t shfl_instrs = 0;
+  std::uint64_t cta_barriers = 0;
+
+  // Atomics.
+  std::uint64_t atomic_instrs = 0;
+  std::uint64_t atomic_serialized = 0;  // extra passes due to conflicts
+
+  // Cycle aggregates across all warps.
+  double issue_cycles = 0;  // instruction-issue slots (for SM utilization)
+  double mem_cycles = 0;    // memory-system throughput time (sectors)
+  double stall_cycles = 0;  // latency / serialization exposure
+  double atomic_wait_cycles = 0;  // serialization part of mem_cycles
+  double warp_busy_cycles = 0;    // issue + mem (kept for convenience)
+
+  int ctas = 0;
+  int warps_per_cta = 0;
+
+  // Derived utilizations, filled by finalize().
+  double bw_utilization = 0;  // 0..1
+  double sm_utilization = 0;  // 0..1
+
+  KernelStats& operator+=(const KernelStats& o);
+};
+
+std::ostream& operator<<(std::ostream& os, const KernelStats& s);
+
+}  // namespace hg::simt

@@ -1,0 +1,513 @@
+// Warp<Profiled>: the unit of simulated SIMT execution.
+//
+// Kernels in this repository are written *warp-centric*: a kernel body
+// receives warps and manipulates 32-lane register arrays explicitly. The
+// Warp object provides the GPU-visible operations — global gathers/stores
+// with sector-level coalescing, warp shuffles, atomics — and, when
+// `Profiled` is true, charges the DeviceSpec cost model for each of them.
+// When `Profiled` is false every accounting path compiles away and the same
+// kernel code runs at full host speed with bit-identical numerics; training
+// uses that mode, the figure benches use the profiled mode.
+//
+// Cost model summary (see DESIGN.md Sec. 1):
+//   load/store  -> issue cost + (unique 32B sectors) x sector cost; loads
+//                  join a pending pipeline whose latency is exposed once
+//                  per sync point (shuffle / explicit sync / CTA barrier) —
+//                  this is the "implicit memory barrier" effect of
+//                  Sec. 5.1.1 that half8 loads amortize.
+//   arithmetic  -> one issue per instruction; half2 performs 2 lane-ops
+//                  per issue (Fig. 3c), the naive path pays 3 extra
+//                  conversion issues (Fig. 3a).
+//   atomics     -> base cost x (half ? CAS-loop penalty : 1) x the size of
+//                  the largest same-word conflict group in the warp.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "half/half.hpp"
+#include "half/vec.hpp"
+#include "simt/spec.hpp"
+#include "simt/stats.hpp"
+
+namespace hg::simt {
+
+using LaneMask = std::uint32_t;
+inline constexpr LaneMask kFullMask = 0xFFFFFFFFu;
+inline constexpr int kWarpSize = 32;
+
+// First `n` lanes active.
+constexpr LaneMask prefix_mask(int n) noexcept {
+  return n >= 32 ? kFullMask : ((LaneMask{1} << n) - 1);
+}
+
+template <class T>
+using Lanes = std::array<T, kWarpSize>;
+
+template <bool Profiled>
+class Warp {
+ public:
+  Warp(const DeviceSpec& spec, KernelStats& ks, int warp_in_cta,
+       int cta_id) noexcept
+      : spec_(spec), ks_(ks), warp_in_cta_(warp_in_cta), cta_id_(cta_id) {}
+
+  Warp(const Warp&) = delete;
+  Warp& operator=(const Warp&) = delete;
+
+  int warp_in_cta() const noexcept { return warp_in_cta_; }
+  int cta_id() const noexcept { return cta_id_; }
+
+  // Declares the data-load instruction-level parallelism of the kernel's
+  // design: how many independent load instructions it keeps in flight.
+  // This is the paper's own mechanism — the two-phase data load (Sec. 4.1)
+  // and the half4/half8 types (Sec. 5.1.2) exist precisely to issue more
+  // loads before the implicit memory barrier. Amortized MSHR stall per
+  // load divides by this factor.
+  void set_load_ilp(double ilp) noexcept { load_ilp_ = std::max(1.0, ilp); }
+
+  // ----- global memory ------------------------------------------------
+
+  // Gather: lane l (if active) reads mem[idx[l]].
+  template <class T>
+  void gather(std::span<const T> mem, const Lanes<std::int64_t>& idx,
+              LaneMask active, Lanes<T>& out) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        assert(idx[l] >= 0 &&
+               static_cast<std::size_t>(idx[l]) < mem.size());
+        out[static_cast<std::size_t>(l)] =
+            mem[static_cast<std::size_t>(idx[l])];
+      }
+    }
+    if constexpr (Profiled) account_access<T>(idx, active, /*is_load=*/true);
+  }
+
+  // Contiguous load: lane l reads mem[base + l] for l < count.
+  template <class T>
+  void load_contiguous(std::span<const T> mem, std::int64_t base, int count,
+                       Lanes<T>& out) {
+    const LaneMask active = prefix_mask(count);
+    for (int l = 0; l < count; ++l) {
+      assert(base + l >= 0 &&
+             static_cast<std::size_t>(base + l) < mem.size());
+      out[static_cast<std::size_t>(l)] =
+          mem[static_cast<std::size_t>(base + l)];
+    }
+    if constexpr (Profiled) {
+      account_contiguous<T>(base, count, active, /*is_load=*/true);
+    }
+  }
+
+  // Scatter store: lane l (if active) writes mem[idx[l]] = vals[l].
+  template <class T>
+  void scatter(std::span<T> mem, const Lanes<std::int64_t>& idx,
+               LaneMask active, const Lanes<T>& vals) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        assert(idx[l] >= 0 &&
+               static_cast<std::size_t>(idx[l]) < mem.size());
+        mem[static_cast<std::size_t>(idx[l])] =
+            vals[static_cast<std::size_t>(l)];
+      }
+    }
+    if constexpr (Profiled) account_access<T>(idx, active, /*is_load=*/false);
+  }
+
+  template <class T>
+  void store_contiguous(std::span<T> mem, std::int64_t base, int count,
+                        const Lanes<T>& vals) {
+    for (int l = 0; l < count; ++l) {
+      mem[static_cast<std::size_t>(base + l)] =
+          vals[static_cast<std::size_t>(l)];
+    }
+    if constexpr (Profiled) {
+      account_contiguous<T>(base, count, prefix_mask(count),
+                            /*is_load=*/false);
+    }
+  }
+
+  // ----- atomics --------------------------------------------------------
+
+  // Atomic add, element type float: lanes serialize per target element.
+  // `contention` is the expected number of concurrent agents (other warps /
+  // CTAs) racing for the same destination words: a CAS/RMW to a contended
+  // address serializes across the device, so the cost multiplies. The
+  // caller knows this number (e.g. how many warps share a split row); the
+  // warp alone cannot see it.
+  void atomic_add(std::span<float> mem, const Lanes<std::int64_t>& idx,
+                  LaneMask active, const Lanes<float>& vals,
+                  int contention = 1) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        mem[static_cast<std::size_t>(idx[l])] +=
+            vals[static_cast<std::size_t>(l)];
+      }
+    }
+    if constexpr (Profiled) {
+      account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/false,
+                     contention);
+    }
+  }
+
+  // Atomic add on half: hardware implements this as a CAS loop on the
+  // containing 32-bit word, so two lanes hitting the *neighboring* half
+  // conflict too — word_elems = 2.
+  void atomic_add(std::span<half_t> mem, const Lanes<std::int64_t>& idx,
+                  LaneMask active, const Lanes<half_t>& vals,
+                  int contention = 1) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        half_t& slot = mem[static_cast<std::size_t>(idx[l])];
+        slot = slot + vals[static_cast<std::size_t>(l)];
+      }
+    }
+    if constexpr (Profiled) {
+      account_atomic(idx, active, /*word_elems=*/2, /*half_cost=*/true,
+                     contention);
+    }
+  }
+
+  // Atomic add on packed half2 (32-bit word).
+  void atomic_add(std::span<half2> mem, const Lanes<std::int64_t>& idx,
+                  LaneMask active, const Lanes<half2>& vals,
+                  int contention = 1) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        half2& slot = mem[static_cast<std::size_t>(idx[l])];
+        slot = h2add(slot, vals[static_cast<std::size_t>(l)]);
+      }
+    }
+    if constexpr (Profiled) {
+      account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/true,
+                     contention);
+    }
+  }
+
+  // Atomic max (atomicCAS loop on GPUs for both types; the float form is
+  // commonly lowered via atomicMax on the int representation).
+  void atomic_max(std::span<float> mem, const Lanes<std::int64_t>& idx,
+                  LaneMask active, const Lanes<float>& vals,
+                  int contention = 1) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        float& slot = mem[static_cast<std::size_t>(idx[l])];
+        slot = std::max(slot, vals[static_cast<std::size_t>(l)]);
+      }
+    }
+    if constexpr (Profiled) {
+      account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/false,
+                     contention);
+    }
+  }
+
+  void atomic_max(std::span<half_t> mem, const Lanes<std::int64_t>& idx,
+                  LaneMask active, const Lanes<half_t>& vals,
+                  int contention = 1) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        half_t& slot = mem[static_cast<std::size_t>(idx[l])];
+        slot = hmax(slot, vals[static_cast<std::size_t>(l)]);
+      }
+    }
+    if constexpr (Profiled) {
+      account_atomic(idx, active, /*word_elems=*/2, /*half_cost=*/true,
+                     contention);
+    }
+  }
+
+  void atomic_max(std::span<half2> mem, const Lanes<std::int64_t>& idx,
+                  LaneMask active, const Lanes<half2>& vals,
+                  int contention = 1) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        half2& slot = mem[static_cast<std::size_t>(idx[l])];
+        slot = h2max(slot, vals[static_cast<std::size_t>(l)]);
+      }
+    }
+    if constexpr (Profiled) {
+      account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/true,
+                     contention);
+    }
+  }
+
+  // ----- warp-internal communication -------------------------------------
+
+  // One butterfly (xor) shuffle round over groups of `width` lanes:
+  // vals[l] <- combine(vals[l], vals[l ^ offset]). A shuffle synchronizes
+  // the warp, so pending load latency is exposed here.
+  template <class T, class Combine>
+  void shfl_xor(Lanes<T>& vals, int offset, LaneMask active, Combine&& c) {
+    sync();
+    Lanes<T> other = vals;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        vals[static_cast<std::size_t>(l)] =
+            c(vals[static_cast<std::size_t>(l)],
+              other[static_cast<std::size_t>(l ^ offset)]);
+      }
+    }
+    if constexpr (Profiled) {
+      ks_.shfl_instrs += 1;
+      issue(spec_.shfl_cycles);
+    }
+  }
+
+  // Full butterfly reduction over sub-warp groups of `group_width` lanes
+  // (a power of two). After log2(group_width) rounds every lane of a group
+  // holds the group's reduction. `op_class` is charged once per round for
+  // the combine arithmetic.
+  template <class T, class Combine>
+  void butterfly_reduce(Lanes<T>& vals, int group_width, LaneMask active,
+                        Op op_class, Combine&& c) {
+    assert((group_width & (group_width - 1)) == 0 && group_width >= 1);
+    for (int offset = 1; offset < group_width; offset <<= 1) {
+      shfl_xor(vals, offset, active, c);
+      alu(op_class, 1);
+    }
+  }
+
+  // Expose pending load latency (named after __syncwarp).
+  void sync() {
+    if constexpr (Profiled) {
+      if (pending_loads_ > 0) {
+        stall(spec_.load_latency);
+        pending_loads_ = 0;
+      }
+    }
+  }
+
+  // Cycle buckets: instruction issue, memory throughput, stall exposure.
+  double issue_cycles() const noexcept { return issue_; }
+  double mem_cycles() const noexcept { return mem_; }
+
+  // ----- arithmetic accounting -------------------------------------------
+
+  // Charge `n` instructions of the given class. Functional math is done by
+  // the caller with hg::half_t / hg::half2 types; this only meters cost.
+  void alu(Op c, int n = 1, int active_lanes = kWarpSize) {
+    if constexpr (Profiled) {
+      switch (c) {
+        case Op::kFloatAlu:
+        case Op::kIntAlu:
+          ks_.alu_instrs += static_cast<std::uint64_t>(n);
+          ks_.lane_ops += static_cast<std::uint64_t>(n) *
+                          static_cast<std::uint64_t>(active_lanes);
+          issue(n * spec_.alu_cycles);
+          break;
+        case Op::kHalfIntrin:
+          ks_.alu_instrs += static_cast<std::uint64_t>(n);
+          ks_.lane_ops += static_cast<std::uint64_t>(n) *
+                          static_cast<std::uint64_t>(active_lanes);
+          issue(n * spec_.alu_cycles);
+          break;
+        case Op::kHalf2:
+          ks_.alu_instrs += static_cast<std::uint64_t>(n);
+          ks_.lane_ops += 2ull * static_cast<std::uint64_t>(n) *
+                          static_cast<std::uint64_t>(active_lanes);
+          issue(n * spec_.alu_cycles);
+          break;
+        case Op::kHalfNaive:
+          // Fig. 3a: cvt up (x2), float op, cvt down.
+          ks_.alu_instrs += static_cast<std::uint64_t>(n);
+          ks_.cvt_instrs += 3ull * static_cast<std::uint64_t>(n);
+          ks_.lane_ops += static_cast<std::uint64_t>(n) *
+                          static_cast<std::uint64_t>(active_lanes);
+          issue(n * (spec_.alu_cycles + 3 * spec_.cvt_cycles));
+          break;
+        case Op::kCvt:
+          ks_.cvt_instrs += static_cast<std::uint64_t>(n);
+          issue(n * spec_.cvt_cycles);
+          break;
+        case Op::kSpecial:
+          ks_.alu_instrs += static_cast<std::uint64_t>(n);
+          ks_.lane_ops += static_cast<std::uint64_t>(n) *
+                          static_cast<std::uint64_t>(active_lanes);
+          issue(n * spec_.special_cycles);
+          break;
+      }
+    } else {
+      (void)c;
+      (void)n;
+      (void)active_lanes;
+    }
+  }
+
+  // Charge shared-memory access instructions (functional shared memory
+  // lives in the Cta arena; only the cost flows through here).
+  void smem_access(int n = 1) {
+    if constexpr (Profiled) {
+      ks_.smem_instrs += static_cast<std::uint64_t>(n);
+      issue(n * spec_.smem_cycles);
+    } else {
+      (void)n;
+    }
+  }
+
+  // ----- cycle bookkeeping (used by Cta / launch) --------------------------
+
+  double busy_cycles() const noexcept { return issue_ + mem_; }
+  double stall_cycles() const noexcept { return stall_; }
+  double total_cycles() const noexcept { return issue_ + mem_ + stall_; }
+
+  void align_to(double issue, double mem, double stall) noexcept {
+    issue_ = issue;
+    mem_ = mem;
+    stall_ = stall;
+  }
+
+  void finish() { sync(); }
+
+ private:
+  void issue(double c) noexcept {
+    issue_ += c;
+    ks_.issue_cycles += c;
+    ks_.warp_busy_cycles += c;
+  }
+  void memq(double c) noexcept {
+    mem_ += c;
+    ks_.mem_cycles += c;
+    ks_.warp_busy_cycles += c;
+  }
+  void stall(double c) noexcept {
+    stall_ += c;
+    ks_.stall_cycles += c;
+  }
+
+  template <class T>
+  void account_access(const Lanes<std::int64_t>& idx, LaneMask active,
+                      bool is_load) {
+    // Unique 32-byte sectors touched by the active lanes. Element offsets
+    // are a faithful proxy for addresses because all kernel buffers are
+    // 64-byte aligned (util/aligned.hpp).
+    std::array<std::int64_t, kWarpSize> sec{};
+    int n = 0;
+    const auto elems_per_sector =
+        static_cast<std::int64_t>(spec_.sector_bytes / sizeof(T));
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        sec[static_cast<std::size_t>(n++)] =
+            elems_per_sector > 0
+                ? idx[static_cast<std::size_t>(l)] / elems_per_sector
+                : idx[static_cast<std::size_t>(l)] *
+                      static_cast<std::int64_t>(sizeof(T) /
+                                                static_cast<std::size_t>(
+                                                    spec_.sector_bytes));
+      }
+    }
+    std::sort(sec.begin(), sec.begin() + n);
+    int sectors = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i == 0 || sec[static_cast<std::size_t>(i)] !=
+                        sec[static_cast<std::size_t>(i - 1)]) {
+        ++sectors;
+      }
+    }
+    // Wide vector types can span multiple sectors per lane even when the
+    // per-lane start sectors dedup; scale up for T wider than a sector.
+    if (sizeof(T) > static_cast<std::size_t>(spec_.sector_bytes)) {
+      sectors = static_cast<int>(
+          n * (sizeof(T) / static_cast<std::size_t>(spec_.sector_bytes)));
+    }
+    finish_access<T>(sectors, n, is_load);
+  }
+
+  template <class T>
+  void account_contiguous(std::int64_t base, int count, LaneMask active,
+                          bool is_load) {
+    (void)active;
+    if (count <= 0) return;
+    const std::int64_t first =
+        base * static_cast<std::int64_t>(sizeof(T)) / spec_.sector_bytes;
+    const std::int64_t last =
+        ((base + count) * static_cast<std::int64_t>(sizeof(T)) - 1) /
+        spec_.sector_bytes;
+    finish_access<T>(static_cast<int>(last - first + 1), count, is_load);
+  }
+
+  template <class T>
+  void finish_access(int sectors, int active_count, bool is_load) {
+    ks_.sectors += static_cast<std::uint64_t>(sectors);
+    ks_.bytes_moved += static_cast<std::uint64_t>(sectors) *
+                       static_cast<std::uint64_t>(spec_.sector_bytes);
+    ks_.useful_bytes +=
+        static_cast<std::uint64_t>(active_count) * sizeof(T);
+    if (is_load) {
+      ks_.ld_instrs += 1;
+      ++pending_loads_;
+      // Amortized MSHR pressure per load instruction (Sec. 5.1.1 effect:
+      // fewer, wider loads stall less for the same bytes), reduced by the
+      // kernel's declared load ILP.
+      stall(spec_.ld_pipeline_stall / load_ilp_);
+    } else {
+      ks_.st_instrs += 1;
+    }
+    issue(spec_.ld_issue_cycles);
+    memq(sectors * spec_.sector_cycles);
+  }
+
+  void account_atomic(const Lanes<std::int64_t>& idx, LaneMask active,
+                      int word_elems, bool half_cost, int contention) {
+    // Serialization depth: size of the largest group of lanes whose target
+    // indices share one 32-bit word.
+    std::array<std::int64_t, kWarpSize> words{};
+    int n = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        words[static_cast<std::size_t>(n++)] =
+            idx[static_cast<std::size_t>(l)] / word_elems;
+      }
+    }
+    std::sort(words.begin(), words.begin() + n);
+    int depth = 1, run = 1;
+    for (int i = 1; i < n; ++i) {
+      run = words[static_cast<std::size_t>(i)] ==
+                    words[static_cast<std::size_t>(i - 1)]
+                ? run + 1
+                : 1;
+      depth = std::max(depth, run);
+    }
+    if (n == 0) return;
+    const double factor = half_cost ? spec_.atomic_half_penalty : 1.0;
+    ks_.atomic_instrs += 1;
+    ks_.atomic_serialized +=
+        static_cast<std::uint64_t>(depth - 1 + (contention - 1));
+    // The atomic itself occupies one issue slot; in-warp serialization
+    // (depth) and cross-agent CAS retries (contention) serialize at the
+    // memory system — a device-wide resource that concurrent CTAs cannot
+    // hide (they are the contention) — so the excess lands in the memory
+    // bucket.
+    issue(spec_.atomic_cycles);
+    const double wait =
+        spec_.atomic_cycles * factor * depth * std::max(1, contention) -
+        spec_.atomic_cycles;
+    memq(wait);
+    ks_.atomic_wait_cycles += wait;
+    // Atomics also move memory: one sector per distinct word group, at RMW
+    // cost (count both directions).
+    int groups = 1;
+    for (int i = 1; i < n; ++i) {
+      if (words[static_cast<std::size_t>(i)] !=
+          words[static_cast<std::size_t>(i - 1)]) {
+        ++groups;
+      }
+    }
+    ks_.sectors += static_cast<std::uint64_t>(groups);
+    ks_.bytes_moved += static_cast<std::uint64_t>(groups) *
+                       static_cast<std::uint64_t>(spec_.sector_bytes);
+  }
+
+  const DeviceSpec& spec_;
+  KernelStats& ks_;
+  int warp_in_cta_ = 0;
+  int cta_id_ = 0;
+  double issue_ = 0;
+  double mem_ = 0;
+  double stall_ = 0;
+  double load_ilp_ = 1.0;
+  int pending_loads_ = 0;
+};
+
+}  // namespace hg::simt

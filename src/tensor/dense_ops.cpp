@@ -1,0 +1,305 @@
+#include "tensor/dense_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hg {
+
+namespace {
+
+// Materialize op(T) as a row-major float matrix for the fast GEMM core.
+std::vector<float> materialize(const MTensor& t, bool trans) {
+  const auto r = static_cast<std::size_t>(t.rows());
+  const auto c = static_cast<std::size_t>(t.cols());
+  std::vector<float> out(r * c);
+  if (!trans) {
+    if (t.dtype() == Dtype::kF32) {
+      const auto s = t.f();
+      std::copy(s.begin(), s.end(), out.begin());
+    } else {
+      const auto s = t.h();
+      for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i].to_float();
+    }
+  } else {
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        out[j * r + i] = t.get(static_cast<std::int64_t>(i),
+                               static_cast<std::int64_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MTensor to_dtype(const MTensor& in, Dtype dt, CostLedger* ledger) {
+  MTensor out = MTensor::zeros(dt, in.rows(), in.cols());
+  if (in.dtype() == dt) {
+    if (dt == Dtype::kF32) {
+      std::copy(in.f().begin(), in.f().end(), out.f().begin());
+    } else {
+      std::copy(in.h().begin(), in.h().end(), out.h().begin());
+    }
+    return out;  // same-dtype copy: no conversion charged
+  }
+  if (dt == Dtype::kF32) {
+    const auto s = in.h();
+    auto d = out.f();
+    for (std::size_t i = 0; i < s.size(); ++i) d[i] = s[i].to_float();
+  } else {
+    const auto s = in.f();
+    auto d = out.h();
+    for (std::size_t i = 0; i < s.size(); ++i) d[i] = half_t(s[i]);
+  }
+  if (ledger != nullptr) ledger->add_conversion(in.bytes());
+  return out;
+}
+
+void gemm(const MTensor& a, bool trans_a, const MTensor& b, bool trans_b,
+          MTensor& c, CostLedger* ledger) {
+  if (a.dtype() != b.dtype()) {
+    throw std::invalid_argument("gemm: mixed input dtypes");
+  }
+  const std::int64_t m = trans_a ? a.cols() : a.rows();
+  const std::int64_t k = trans_a ? a.rows() : a.cols();
+  const std::int64_t kb = trans_b ? b.cols() : b.rows();
+  const std::int64_t n = trans_b ? b.rows() : b.cols();
+  if (k != kb || c.rows() != m || c.cols() != n) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  const bool half_compute = a.dtype() == Dtype::kF16;
+  if (!half_compute && c.dtype() != Dtype::kF32) {
+    throw std::invalid_argument("gemm: f32 inputs need f32 output");
+  }
+
+  // Float accumulation core (tensor-core semantics for f16 inputs: the
+  // products are exact in f32 because half->float is exact; only the final
+  // store to an f16 C rounds).
+  const std::vector<float> af = materialize(a, trans_a);
+  const std::vector<float> bf = materialize(b, trans_b);
+  std::vector<float> acc(static_cast<std::size_t>(m * n), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = af.data() + i * k;
+    float* crow = acc.data() + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = bf.data() + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+  if (c.dtype() == Dtype::kF32) {
+    std::copy(acc.begin(), acc.end(), c.f().begin());
+  } else {
+    auto d = c.h();
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = half_t(acc[i]);
+  }
+  if (ledger != nullptr) ledger->add_gemm(m, n, k, half_compute);
+}
+
+void add_bias_rows(MTensor& x, const MTensor& bias, CostLedger* ledger) {
+  if (bias.cols() != x.cols()) {
+    throw std::invalid_argument("add_bias_rows: width mismatch");
+  }
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    for (std::int64_t c = 0; c < x.cols(); ++c) {
+      x.set(r, c, x.get(r, c) + bias.get(0, c));
+    }
+  }
+  if (ledger != nullptr) ledger->add_elementwise(x.bytes() * 2);
+}
+
+void relu_forward(MTensor& x, std::vector<std::uint8_t>& mask,
+                  CostLedger* ledger) {
+  mask.assign(x.numel(), 0);
+  if (x.dtype() == Dtype::kF32) {
+    auto s = x.f();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] > 0) {
+        mask[i] = 1;
+      } else {
+        s[i] = 0.0f;
+      }
+    }
+  } else {
+    auto s = x.h();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] > half_t(0.0f)) {
+        mask[i] = 1;
+      } else if (!s[i].is_nan()) {
+        s[i] = half_t(0.0f);
+      }
+      // NaN passes through (mask 0), as on device: max(NaN, 0) quirks are
+      // irrelevant here — NaN anywhere already means a poisoned run.
+    }
+  }
+  if (ledger != nullptr) ledger->add_elementwise(x.bytes() * 2);
+}
+
+void relu_backward(MTensor& grad, const std::vector<std::uint8_t>& mask,
+                   CostLedger* ledger) {
+  if (mask.size() != grad.numel()) {
+    throw std::invalid_argument("relu_backward: mask size mismatch");
+  }
+  if (grad.dtype() == Dtype::kF32) {
+    auto s = grad.f();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!mask[i]) s[i] = 0.0f;
+    }
+  } else {
+    auto s = grad.h();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!mask[i]) s[i] = half_t(0.0f);
+    }
+  }
+  if (ledger != nullptr) ledger->add_elementwise(grad.bytes() * 2);
+}
+
+void scale_rows(MTensor& x, std::span<const float> s, CostLedger* ledger) {
+  if (s.size() != static_cast<std::size_t>(x.rows())) {
+    throw std::invalid_argument("scale_rows: scale size mismatch");
+  }
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    const float f = s[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < x.cols(); ++c) {
+      x.set(r, c, x.get(r, c) * f);
+    }
+  }
+  if (ledger != nullptr) ledger->add_elementwise(x.bytes() * 2);
+}
+
+void colsum(const MTensor& x, MTensor& out, CostLedger* ledger) {
+  if (out.dtype() != Dtype::kF32 || out.cols() != x.cols()) {
+    throw std::invalid_argument("colsum: out must be f32 1 x C");
+  }
+  out.fill(0.0f);
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    for (std::int64_t c = 0; c < x.cols(); ++c) {
+      out.set(0, c, out.get(0, c) + x.get(r, c));
+    }
+  }
+  if (ledger != nullptr) ledger->add_elementwise(x.bytes());
+}
+
+void axpby(const MTensor& x, float alpha, MTensor& y, float beta,
+           CostLedger* ledger) {
+  if (x.numel() != y.numel() || x.dtype() != y.dtype()) {
+    throw std::invalid_argument("axpby: shape/dtype mismatch");
+  }
+  if (x.dtype() == Dtype::kF32) {
+    auto ys = y.f();
+    auto xs = x.f();
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      ys[i] = alpha * xs[i] + beta * ys[i];
+    }
+  } else {
+    auto ys = y.h();
+    auto xs = x.h();
+    const half_t ha(alpha), hb(beta);
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      // Device-style: each op rounds in half.
+      ys[i] = hfma(ha, xs[i], hb * ys[i]);
+    }
+  }
+  if (ledger != nullptr) ledger->add_elementwise(x.bytes() * 3);
+}
+
+LossResult softmax_xent(const MTensor& logits, std::span<const int> labels,
+                        std::span<const std::uint8_t> mask, bool use_masked,
+                        int valid_classes, float grad_scale,
+                        MTensor* dlogits, CostLedger* ledger) {
+  const std::int64_t n = logits.rows();
+  const std::int64_t c = logits.cols();
+  if (valid_classes > c) {
+    throw std::invalid_argument("softmax_xent: valid_classes > cols");
+  }
+  // AMP promotes softmax/CE to float: a half input pays the round trip.
+  if (logits.dtype() == Dtype::kF16 && ledger != nullptr) {
+    ledger->add_conversion(logits.bytes());               // half -> float
+    if (dlogits != nullptr) ledger->add_conversion(logits.bytes());  // back
+  }
+
+  LossResult res;
+  double loss_sum = 0;
+  if (dlogits != nullptr) {
+    *dlogits = MTensor::zeros(logits.dtype(), n, c);
+  }
+  for (std::int64_t r = 0; r < n; ++r) {
+    const bool in_loss =
+        !use_masked || mask[static_cast<std::size_t>(r)] != 0;
+    if (!in_loss) continue;
+    res.count += 1;
+    // Stable log-softmax in float over the valid columns.
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < valid_classes; ++j) {
+      mx = std::max(mx, logits.get(r, j));
+    }
+    double denom = 0;
+    for (int j = 0; j < valid_classes; ++j) {
+      denom += std::exp(static_cast<double>(logits.get(r, j)) - mx);
+    }
+    const int y = labels[static_cast<std::size_t>(r)];
+    const double logp =
+        static_cast<double>(logits.get(r, y)) - mx - std::log(denom);
+    loss_sum += -logp;
+
+    int argmax = 0;
+    for (int j = 1; j < valid_classes; ++j) {
+      if (logits.get(r, j) > logits.get(r, argmax)) argmax = j;
+    }
+    res.correct += argmax == y;
+
+    if (dlogits != nullptr) {
+      for (int j = 0; j < valid_classes; ++j) {
+        const double p =
+            std::exp(static_cast<double>(logits.get(r, j)) - mx) / denom;
+        const double g = (p - (j == y ? 1.0 : 0.0)) / 1.0;
+        dlogits->set(r, j, static_cast<float>(g * grad_scale));
+      }
+    }
+  }
+  // Mean reduction: fold 1/count into the gradient.
+  if (res.count > 0 && dlogits != nullptr) {
+    const float inv = static_cast<float>(1.0 / res.count);
+    for (std::int64_t r = 0; r < n; ++r) {
+      for (int j = 0; j < valid_classes; ++j) {
+        const float g = dlogits->get(r, j);
+        if (g != 0.0f) dlogits->set(r, j, g * inv);
+      }
+    }
+  }
+  res.loss = res.count > 0 ? loss_sum / res.count
+                           : std::numeric_limits<double>::quiet_NaN();
+  if (ledger != nullptr) {
+    ledger->add_elementwise(logits.bytes() * 2);
+  }
+  return res;
+}
+
+double masked_accuracy(const MTensor& logits, std::span<const int> labels,
+                       std::span<const std::uint8_t> mask,
+                       std::uint8_t expect, int valid_classes) {
+  double correct = 0, count = 0;
+  for (std::int64_t r = 0; r < logits.rows(); ++r) {
+    if (mask[static_cast<std::size_t>(r)] != expect) continue;
+    count += 1;
+    int argmax = 0;
+    bool any_nan = false;
+    for (int j = 0; j < valid_classes; ++j) {
+      const float v = logits.get(r, j);
+      if (std::isnan(v)) any_nan = true;
+      if (v > logits.get(r, argmax)) argmax = j;
+    }
+    // NaN logits never beat the running max, so argmax degenerates to
+    // column 0 — accuracy collapses toward chance, as in Fig. 1c.
+    (void)any_nan;
+    correct += argmax == labels[static_cast<std::size_t>(r)];
+  }
+  return count > 0 ? correct / count : 0.0;
+}
+
+}  // namespace hg

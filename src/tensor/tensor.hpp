@@ -1,0 +1,134 @@
+// Minimal 2-D row-major tensor with dual-precision storage.
+//
+// The accuracy story of the paper depends on *state tensors genuinely
+// living in half precision* between kernels (Sec. 3), so a tensor here is
+// either f32 or f16 — not a float tensor quantized on the fly. All buffers
+// are 64-byte aligned so they can be handed to the SIMT kernels (and
+// re-typed to half2/half4/half8) directly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "half/half.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace hg {
+
+enum class Dtype { kF32, kF16 };
+
+inline std::size_t dtype_bytes(Dtype d) {
+  return d == Dtype::kF32 ? 4 : 2;
+}
+
+class MTensor {
+ public:
+  MTensor() = default;
+
+  static MTensor f32(std::int64_t rows, std::int64_t cols) {
+    MTensor t;
+    t.dtype_ = Dtype::kF32;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.f_.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+    return t;
+  }
+  static MTensor f16(std::int64_t rows, std::int64_t cols) {
+    MTensor t;
+    t.dtype_ = Dtype::kF16;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.h_.assign(static_cast<std::size_t>(rows * cols), half_t(0.0f));
+    return t;
+  }
+  static MTensor like(const MTensor& o, std::int64_t rows,
+                      std::int64_t cols) {
+    return o.dtype() == Dtype::kF32 ? f32(rows, cols) : f16(rows, cols);
+  }
+  static MTensor zeros(Dtype d, std::int64_t rows, std::int64_t cols) {
+    return d == Dtype::kF32 ? f32(rows, cols) : f16(rows, cols);
+  }
+
+  Dtype dtype() const noexcept { return dtype_; }
+  std::int64_t rows() const noexcept { return rows_; }
+  std::int64_t cols() const noexcept { return cols_; }
+  std::size_t numel() const noexcept {
+    return static_cast<std::size_t>(rows_ * cols_);
+  }
+  std::size_t bytes() const noexcept { return numel() * dtype_bytes(dtype_); }
+
+  std::span<float> f() {
+    assert(dtype_ == Dtype::kF32);
+    return f_;
+  }
+  std::span<const float> f() const {
+    assert(dtype_ == Dtype::kF32);
+    return f_;
+  }
+  std::span<half_t> h() {
+    assert(dtype_ == Dtype::kF16);
+    return h_;
+  }
+  std::span<const half_t> h() const {
+    assert(dtype_ == Dtype::kF16);
+    return h_;
+  }
+
+  // Value access regardless of dtype (reads convert, writes round).
+  float get(std::int64_t r, std::int64_t c) const {
+    const auto i = static_cast<std::size_t>(r * cols_ + c);
+    return dtype_ == Dtype::kF32 ? f_[i] : h_[i].to_float();
+  }
+  void set(std::int64_t r, std::int64_t c, float v) {
+    const auto i = static_cast<std::size_t>(r * cols_ + c);
+    if (dtype_ == Dtype::kF32) {
+      f_[i] = v;
+    } else {
+      h_[i] = half_t(v);
+    }
+  }
+
+  void fill(float v) {
+    if (dtype_ == Dtype::kF32) {
+      std::fill(f_.begin(), f_.end(), v);
+    } else {
+      std::fill(h_.begin(), h_.end(), half_t(v));
+    }
+  }
+
+  // Any non-finite value anywhere? (The AMP GradScaler's inf-check.)
+  bool has_nonfinite() const {
+    if (dtype_ == Dtype::kF32) {
+      for (float v : f_) {
+        if (!std::isfinite(v)) return true;
+      }
+    } else {
+      for (half_t v : h_) {
+        if (!v.is_finite()) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  Dtype dtype_ = Dtype::kF32;
+  std::int64_t rows_ = 0, cols_ = 0;
+  AlignedVec<float> f_;
+  AlignedVec<half_t> h_;
+};
+
+// Xavier/Glorot-uniform initialization into a float tensor.
+inline void xavier_init(MTensor& w, Rng& rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
+  for (std::int64_t r = 0; r < w.rows(); ++r) {
+    for (std::int64_t c = 0; c < w.cols(); ++c) {
+      w.set(r, c, static_cast<float>((rng.next_double() * 2 - 1) * bound));
+    }
+  }
+}
+
+}  // namespace hg

@@ -1,0 +1,41 @@
+// 64-byte aligned vector. Kernel-facing buffers (features, edge weights,
+// outputs) must start on a transaction boundary so that (a) the simulated
+// coalescing accounting is deterministic and (b) half2/half4/half8
+// reinterpreting loads meet their hardware alignment contracts — the same
+// contract cudaMalloc provides on a real GPU (256-byte aligned).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace hg {
+
+template <class T>
+struct AlignedAlloc {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedAlloc() noexcept = default;
+  template <class U>
+  AlignedAlloc(const AlignedAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = ((n * sizeof(T) + kAlign - 1) / kAlign) * kAlign;
+    void* p = std::aligned_alloc(kAlign, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <class U>
+  bool operator==(const AlignedAlloc<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
+
+}  // namespace hg

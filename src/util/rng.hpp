@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// Everything in this repository that needs randomness (graph generators,
+// feature synthesis, weight init, dropout) draws from this generator with an
+// explicit seed, so every experiment is bit-reproducible run to run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace hg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+      w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+      si = w ^ (w >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // the modulo bias for our n (< 2^32) is negligible for data synthesis.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  // Standard normal via Box-Muller (cached second value).
+  double next_normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+  double cached_ = 0;
+  bool has_cached_ = false;
+};
+
+}  // namespace hg

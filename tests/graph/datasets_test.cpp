@@ -1,0 +1,122 @@
+// Tests for the G1-G16 dataset registry.
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hg {
+namespace {
+
+TEST(Datasets, RegistryCoversAllSixteen) {
+  const auto ids = all_dataset_ids();
+  ASSERT_EQ(ids.size(), 16u);
+  EXPECT_EQ(dataset_name(ids.front()), "cora-sim");
+  EXPECT_EQ(dataset_name(ids.back()), "orkut-sim");
+}
+
+TEST(Datasets, LabeledSetsHaveFeaturesLabelsAndSplit) {
+  for (DatasetId id : labeled_dataset_ids()) {
+    const Dataset d = make_dataset(id);
+    EXPECT_TRUE(d.labeled) << d.name;
+    const auto n = static_cast<std::size_t>(d.num_vertices());
+    ASSERT_EQ(d.labels.size(), n) << d.name;
+    ASSERT_EQ(d.features.size(), n * static_cast<std::size_t>(d.feat_dim))
+        << d.name;
+    ASSERT_EQ(d.train_mask.size(), n) << d.name;
+    std::size_t train = 0;
+    for (auto m : d.train_mask) train += m;
+    EXPECT_GT(train, n / 3) << d.name;
+    EXPECT_LT(train, 5 * n / 6) << d.name;
+    for (int l : d.labels) {
+      ASSERT_GE(l, 0);
+      ASSERT_LT(l, d.num_classes);
+    }
+  }
+}
+
+TEST(Datasets, TopologyIsSymmetricAndCsrOrdered) {
+  const Dataset d = make_dataset(DatasetId::kCora);
+  EXPECT_EQ(d.csr.num_edges(), d.csr_t.num_edges());
+  ASSERT_EQ(d.coo.num_edges(), d.csr.num_edges());
+  for (std::size_t e = 1; e < d.coo.row.size(); ++e) {
+    EXPECT_LE(d.coo.row[e - 1], d.coo.row[e]);
+  }
+}
+
+TEST(Datasets, HubDatasetsHaveOverflowScaleHubs) {
+  // Reddit-sim and OgbProduct-sim must contain hubs whose *unprotected*
+  // half-precision feature sum provably overflows 65504 (the Fig. 1c
+  // precondition). Compute the exact float sum of the hub's neighborhood
+  // per feature dimension and require several dimensions past the half max
+  // — the kernel-level INF proof lives in the kernels tests.
+  for (DatasetId id : {DatasetId::kReddit, DatasetId::kOgbProduct}) {
+    const Dataset d = make_dataset(id);
+    const GraphStats s = compute_stats(d.csr);
+    EXPECT_GT(s.max_degree, 3000) << d.name;
+    // Find the max-degree vertex.
+    vid_t hub = 0;
+    for (vid_t v = 0; v < d.num_vertices(); ++v) {
+      if (d.csr.degree(v) > d.csr.degree(hub)) hub = v;
+    }
+    const auto f = static_cast<std::size_t>(d.feat_dim);
+    std::vector<double> sum(f, 0.0);
+    for (vid_t u : d.csr.neighbors(hub)) {
+      for (std::size_t j = 0; j < f; ++j) {
+        sum[j] += d.features[static_cast<std::size_t>(u) * f + j];
+      }
+    }
+    int overflowing_dims = 0;
+    for (std::size_t j = 0; j < f; ++j) {
+      overflowing_dims += std::abs(sum[j]) > 65504.0;
+    }
+    EXPECT_GE(overflowing_dims, 4) << d.name;
+  }
+}
+
+TEST(Datasets, CitationSetsDoNotOverflowInHalf) {
+  // Conversely G1-G3 are benign: no vertex's feature sum crosses the half
+  // range (the paper's Fig. 1c shows DGL-half only collapses on the two
+  // hub datasets).
+  const Dataset d = make_dataset(DatasetId::kCora);
+  const auto f = static_cast<std::size_t>(d.feat_dim);
+  for (vid_t v = 0; v < d.num_vertices(); ++v) {
+    std::vector<double> sum(f, 0.0);
+    for (vid_t u : d.csr.neighbors(v)) {
+      for (std::size_t j = 0; j < f; ++j) {
+        sum[j] += d.features[static_cast<std::size_t>(u) * f + j];
+      }
+    }
+    for (std::size_t j = 0; j < f; ++j) {
+      ASSERT_LT(std::abs(sum[j]), 65504.0 / 4);
+    }
+  }
+}
+
+TEST(Datasets, SmallCitationSetsStayModest) {
+  // G1-G3 mirror the real sizes (they are small enough to keep 1:1).
+  const Dataset cora = make_dataset(DatasetId::kCora);
+  EXPECT_EQ(cora.num_vertices(), 2708);
+  EXPECT_EQ(cora.num_classes, 7);
+  EXPECT_EQ(cora.scale_denominator, 1);
+  const Dataset pubmed = make_dataset(DatasetId::kPubmed);
+  EXPECT_EQ(pubmed.num_vertices(), 19717);
+  EXPECT_EQ(pubmed.num_classes, 3);
+}
+
+TEST(Datasets, UnlabeledPerfSetsAreScaledDown) {
+  const Dataset kron = make_dataset(DatasetId::kKron);
+  EXPECT_FALSE(kron.labeled);
+  EXPECT_TRUE(kron.features.empty());
+  EXPECT_GT(kron.scale_denominator, 1);
+  EXPECT_GT(kron.num_edges(), 100000);
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  const Dataset a = make_dataset(DatasetId::kReddit);
+  const Dataset b = make_dataset(DatasetId::kReddit);
+  EXPECT_EQ(a.csr.cols, b.csr.cols);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace hg

@@ -1,0 +1,114 @@
+// Property tests for the synthetic graph generators.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hg {
+namespace {
+
+TEST(Generators, ErdosRenyiShape) {
+  Rng rng(1);
+  const Coo g = erdos_renyi(1000, 5000, rng);
+  EXPECT_EQ(g.num_vertices, 1000);
+  EXPECT_EQ(g.num_edges(), 5000);
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(g.row[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(g.row[static_cast<std::size_t>(e)], 1000);
+    EXPECT_GE(g.col[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(g.col[static_cast<std::size_t>(e)], 1000);
+  }
+}
+
+TEST(Generators, SbmKeepsMostEdgesInBlock) {
+  Rng rng(2);
+  std::vector<int> labels;
+  const Coo g = sbm(2000, 4, 20000, 0.9, rng, labels);
+  ASSERT_EQ(labels.size(), 2000u);
+  eid_t in_block = 0;
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const auto u = static_cast<std::size_t>(g.row[static_cast<std::size_t>(e)]);
+    const auto v = static_cast<std::size_t>(g.col[static_cast<std::size_t>(e)]);
+    in_block += labels[u] == labels[v];
+  }
+  const double frac = static_cast<double>(in_block) /
+                      static_cast<double>(g.num_edges());
+  // 0.9 in-block target plus 1/k accidental matches from the uniform tail.
+  EXPECT_GT(frac, 0.85);
+}
+
+TEST(Generators, SbmLabelsAreBalancedBlocks) {
+  Rng rng(3);
+  std::vector<int> labels;
+  (void)sbm(1000, 5, 100, 0.5, rng, labels);
+  std::array<int, 5> counts{};
+  for (int l : labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 5);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 200);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  Rng rng(4);
+  const Csr g = coo_to_csr(rmat(12, 40000, 0.57, 0.19, 0.19, rng));
+  const GraphStats s = compute_stats(g);
+  // Power-law-ish: the max degree should dwarf the average.
+  EXPECT_GT(s.max_degree, 20 * s.avg_degree);
+}
+
+TEST(Generators, BarabasiAlbertDegreesAndTail) {
+  Rng rng(5);
+  const Csr g = symmetrize(coo_to_csr(barabasi_albert(5000, 3, rng)));
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 5000);
+  // Every non-seed vertex attaches 3 times -> symmetrized average ~6.
+  EXPECT_NEAR(s.avg_degree, 6.0, 1.0);
+  EXPECT_GT(s.max_degree, 50);  // preferential attachment grows hubs
+}
+
+TEST(Generators, LatticeHasUniformLowDegree) {
+  const Csr g = symmetrize(coo_to_csr(lattice2d(30, 40)));
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 1200);
+  EXPECT_EQ(s.max_degree, 4);
+  EXPECT_EQ(s.rows_spanning_warps, 0);
+}
+
+TEST(Generators, PlantHubsCreatesTheRequestedDegrees) {
+  Rng rng(6);
+  Coo g = erdos_renyi(3000, 3000, rng);
+  plant_hubs(g, 2, 1500, rng);
+  const Csr csr = coo_to_csr(g);
+  EXPECT_GE(csr.degree(0), 1500);
+  EXPECT_GE(csr.degree(1), 1500);
+}
+
+TEST(Generators, PlantHubsBiasesTowardTheRequestedBlock) {
+  Rng rng(7);
+  std::vector<int> labels;
+  Coo g = sbm(4000, 4, 1000, 0.9, rng, labels);
+  // Hub degree must fit comfortably inside the 1000-vertex block pool.
+  plant_hubs(g, 1, 800, rng, &labels, /*within_block=*/0);
+  const Csr csr = coo_to_csr(g);
+  int in_block = 0, total = 0;
+  for (vid_t u : csr.neighbors(0)) {
+    ++total;
+    in_block += labels[static_cast<std::size_t>(u)] == 0;
+  }
+  ASSERT_GE(total, 800);
+  EXPECT_GT(static_cast<double>(in_block) / total, 0.8);
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  const Coo ga = rmat(10, 5000, 0.57, 0.19, 0.19, a);
+  const Coo gb = rmat(10, 5000, 0.57, 0.19, 0.19, b);
+  EXPECT_EQ(ga.row, gb.row);
+  EXPECT_EQ(ga.col, gb.col);
+}
+
+}  // namespace
+}  // namespace hg

@@ -1,0 +1,73 @@
+// Tests for the bfloat16 extension type.
+#include "half/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "half/half.hpp"
+#include "util/rng.hpp"
+
+namespace hg {
+namespace {
+
+TEST(Bf16, KnownEncodings) {
+  EXPECT_EQ(float_to_bf16_bits(0.0f), 0x0000u);
+  EXPECT_EQ(float_to_bf16_bits(1.0f), 0x3F80u);
+  EXPECT_EQ(float_to_bf16_bits(-2.0f), 0xC000u);
+  // Values exactly representable round-trip.
+  EXPECT_FLOAT_EQ(bf16_bits_to_float(float_to_bf16_bits(0.5f)), 0.5f);
+}
+
+TEST(Bf16, RangeCoversFloatRange) {
+  // The property the counterfactual depends on: sums that overflow half
+  // stay finite in bf16.
+  const bf16_t big(1e20f);
+  EXPECT_TRUE(big.is_finite());
+  EXPECT_NEAR(big.to_float(), 1e20f, 1e18f);
+  bf16_t acc(0.0f);
+  for (int i = 0; i < 5000; ++i) acc += bf16_t(100.0f);
+  EXPECT_TRUE(acc.is_finite());
+  // ... but the 8-bit significand makes long accumulations *stagnate*: at
+  // 32768 the ulp is 256, so adding 100 rounds away entirely. No INF, but
+  // a silently wrong sum — the precision cost the bf16 counterfactual
+  // ablation quantifies.
+  EXPECT_FLOAT_EQ(acc.to_float(), 32768.0f);
+}
+
+TEST(Bf16, PrecisionIsCoarserThanHalf) {
+  // At magnitude ~1, half has 11 bits of significand, bf16 only 8.
+  const float x = 1.0f + 0x1.0p-9f;  // representable in half, not in bf16
+  EXPECT_FLOAT_EQ(half_t(x).to_float(), x);
+  EXPECT_FLOAT_EQ(bf16_t(x).to_float(), 1.0f);  // RNE ties to even -> 1.0
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const float f = (rng.next_float() * 2 - 1) * 1000.0f;
+    const std::uint16_t b = float_to_bf16_bits(f);
+    const float lo = bf16_bits_to_float(static_cast<std::uint16_t>(b - 1));
+    const float hi = bf16_bits_to_float(static_cast<std::uint16_t>(b + 1));
+    const float back = bf16_bits_to_float(b);
+    const float err = std::abs(back - f);
+    if (std::isfinite(lo)) {
+      ASSERT_LE(err, std::abs(lo - f) + 1e-30f);
+    }
+    if (std::isfinite(hi)) {
+      ASSERT_LE(err, std::abs(hi - f) + 1e-30f);
+    }
+  }
+}
+
+TEST(Bf16, NanHandling) {
+  const bf16_t nan(std::nanf(""));
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(std::isnan(nan.to_float()));
+  const bf16_t inf = bf16_t::from_bits(0x7F80u);
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_FALSE(inf.is_nan());
+}
+
+}  // namespace
+}  // namespace hg

@@ -1,0 +1,115 @@
+// Cross-cutting kernel invariants the bench harness relies on.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace hg::kernels {
+namespace {
+
+struct TestGraph {
+  Csr csr;
+  Coo coo;
+  GraphView g;
+};
+
+TestGraph make_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  Coo raw = erdos_renyi(800, 6000, rng);
+  plant_hubs(raw, 1, 300, rng);
+  TestGraph t;
+  t.csr = coo_to_csr(raw);
+  t.coo = csr_to_coo(t.csr);
+  t.g = view(t.csr, t.coo);
+  return t;
+}
+
+TEST(KernelInvariants, ModeledStatsAreDeterministic) {
+  // Every figure bench runs each kernel exactly once; that is only valid
+  // because the cost model is a pure function of (kernel, inputs).
+  Rng rng(1);
+  const TestGraph t = make_graph(5);
+  const auto n = static_cast<std::size_t>(t.csr.num_vertices);
+  AlignedVec<half_t> x(n * 64), y(n * 64);
+  for (auto& v : x) v = half_t(rng.next_float());
+
+  HalfgnnSpmmOpts opts;
+  const auto a = spmm_halfgnn(simt::a100_spec(), true, t.g, {}, x, y, 64,
+                              opts);
+  const auto b = spmm_halfgnn(simt::a100_spec(), true, t.g, {}, x, y, 64,
+                              opts);
+  EXPECT_EQ(a.device_cycles, b.device_cycles);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  EXPECT_EQ(a.ld_instrs, b.ld_instrs);
+  EXPECT_EQ(a.issue_cycles, b.issue_cycles);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+}
+
+TEST(KernelInvariants, SpmmvEqualsSpmmveWithUnitWeights) {
+  // SpMMv is the special case of SpMMve with all edge features = 1.0
+  // (Sec. 2.1.2); the kernel's dedicated SpMMv path must agree bit-for-bit
+  // in half precision (multiplying by exactly 1.0 is lossless).
+  Rng rng(2);
+  const TestGraph t = make_graph(6);
+  const auto n = static_cast<std::size_t>(t.csr.num_vertices);
+  const auto m = static_cast<std::size_t>(t.csr.num_edges());
+  AlignedVec<half_t> x(n * 32);
+  for (auto& v : x) v = half_t(rng.next_float() * 2 - 1);
+  AlignedVec<half_t> ones(m, half_t(1.0f));
+  AlignedVec<half_t> yv(n * 32), yve(n * 32);
+
+  HalfgnnSpmmOpts opts;
+  opts.reduce = Reduce::kMean;
+  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, x, yv, 32, opts);
+  spmm_halfgnn(simt::a100_spec(), false, t.g, ones, x, yve, 32, opts);
+  for (std::size_t i = 0; i < yv.size(); ++i) {
+    ASSERT_EQ(yv[i].bits(), yve[i].bits()) << i;
+  }
+}
+
+TEST(KernelInvariants, SpmmvIsCheaperThanSpmmve) {
+  // The SpMMv path must not pay for edge-feature loads or mirroring.
+  Rng rng(3);
+  const TestGraph t = make_graph(7);
+  const auto n = static_cast<std::size_t>(t.csr.num_vertices);
+  const auto m = static_cast<std::size_t>(t.csr.num_edges());
+  AlignedVec<half_t> x(n * 64), y(n * 64);
+  for (auto& v : x) v = half_t(rng.next_float());
+  AlignedVec<half_t> w(m, half_t(0.5f));
+
+  HalfgnnSpmmOpts opts;
+  const auto v = spmm_halfgnn(simt::a100_spec(), true, t.g, {}, x, y, 64,
+                              opts);
+  const auto ve = spmm_halfgnn(simt::a100_spec(), true, t.g, w, x, y, 64,
+                               opts);
+  EXPECT_LT(v.bytes_moved, ve.bytes_moved);
+  EXPECT_LT(v.time_ms, ve.time_ms);
+}
+
+TEST(KernelInvariants, SddmmIsSymmetricInOperandsOnSymmetricInputs) {
+  // dot(a[row], b[col]) with a == b on a symmetric graph: the value on an
+  // edge equals the value on its reverse edge.
+  Rng rng(4);
+  Coo raw = erdos_renyi(300, 1500, rng);
+  const Csr csr = symmetrize(coo_to_csr(raw));
+  const Coo coo = csr_to_coo(csr);
+  const auto g = view(csr, coo);
+  const auto n = static_cast<std::size_t>(csr.num_vertices);
+  const auto m = static_cast<std::size_t>(csr.num_edges());
+  AlignedVec<half_t> a(n * 32);
+  for (auto& v : a) v = half_t(rng.next_float() - 0.5f);
+  AlignedVec<half_t> out(m);
+  sddmm_halfgnn(simt::a100_spec(), false, g, a, a, out, 32,
+                SddmmVec::kHalf8);
+  const auto perm = reverse_edge_permutation(csr);
+  for (std::size_t e = 0; e < m; ++e) {
+    // Same set of products, same order within the lane tree: bit-equal.
+    ASSERT_EQ(out[e].bits(), out[static_cast<std::size_t>(perm[e])].bits());
+  }
+}
+
+}  // namespace
+}  // namespace hg::kernels

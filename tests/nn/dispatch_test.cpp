@@ -1,0 +1,152 @@
+// Integration tests for the mode-dispatched sparse ops (nn/sparse_dispatch)
+// — especially the transposed SpMM with permuted edge weights that GAT's
+// backward pass rides on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "kernels/reference.hpp"
+#include "nn/sparse_dispatch.hpp"
+#include "tensor/dense_ops.hpp"
+
+namespace hg::nn {
+namespace {
+
+struct Fixture {
+  Csr csr;
+  Coo coo;
+  std::unique_ptr<GraphCtx> g;
+
+  explicit Fixture(std::uint64_t seed) {
+    Rng rng(seed);
+    csr = symmetrize(coo_to_csr(erdos_renyi(300, 1500, rng)));
+    coo = csr_to_coo(csr);
+    g = std::make_unique<GraphCtx>(csr, coo);
+  }
+};
+
+TEST(SparseDispatch, TransposedSpmmWithWeightsMatchesExplicitTranspose) {
+  Fixture fx(9);
+  Rng rng(10);
+  const auto n = static_cast<std::size_t>(fx.csr.num_vertices);
+  const auto m = static_cast<std::size_t>(fx.csr.num_edges());
+  const int feat = 16;
+
+  MTensor x = MTensor::f32(static_cast<std::int64_t>(n), feat);
+  for (auto& v : x.f()) v = rng.next_float() * 2 - 1;
+  MTensor w = MTensor::f32(static_cast<std::int64_t>(m), 1);
+  for (auto& v : w.f()) v = rng.next_float() * 2 - 1;
+
+  SparseCtx ctx;  // DGL-float
+  const MTensor y =
+      spmm_transposed(ctx, *fx.g, &w, x, kernels::Reduce::kSum);
+
+  // Explicit reference on the transposed weight assignment: edge (u,v)
+  // carries w[(v,u)'s index].
+  const auto perm = reverse_edge_permutation(fx.csr);
+  std::vector<float> wt(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    wt[e] = w.f()[static_cast<std::size_t>(perm[e])];
+  }
+  const auto ref = kernels::reference_spmm(fx.csr, wt, x.f(), feat,
+                                           kernels::Reduce::kSum);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(y.f()[i], ref[i], 1e-3 + 1e-4 * std::abs(ref[i])) << i;
+  }
+}
+
+TEST(SparseDispatch, AllModesAgreeOnSpmmMeanWithinHalfTolerance) {
+  Fixture fx(11);
+  Rng rng(12);
+  const auto n = static_cast<std::size_t>(fx.csr.num_vertices);
+  const int feat = 16;
+  MTensor xf = MTensor::f32(static_cast<std::int64_t>(n), feat);
+  for (auto& v : xf.f()) v = rng.next_float() * 2 - 1;
+  MTensor xh = to_dtype(xf, Dtype::kF16, nullptr);
+
+  SparseCtx ctx;
+  ctx.mode = SystemMode::kDglFloat;
+  const MTensor yf = spmm(ctx, *fx.g, nullptr, xf, kernels::Reduce::kMean);
+  ctx.mode = SystemMode::kDglHalf;
+  const MTensor yd = nn::spmm(ctx, *fx.g, nullptr, xh, kernels::Reduce::kMean);
+  ctx.mode = SystemMode::kHalfGnn;
+  const MTensor yo = spmm(ctx, *fx.g, nullptr, xh, kernels::Reduce::kMean);
+
+  for (std::int64_t i = 0; i < yf.rows(); ++i) {
+    for (int j = 0; j < feat; ++j) {
+      const float f = yf.get(i, j);
+      EXPECT_NEAR(yd.get(i, j), f, 0.02 + 0.03 * std::abs(f));
+      EXPECT_NEAR(yo.get(i, j), f, 0.02 + 0.03 * std::abs(f));
+    }
+  }
+}
+
+TEST(SparseDispatch, SegReduceSumPromotionOnlyInDglHalf) {
+  Fixture fx(13);
+  Rng rng(14);
+  const auto m = static_cast<std::size_t>(fx.csr.num_edges());
+  MTensor vals = MTensor::f16(static_cast<std::int64_t>(m), 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    vals.h()[e] = half_t(rng.next_float());
+  }
+
+  CostLedger dgl_ledger, ours_ledger;
+  SparseCtx ctx;
+  ctx.mode = SystemMode::kDglHalf;
+  ctx.ledger = &dgl_ledger;
+  (void)seg_reduce(ctx, *fx.g, vals, kernels::SegReduce::kSum);
+  ctx.mode = SystemMode::kHalfGnn;
+  ctx.ledger = &ours_ledger;
+  (void)seg_reduce(ctx, *fx.g, vals, kernels::SegReduce::kSum);
+
+  // AMP promotes 'sum' -> DGL-half pays two conversions; the shadow path
+  // pays none.
+  EXPECT_EQ(dgl_ledger.conversions, 2u);
+  EXPECT_EQ(ours_ledger.conversions, 0u);
+
+  // Max is not on the promotion list: neither converts.
+  dgl_ledger = CostLedger{};
+  ctx.mode = SystemMode::kDglHalf;
+  ctx.ledger = &dgl_ledger;
+  (void)seg_reduce(ctx, *fx.g, vals, kernels::SegReduce::kMax);
+  EXPECT_EQ(dgl_ledger.conversions, 0u);
+}
+
+TEST(SparseDispatch, SddmmDispatchesPerMode) {
+  Fixture fx(15);
+  Rng rng(16);
+  const auto n = static_cast<std::size_t>(fx.csr.num_vertices);
+  const int feat = 16;
+  MTensor af = MTensor::f32(static_cast<std::int64_t>(n), feat);
+  for (auto& v : af.f()) v = rng.next_float() - 0.5f;
+  MTensor ah = to_dtype(af, Dtype::kF32, nullptr);
+  MTensor ah16 = to_dtype(af, Dtype::kF16, nullptr);
+
+  SparseCtx ctx;
+  const MTensor ef = sddmm(ctx, *fx.g, af, af);
+  ctx.mode = SystemMode::kHalfGnn;
+  const MTensor eo = sddmm(ctx, *fx.g, ah16, ah16);
+  const auto ref = kernels::reference_sddmm(fx.coo, af.f(), af.f(), feat);
+  for (std::size_t e = 0; e < ref.size(); ++e) {
+    ASSERT_NEAR(ef.f()[e], ref[e], 1e-4 + 1e-4 * std::abs(ref[e]));
+    ASSERT_NEAR(eo.h()[e].to_float(), ref[e], 0.03 + 0.05 * std::abs(ref[e]));
+  }
+}
+
+TEST(SparseDispatch, GraphCtxInvariants) {
+  Fixture fx(17);
+  EXPECT_EQ(fx.g->n(), fx.csr.num_vertices);
+  EXPECT_EQ(fx.g->m(), fx.csr.num_edges());
+  for (vid_t v = 0; v < fx.csr.num_vertices; ++v) {
+    const float inv = fx.g->inv_deg()[static_cast<std::size_t>(v)];
+    EXPECT_FLOAT_EQ(inv,
+                    1.0f / std::max<float>(1.0f, static_cast<float>(
+                                                     fx.csr.degree(v))));
+  }
+  EXPECT_EQ(fx.g->rev_perm().size(),
+            static_cast<std::size_t>(fx.csr.num_edges()));
+}
+
+}  // namespace
+}  // namespace hg::nn

@@ -1,0 +1,345 @@
+// Tests for the SIMT execution simulator: functional semantics and the
+// cost-model properties the paper's performance arguments rely on.
+#include "simt/simt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/aligned.hpp"
+
+namespace hg::simt {
+namespace {
+
+DeviceSpec test_spec() { return DeviceSpec{}; }
+
+// --- functional semantics ---------------------------------------------------
+
+TEST(SimtFunctional, ContiguousLoadStoreRoundTrip) {
+  AlignedVec<float> in(64), out(64, 0.0f);
+  std::iota(in.begin(), in.end(), 0.0f);
+  const DeviceSpec spec = test_spec();
+  launch<false>(spec, "copy", {.ctas = 2, .warps_per_cta = 1},
+                [&](Cta<false>& cta) {
+                  cta.for_each_warp([&](Warp<false>& w) {
+                    Lanes<float> r{};
+                    const std::int64_t base = cta.cta_id() * 32;
+                    w.load_contiguous<float>(in, base, 32, r);
+                    w.store_contiguous<float>(out, base, 32, r);
+                  });
+                });
+  EXPECT_EQ(std::vector<float>(in.begin(), in.end()),
+            std::vector<float>(out.begin(), out.end()));
+}
+
+TEST(SimtFunctional, GatherScatterWithMask) {
+  AlignedVec<float> mem(128, 1.0f);
+  const DeviceSpec spec = test_spec();
+  launch<false>(spec, "gs", {.ctas = 1, .warps_per_cta = 1},
+                [&](Cta<false>& cta) {
+                  cta.for_each_warp([&](Warp<false>& w) {
+                    Lanes<std::int64_t> idx{};
+                    for (int l = 0; l < 32; ++l) idx[l] = 4 * l;
+                    Lanes<float> v{};
+                    w.gather<float>(mem, idx, prefix_mask(16), v);
+                    for (int l = 0; l < 16; ++l) v[l] += 1.0f;
+                    w.scatter<float>(mem, idx, prefix_mask(16), v);
+                  });
+                });
+  EXPECT_FLOAT_EQ(mem[0], 2.0f);
+  EXPECT_FLOAT_EQ(mem[60], 2.0f);   // lane 15
+  EXPECT_FLOAT_EQ(mem[64], 1.0f);   // lane 16 masked off
+}
+
+TEST(SimtFunctional, ButterflyReduceSumsEachSubWarpGroup) {
+  const DeviceSpec spec = test_spec();
+  Lanes<float> result{};
+  launch<false>(spec, "reduce", {.ctas = 1, .warps_per_cta = 1},
+                [&](Cta<false>& cta) {
+                  cta.for_each_warp([&](Warp<false>& w) {
+                    Lanes<float> v{};
+                    for (int l = 0; l < 32; ++l) v[l] = static_cast<float>(l);
+                    // Sub-warp width 8: 4 groups of 8 lanes.
+                    w.butterfly_reduce(v, 8, kFullMask, Op::kFloatAlu,
+                                       [](float a, float b) { return a + b; });
+                    result = v;
+                  });
+                });
+  // Group 0 holds 0+..+7 = 28 in all of lanes 0..7; group 1 holds 36+..=92.
+  for (int l = 0; l < 8; ++l) EXPECT_FLOAT_EQ(result[l], 28.0f);
+  for (int l = 8; l < 16; ++l) EXPECT_FLOAT_EQ(result[l], 92.0f);
+  for (int l = 24; l < 32; ++l) EXPECT_FLOAT_EQ(result[l], 220.0f);
+}
+
+TEST(SimtFunctional, AtomicAddHalfAccumulatesInHalfPrecision) {
+  AlignedVec<half_t> mem(4, half_t(0.0f));
+  const DeviceSpec spec = test_spec();
+  launch<false>(spec, "atomic", {.ctas = 1, .warps_per_cta = 1},
+                [&](Cta<false>& cta) {
+                  cta.for_each_warp([&](Warp<false>& w) {
+                    Lanes<std::int64_t> idx{};
+                    Lanes<half_t> v{};
+                    for (int l = 0; l < 32; ++l) {
+                      idx[l] = l % 2;  // all lanes hit words 0/1
+                      v[l] = half_t(1.0f);
+                    }
+                    w.atomic_add(std::span<half_t>(mem), idx, kFullMask, v);
+                  });
+                });
+  EXPECT_FLOAT_EQ(mem[0].to_float(), 16.0f);
+  EXPECT_FLOAT_EQ(mem[1].to_float(), 16.0f);
+  EXPECT_FLOAT_EQ(mem[2].to_float(), 0.0f);
+}
+
+TEST(SimtFunctional, SharedMemoryPersistsAcrossPhases) {
+  const DeviceSpec spec = test_spec();
+  float out = 0;
+  launch<false>(spec, "smem", {.ctas = 1, .warps_per_cta = 2},
+                [&](Cta<false>& cta) {
+                  auto s = cta.shared<float>(2);
+                  cta.for_each_warp([&](Warp<false>& w) {
+                    s[static_cast<std::size_t>(w.warp_in_cta())] =
+                        static_cast<float>(w.warp_in_cta() + 1);
+                  });
+                  cta.barrier();
+                  cta.for_each_warp([&](Warp<false>& w) {
+                    if (w.warp_in_cta() == 0) out = s[0] + s[1];
+                  });
+                });
+  EXPECT_FLOAT_EQ(out, 3.0f);
+}
+
+TEST(SimtFunctional, SharedMemoryCapacityIsEnforced) {
+  const DeviceSpec spec = test_spec();
+  EXPECT_THROW(
+      launch<false>(spec, "too-much-smem", {.ctas = 1, .warps_per_cta = 1},
+                    [&](Cta<false>& cta) {
+                      (void)cta.shared<float>(300 * 1024);  // > 164 KB
+                    }),
+      std::runtime_error);
+}
+
+// --- cost model -------------------------------------------------------------
+
+template <class F>
+KernelStats run_one_warp(const DeviceSpec& spec, F&& f) {
+  return launch<true>(spec, "probe", {.ctas = 1, .warps_per_cta = 1},
+                      [&](Cta<true>& cta) {
+                        cta.for_each_warp([&](Warp<true>& w) { f(w); });
+                      });
+}
+
+TEST(SimtCost, CoalescedFloatWarpLoadIsFourSectors) {
+  const DeviceSpec spec = test_spec();
+  AlignedVec<float> mem(32);
+  const KernelStats ks = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<float> r{};
+    w.load_contiguous<float>(mem, 0, 32, r);
+  });
+  EXPECT_EQ(ks.ld_instrs, 1u);
+  EXPECT_EQ(ks.sectors, 4u);  // 128 bytes = 4 x 32B
+  EXPECT_EQ(ks.bytes_moved, 128u);
+  EXPECT_EQ(ks.useful_bytes, 128u);
+}
+
+TEST(SimtCost, ScalarHalfWarpLoadWastesIssueBandwidth) {
+  // Sec. 4.1: a warp of scalar half loads brings only 64 bytes -> 2 sectors
+  // per instruction, half the coalescing of the float path.
+  const DeviceSpec spec = test_spec();
+  AlignedVec<half_t> mem(64);
+  const KernelStats half_ks = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<half_t> r{};
+    w.load_contiguous<half_t>(mem, 0, 32, r);
+  });
+  EXPECT_EQ(half_ks.sectors, 2u);
+  EXPECT_EQ(half_ks.bytes_moved, 64u);
+
+  // half2 restores the full 128-byte transaction.
+  const auto mem2 = as_vec<half2>(std::span<const half_t>(mem));
+  const KernelStats h2_ks = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<half2> r{};
+    w.load_contiguous<half2>(mem2, 0, 32, r);
+  });
+  EXPECT_EQ(h2_ks.sectors, 4u);
+  EXPECT_EQ(h2_ks.bytes_moved, 128u);
+  EXPECT_EQ(h2_ks.ld_instrs, 1u);
+}
+
+TEST(SimtCost, StridedGatherTouchesMoreSectors) {
+  const DeviceSpec spec = test_spec();
+  AlignedVec<float> mem(32 * 16);
+  const KernelStats ks = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<std::int64_t> idx{};
+    for (int l = 0; l < 32; ++l) idx[l] = l * 16;  // one sector each
+    Lanes<float> r{};
+    w.gather<float>(mem, idx, kFullMask, r);
+  });
+  EXPECT_EQ(ks.sectors, 32u);
+  EXPECT_EQ(ks.bytes_moved, 32u * 32u);
+  EXPECT_EQ(ks.useful_bytes, 128u);  // only 4 of every 32 bytes used
+}
+
+TEST(SimtCost, PendingLoadLatencyIsExposedOncePerSync) {
+  // Sec. 5.1.1: more loads in flight before the barrier => the fixed
+  // latency is amortized. k loads + 1 sync must cost far less than
+  // k x (load + sync).
+  const DeviceSpec spec = test_spec();
+  AlignedVec<float> mem(32 * 8);
+  const KernelStats batched = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<float> r{};
+    for (int i = 0; i < 8; ++i) w.load_contiguous<float>(mem, 32 * i, 32, r);
+    w.sync();
+  });
+  const KernelStats serialized = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<float> r{};
+    for (int i = 0; i < 8; ++i) {
+      w.load_contiguous<float>(mem, 32 * i, 32, r);
+      w.sync();
+    }
+  });
+  // Both pay the per-load pipeline stall; the full latency is exposed once
+  // per sync with pending loads.
+  const double pipeline = 8 * spec.ld_pipeline_stall;
+  EXPECT_NEAR(batched.stall_cycles, pipeline + spec.load_latency, 1e-9);
+  EXPECT_NEAR(serialized.stall_cycles, pipeline + 8 * spec.load_latency,
+              1e-9);
+}
+
+TEST(SimtCost, ArithmeticClassesFollowFig3) {
+  const DeviceSpec spec = test_spec();
+  // (a) naive half: pays conversion issues on top of the float op.
+  const KernelStats naive =
+      run_one_warp(spec, [&](Warp<true>& w) { w.alu(Op::kHalfNaive, 10); });
+  // (b) intrinsic half: float-equal throughput.
+  const KernelStats intrin =
+      run_one_warp(spec, [&](Warp<true>& w) { w.alu(Op::kHalfIntrin, 10); });
+  // (c) half2: one instruction, two lane-ops.
+  const KernelStats h2 =
+      run_one_warp(spec, [&](Warp<true>& w) { w.alu(Op::kHalf2, 10); });
+  const KernelStats f32 =
+      run_one_warp(spec, [&](Warp<true>& w) { w.alu(Op::kFloatAlu, 10); });
+
+  EXPECT_GT(naive.warp_busy_cycles, 2 * intrin.warp_busy_cycles);
+  EXPECT_DOUBLE_EQ(intrin.warp_busy_cycles, f32.warp_busy_cycles);
+  EXPECT_DOUBLE_EQ(h2.warp_busy_cycles, f32.warp_busy_cycles);
+  EXPECT_EQ(h2.lane_ops, 2 * f32.lane_ops);  // double throughput
+}
+
+TEST(SimtCost, HalfAtomicsCostMoreThanFloatAtomics) {
+  const DeviceSpec spec = test_spec();
+  AlignedVec<float> fmem(32);
+  AlignedVec<half_t> hmem(32);
+  Lanes<std::int64_t> idx{};
+  for (int l = 0; l < 32; ++l) idx[l] = l;
+
+  const KernelStats f = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<float> v{};
+    w.atomic_add(std::span<float>(fmem), idx, kFullMask, v);
+  });
+  const KernelStats h = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<half_t> v{};
+    w.atomic_add(std::span<half_t>(hmem), idx, kFullMask, v);
+  });
+  // Same access pattern; the half version pays the CAS-loop penalty AND
+  // serializes pairs of lanes sharing a 32-bit word (stall time).
+  EXPECT_GT(h.warp_busy_cycles + h.stall_cycles,
+            3 * (f.warp_busy_cycles + f.stall_cycles));
+  EXPECT_GT(h.atomic_serialized, f.atomic_serialized);
+}
+
+TEST(SimtCost, AtomicContentionSerializes) {
+  const DeviceSpec spec = test_spec();
+  AlignedVec<float> mem(32);
+  Lanes<std::int64_t> spread{}, clash{};
+  for (int l = 0; l < 32; ++l) {
+    spread[l] = l;
+    clash[l] = 0;  // all 32 lanes target one address
+  }
+  const KernelStats s = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<float> v{};
+    w.atomic_add(std::span<float>(mem), spread, kFullMask, v);
+  });
+  const KernelStats c = run_one_warp(spec, [&](Warp<true>& w) {
+    Lanes<float> v{};
+    w.atomic_add(std::span<float>(mem), clash, kFullMask, v);
+  });
+  EXPECT_NEAR((c.warp_busy_cycles + c.stall_cycles) /
+                  (s.warp_busy_cycles + s.stall_cycles),
+              32.0, 1e-6);
+  EXPECT_EQ(c.atomic_serialized, 31u);
+}
+
+TEST(SimtCost, BandwidthClampBoundsUtilization) {
+  // A kernel that only streams memory must clamp to <= 100% BW.
+  const DeviceSpec spec = test_spec();
+  AlignedVec<float> mem(32 * 1024);
+  const KernelStats ks = launch<true>(
+      spec, "stream", {.ctas = 64, .warps_per_cta = 4}, [&](Cta<true>& cta) {
+        cta.for_each_warp([&](Warp<true>& w) {
+          Lanes<float> r{};
+          for (int i = 0; i < 32; ++i) {
+            w.load_contiguous<float>(mem, 32 * i, 32, r);
+          }
+        });
+      });
+  EXPECT_LE(ks.bw_utilization, 1.0 + 1e-9);
+  EXPECT_GT(ks.bw_utilization, 0.0);
+  EXPECT_LE(ks.sm_utilization, 1.0 + 1e-9);
+  EXPECT_GT(ks.time_ms, 0.0);
+}
+
+TEST(SimtCost, ProfiledAndUnprofiledProduceIdenticalNumerics) {
+  // The central reproducibility invariant: training runs unprofiled, the
+  // figure benches run profiled, and both must compute identical bits.
+  AlignedVec<half_t> out_p(64, half_t(0.0f)), out_u(64, half_t(0.0f));
+  AlignedVec<half_t> in(64);
+  for (int i = 0; i < 64; ++i) in[static_cast<std::size_t>(i)] =
+      half_t(0.37f * static_cast<float>(i) - 3.0f);
+  const DeviceSpec spec = test_spec();
+
+  auto body = [&](auto& cta, AlignedVec<half_t>& out) {
+    cta.for_each_warp([&](auto& w) {
+      Lanes<half_t> r{};
+      w.template load_contiguous<half_t>(in, 0, 32, r);
+      for (int l = 0; l < 32; ++l) r[l] = hfma(r[l], r[l], half_t(1.0f));
+      w.alu(Op::kHalfIntrin, 1);
+      w.template store_contiguous<half_t>(out, 0, 32, r);
+    });
+  };
+  launch<true>(spec, "p", {.ctas = 1, .warps_per_cta = 1},
+               [&](Cta<true>& cta) { body(cta, out_p); });
+  launch<false>(spec, "u", {.ctas = 1, .warps_per_cta = 1},
+                [&](Cta<false>& cta) { body(cta, out_u); });
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(out_p[static_cast<std::size_t>(i)].bits(),
+              out_u[static_cast<std::size_t>(i)].bits());
+  }
+}
+
+TEST(SimtCost, CtaBarrierAlignsWarps) {
+  const DeviceSpec spec = test_spec();
+  const KernelStats ks = launch<true>(
+      spec, "barrier", {.ctas = 1, .warps_per_cta = 2}, [&](Cta<true>& cta) {
+        cta.for_each_warp([&](Warp<true>& w) {
+          // Warp 1 does 10x the work of warp 0.
+          w.alu(Op::kFloatAlu, w.warp_in_cta() == 1 ? 100 : 10);
+        });
+        cta.barrier();
+      });
+  EXPECT_EQ(ks.cta_barriers, 1u);
+  // Device time reflects the slow warp plus barrier cost (plus launch
+  // overhead), not the sum of both warps.
+  EXPECT_GE(ks.device_cycles, 100 * spec.alu_cycles);
+}
+
+TEST(SimtVec, AsVecChecksAlignmentAndSize) {
+  AlignedVec<half_t> buf(8);
+  EXPECT_NO_THROW(as_vec<half8>(std::span<const half_t>(buf)));
+  EXPECT_THROW(as_vec<half8>(std::span<const half_t>(buf.data(), 7)),
+               std::invalid_argument);
+  EXPECT_THROW(as_vec<half2>(std::span<const half_t>(buf.data() + 1, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hg::simt

@@ -1,0 +1,87 @@
+// Tests for the shared utilities (RNG, aligned buffers, table rendering).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "half/half.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hg {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformRangesAreRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    const auto k = rng.next_below(17);
+    ASSERT_LT(k, 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversTheRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Aligned, VectorsAre64ByteAligned) {
+  for (std::size_t n : {1u, 7u, 100u, 4097u}) {
+    AlignedVec<float> v(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u) << n;
+  }
+  AlignedVec<half_t> h(33);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(h.data()) % 64, 0u);
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"bb", "22.5"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| bb    | 22.5  |"), std::string::npos) << out;
+}
+
+TEST(TableHelpers, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_times(2.5), "2.50x");
+  EXPECT_EQ(fmt_pct(0.805), "80.5%");
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(mean({1.0, 3.0}), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hg
