@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bf16_counterfactual.dir/abl_bf16_counterfactual.cpp.o"
+  "CMakeFiles/abl_bf16_counterfactual.dir/abl_bf16_counterfactual.cpp.o.d"
+  "abl_bf16_counterfactual"
+  "abl_bf16_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bf16_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dgl_half_analysis.dir/fig01_dgl_half_analysis.cpp.o"
+  "CMakeFiles/fig01_dgl_half_analysis.dir/fig01_dgl_half_analysis.cpp.o.d"
+  "fig01_dgl_half_analysis"
+  "fig01_dgl_half_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dgl_half_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_dgl_half_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_accuracy.dir/fig05_accuracy.cpp.o"
+  "CMakeFiles/fig05_accuracy.dir/fig05_accuracy.cpp.o.d"
+  "fig05_accuracy"
+  "fig05_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

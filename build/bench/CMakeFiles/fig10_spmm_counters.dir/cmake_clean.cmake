@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_spmm_counters.dir/fig10_spmm_counters.cpp.o"
+  "CMakeFiles/fig10_spmm_counters.dir/fig10_spmm_counters.cpp.o.d"
+  "fig10_spmm_counters"
+  "fig10_spmm_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_spmm_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

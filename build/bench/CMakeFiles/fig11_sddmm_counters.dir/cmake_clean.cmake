@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sddmm_counters.dir/fig11_sddmm_counters.cpp.o"
+  "CMakeFiles/fig11_sddmm_counters.dir/fig11_sddmm_counters.cpp.o.d"
+  "fig11_sddmm_counters"
+  "fig11_sddmm_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sddmm_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_half8_vs_half2.dir/fig12_half8_vs_half2.cpp.o"
+  "CMakeFiles/fig12_half8_vs_half2.dir/fig12_half8_vs_half2.cpp.o.d"
+  "fig12_half8_vs_half2"
+  "fig12_half8_vs_half2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_half8_vs_half2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_half8_vs_half2.
+# This may be replaced when dependencies are built.

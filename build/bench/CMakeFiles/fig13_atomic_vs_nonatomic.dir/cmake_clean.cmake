@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_atomic_vs_nonatomic.dir/fig13_atomic_vs_nonatomic.cpp.o"
+  "CMakeFiles/fig13_atomic_vs_nonatomic.dir/fig13_atomic_vs_nonatomic.cpp.o.d"
+  "fig13_atomic_vs_nonatomic"
+  "fig13_atomic_vs_nonatomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_atomic_vs_nonatomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

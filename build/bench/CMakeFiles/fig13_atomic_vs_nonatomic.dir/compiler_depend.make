@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_atomic_vs_nonatomic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_huang_half2.dir/fig14_huang_half2.cpp.o"
+  "CMakeFiles/fig14_huang_half2.dir/fig14_huang_half2.cpp.o.d"
+  "fig14_huang_half2"
+  "fig14_huang_half2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_huang_half2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_half_arith.dir/micro_half_arith.cpp.o"
+  "CMakeFiles/micro_half_arith.dir/micro_half_arith.cpp.o.d"
+  "micro_half_arith"
+  "micro_half_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_half_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gin_hub_overflow.dir/gin_hub_overflow.cpp.o"
+  "CMakeFiles/gin_hub_overflow.dir/gin_hub_overflow.cpp.o.d"
+  "gin_hub_overflow"
+  "gin_hub_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gin_hub_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gin_hub_overflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_amp.dir/amp.cpp.o"
+  "CMakeFiles/hg_amp.dir/amp.cpp.o.d"
+  "libhg_amp.a"
+  "libhg_amp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_amp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_graph.dir/datasets.cpp.o"
+  "CMakeFiles/hg_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/hg_graph.dir/generators.cpp.o"
+  "CMakeFiles/hg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hg_graph.dir/graph.cpp.o"
+  "CMakeFiles/hg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hg_graph.dir/io.cpp.o"
+  "CMakeFiles/hg_graph.dir/io.cpp.o.d"
+  "libhg_graph.a"
+  "libhg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_half.dir/half.cpp.o"
+  "CMakeFiles/hg_half.dir/half.cpp.o.d"
+  "libhg_half.a"
+  "libhg_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/edge_ops.cpp" "src/kernels/CMakeFiles/hg_kernels.dir/edge_ops.cpp.o" "gcc" "src/kernels/CMakeFiles/hg_kernels.dir/edge_ops.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/kernels/CMakeFiles/hg_kernels.dir/reference.cpp.o" "gcc" "src/kernels/CMakeFiles/hg_kernels.dir/reference.cpp.o.d"
+  "/root/repo/src/kernels/sddmm.cpp" "src/kernels/CMakeFiles/hg_kernels.dir/sddmm.cpp.o" "gcc" "src/kernels/CMakeFiles/hg_kernels.dir/sddmm.cpp.o.d"
+  "/root/repo/src/kernels/spmm_cusparse_like.cpp" "src/kernels/CMakeFiles/hg_kernels.dir/spmm_cusparse_like.cpp.o" "gcc" "src/kernels/CMakeFiles/hg_kernels.dir/spmm_cusparse_like.cpp.o.d"
+  "/root/repo/src/kernels/spmm_halfgnn.cpp" "src/kernels/CMakeFiles/hg_kernels.dir/spmm_halfgnn.cpp.o" "gcc" "src/kernels/CMakeFiles/hg_kernels.dir/spmm_halfgnn.cpp.o.d"
+  "/root/repo/src/kernels/spmm_vertex.cpp" "src/kernels/CMakeFiles/hg_kernels.dir/spmm_vertex.cpp.o" "gcc" "src/kernels/CMakeFiles/hg_kernels.dir/spmm_vertex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/half/CMakeFiles/hg_half.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/hg_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

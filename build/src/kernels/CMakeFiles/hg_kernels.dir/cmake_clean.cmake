@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_kernels.dir/edge_ops.cpp.o"
+  "CMakeFiles/hg_kernels.dir/edge_ops.cpp.o.d"
+  "CMakeFiles/hg_kernels.dir/reference.cpp.o"
+  "CMakeFiles/hg_kernels.dir/reference.cpp.o.d"
+  "CMakeFiles/hg_kernels.dir/sddmm.cpp.o"
+  "CMakeFiles/hg_kernels.dir/sddmm.cpp.o.d"
+  "CMakeFiles/hg_kernels.dir/spmm_cusparse_like.cpp.o"
+  "CMakeFiles/hg_kernels.dir/spmm_cusparse_like.cpp.o.d"
+  "CMakeFiles/hg_kernels.dir/spmm_halfgnn.cpp.o"
+  "CMakeFiles/hg_kernels.dir/spmm_halfgnn.cpp.o.d"
+  "CMakeFiles/hg_kernels.dir/spmm_vertex.cpp.o"
+  "CMakeFiles/hg_kernels.dir/spmm_vertex.cpp.o.d"
+  "libhg_kernels.a"
+  "libhg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_nn.dir/models.cpp.o"
+  "CMakeFiles/hg_nn.dir/models.cpp.o.d"
+  "CMakeFiles/hg_nn.dir/sparse_dispatch.cpp.o"
+  "CMakeFiles/hg_nn.dir/sparse_dispatch.cpp.o.d"
+  "CMakeFiles/hg_nn.dir/trainer.cpp.o"
+  "CMakeFiles/hg_nn.dir/trainer.cpp.o.d"
+  "libhg_nn.a"
+  "libhg_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

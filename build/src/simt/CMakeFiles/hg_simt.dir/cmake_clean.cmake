@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_simt.dir/stats.cpp.o"
+  "CMakeFiles/hg_simt.dir/stats.cpp.o.d"
+  "libhg_simt.a"
+  "libhg_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

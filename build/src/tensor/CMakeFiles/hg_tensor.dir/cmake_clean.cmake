@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_tensor.dir/dense_ops.cpp.o"
+  "CMakeFiles/hg_tensor.dir/dense_ops.cpp.o.d"
+  "libhg_tensor.a"
+  "libhg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

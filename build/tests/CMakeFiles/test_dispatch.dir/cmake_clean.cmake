@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispatch.dir/nn/dispatch_test.cpp.o"
+  "CMakeFiles/test_dispatch.dir/nn/dispatch_test.cpp.o.d"
+  "test_dispatch"
+  "test_dispatch.pdb"
+  "test_dispatch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

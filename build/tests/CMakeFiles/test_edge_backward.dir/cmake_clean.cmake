@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_backward.dir/kernels/edge_backward_test.cpp.o"
+  "CMakeFiles/test_edge_backward.dir/kernels/edge_backward_test.cpp.o.d"
+  "test_edge_backward"
+  "test_edge_backward.pdb"
+  "test_edge_backward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

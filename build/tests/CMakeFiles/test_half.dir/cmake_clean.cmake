@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_half.dir/half/bf16_test.cpp.o"
+  "CMakeFiles/test_half.dir/half/bf16_test.cpp.o.d"
+  "CMakeFiles/test_half.dir/half/half_test.cpp.o"
+  "CMakeFiles/test_half.dir/half/half_test.cpp.o.d"
+  "CMakeFiles/test_half.dir/half/vec_test.cpp.o"
+  "CMakeFiles/test_half.dir/half/vec_test.cpp.o.d"
+  "test_half"
+  "test_half.pdb"
+  "test_half[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vertex_edge.dir/kernels/vertex_edge_test.cpp.o"
+  "CMakeFiles/test_vertex_edge.dir/kernels/vertex_edge_test.cpp.o.d"
+  "test_vertex_edge"
+  "test_vertex_edge.pdb"
+  "test_vertex_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vertex_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

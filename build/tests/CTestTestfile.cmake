@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_half[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_simt[1]_include.cmake")
+include("/root/repo/build/tests/test_spmm[1]_include.cmake")
+include("/root/repo/build/tests/test_sddmm[1]_include.cmake")
+include("/root/repo/build/tests/test_vertex_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_backward[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_dispatch[1]_include.cmake")
