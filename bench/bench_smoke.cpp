@@ -1,0 +1,112 @@
+// bench_smoke: CI-sized end-to-end check of the perf-report pipeline.
+//
+// Runs the Fig. 10 SpMM trio plus the Fig. 11 SDDMM pair on the smallest
+// dataset (G1:Cora), writes BENCH_smoke.json, re-reads the file through the
+// JSON parser, and validates it against the halfgnn-bench-v1 schema plus a
+// few physical invariants. Non-zero exit on any violation, so CTest gates
+// on it (the `bench_smoke` test).
+//
+// Usage: bench_smoke [output.json]   (default: BENCH_smoke.json in cwd)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/bench_common.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace hg::bench {
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "bench_smoke: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+int run(const std::string& path) {
+  const Dataset d = make_dataset(DatasetId::kCora);
+  const auto g = kernels::view(d.csr, d.coo);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const auto m = static_cast<std::size_t>(d.num_edges());
+  const int feat = 64;
+  const auto f = static_cast<std::size_t>(feat);
+  const auto& spec = simt::a100_spec();
+
+  const auto xh = random_h16(n * f, 7);
+  const auto wh = random_h16(m, 8);
+  const auto xf = to_f32(xh);
+  const auto wf = to_f32(wh);
+  AlignedVec<half_t> yh(n * f);
+  AlignedVec<float> yf(n * f);
+  AlignedVec<half_t> eh(m);
+  AlignedVec<float> ef(m);
+
+  const auto cus_h = kernels::spmm_cusparse_f16(spec, true, g, wh, xh, yh,
+                                                feat, kernels::Reduce::kSum);
+  const auto cus_f = kernels::spmm_cusparse_f32(spec, true, g, wf, xf, yf,
+                                                feat, kernels::Reduce::kSum);
+  kernels::HalfgnnSpmmOpts opts;
+  const auto ours =
+      kernels::spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts);
+  const auto sd_dgl = kernels::sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat);
+  const auto sd_ours = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+                                              feat, kernels::SddmmVec::kHalf8);
+  (void)ef;
+
+  obs::PerfReport r("smoke");
+  r.meta("dataset", short_name(d));
+  r.meta("vertices", static_cast<std::int64_t>(d.num_vertices()));
+  r.meta("edges", static_cast<std::int64_t>(d.num_edges()));
+  r.meta("feat", static_cast<std::int64_t>(feat));
+  r.set_columns({"time_ms", "bw_utilization", "sm_utilization", "sectors"});
+  for (const auto* ks : {&cus_h, &cus_f, &ours, &sd_dgl, &sd_ours}) {
+    r.add_row(ks->name, {ks->time_ms, ks->bw_utilization, ks->sm_utilization,
+                         static_cast<double>(ks->sectors)});
+    report_kernel(r, *ks);
+  }
+  r.summary("spmm_speedup_vs_cusparse_half", cus_h.time_ms / ours.time_ms);
+  r.summary("sddmm_speedup_vs_dgl_half", sd_dgl.time_ms / sd_ours.time_ms);
+
+  if (!r.write(path)) return fail("cannot write " + path);
+
+  // Round-trip: the file on disk must parse and conform.
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    return fail(std::string("re-parse of ") + path + ": " + e.what());
+  }
+  if (auto e = obs::validate_bench_report(doc); !e.empty()) {
+    return fail("schema: " + e);
+  }
+
+  // Physical invariants the counters must respect regardless of dataset.
+  for (const auto* ks : {&cus_h, &cus_f, &ours, &sd_dgl, &sd_ours}) {
+    if (ks->useful_bytes > ks->bytes_moved) {
+      return fail(std::string(ks->name) + ": useful_bytes > bytes_moved");
+    }
+    if (ks->bw_utilization < 0 || ks->bw_utilization > 1.0) {
+      return fail(std::string(ks->name) + ": bw_utilization out of [0,1]");
+    }
+  }
+  if (ours.sectors >= cus_f.sectors) {
+    return fail("half8 SpMM should move fewer sectors than f32 baseline");
+  }
+
+  std::printf("bench_smoke: OK — wrote and validated %s (%zu kernels)\n",
+              path.c_str(), static_cast<std::size_t>(5));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main(int argc, char** argv) {
+  return hg::bench::run(argc > 1 ? argv[1] : "BENCH_smoke.json");
+}

@@ -14,9 +14,10 @@ namespace hg::bench {
 namespace {
 
 void run() {
-  Table t({"dataset", "F", "SpMM vs cusp-half", "SpMM vs cusp-float",
-           "SDDMM vs DGL-half"});
-  std::vector<double> sp_h, sp_f, sd_h;
+  BenchTable t("fig09_kernel_speedup", "dataset/F",
+               {{"SpMM vs cusp-half", CellFmt::kTimes},
+                {"SpMM vs cusp-float", CellFmt::kTimes},
+                {"SDDMM vs DGL-half", CellFmt::kTimes}});
   const auto& spec = simt::a100_spec();
 
   for (DatasetId id : perf_dataset_ids()) {
@@ -54,20 +55,14 @@ void run() {
       const double s_h = cus_h.time_ms / ours_spmm.time_ms;
       const double s_f = cus_f.time_ms / ours_spmm.time_ms;
       const double s_d = dgl_sd.time_ms / ours_sd.time_ms;
-      sp_h.push_back(s_h);
-      sp_f.push_back(s_f);
-      sd_h.push_back(s_d);
-      t.row({short_name(d), std::to_string(feat), fmt_times(s_h),
-             fmt_times(s_f), fmt_times(s_d)});
+      t.row(short_name(d) + " F=" + std::to_string(feat), {s_h, s_f, s_d});
       (void)ef;
     }
   }
-  t.row({"AVERAGE", "", fmt_times(mean(sp_h)), fmt_times(mean(sp_f)),
-         fmt_times(mean(sd_h))});
-  std::cout << "=== Fig. 9: kernel speedups (paper: SpMM 22.89x over "
-               "cusparse-half, 2.52x over cusparse-float; SDDMM 7.12x over "
-               "DGL-half) ===\n";
-  t.print();
+  t.finish(
+      "=== Fig. 9: kernel speedups (paper: SpMM 22.89x over "
+      "cusparse-half, 2.52x over cusparse-float; SDDMM 7.12x over "
+      "DGL-half) ===");
 }
 
 }  // namespace

@@ -11,11 +11,16 @@ namespace hg::bench {
 namespace {
 
 void run() {
-  Table t({"dataset", "BW% cusp-half", "BW% cusp-float", "BW% HalfGNN",
-           "SM% cusp-half", "SM% cusp-float", "SM% HalfGNN"});
-  std::vector<double> bwh, bwf, bwo, smh, smf, smo;
+  BenchTable t("fig10_spmm_counters", "dataset",
+               {{"BW% cusp-half", CellFmt::kPct},
+                {"BW% cusp-float", CellFmt::kPct},
+                {"BW% HalfGNN", CellFmt::kPct},
+                {"SM% cusp-half", CellFmt::kPct},
+                {"SM% cusp-float", CellFmt::kPct},
+                {"SM% HalfGNN", CellFmt::kPct}});
   const auto& spec = simt::a100_spec();
   const int feat = 64;
+  t.report().meta("feat", static_cast<std::int64_t>(feat));
 
   for (DatasetId id : perf_dataset_ids()) {
     const Dataset d = make_dataset(id);
@@ -41,23 +46,13 @@ void run() {
     const auto ours =
         kernels::spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts);
 
-    bwh.push_back(cus_h.bw_utilization);
-    bwf.push_back(cus_f.bw_utilization);
-    bwo.push_back(ours.bw_utilization);
-    smh.push_back(cus_h.sm_utilization);
-    smf.push_back(cus_f.sm_utilization);
-    smo.push_back(ours.sm_utilization);
-    t.row({short_name(d), fmt_pct(cus_h.bw_utilization),
-           fmt_pct(cus_f.bw_utilization), fmt_pct(ours.bw_utilization),
-           fmt_pct(cus_h.sm_utilization), fmt_pct(cus_f.sm_utilization),
-           fmt_pct(ours.sm_utilization)});
+    t.row(short_name(d),
+          {cus_h.bw_utilization, cus_f.bw_utilization, ours.bw_utilization,
+           cus_h.sm_utilization, cus_f.sm_utilization, ours.sm_utilization});
   }
-  t.row({"AVERAGE", fmt_pct(mean(bwh)), fmt_pct(mean(bwf)),
-         fmt_pct(mean(bwo)), fmt_pct(mean(smh)), fmt_pct(mean(smf)),
-         fmt_pct(mean(smo))});
-  std::cout << "=== Fig. 10: SpMM utilization (paper avg BW%: 20.2 / 52.0 / "
-               "80.9; SM%: 21.6 / 50.8 / 72.3) ===\n";
-  t.print();
+  t.finish(
+      "=== Fig. 10: SpMM utilization (paper avg BW%: 20.2 / 52.0 / "
+      "80.9; SM%: 21.6 / 50.8 / 72.3) ===");
 }
 
 }  // namespace

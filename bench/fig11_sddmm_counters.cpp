@@ -9,10 +9,13 @@ namespace hg::bench {
 namespace {
 
 void run() {
-  Table t({"dataset", "BW% DGL-half", "BW% DGL-float", "BW% HalfGNN"});
-  std::vector<double> bh, bf, bo;
+  BenchTable t("fig11_sddmm_counters", "dataset",
+               {{"BW% DGL-half", CellFmt::kPct},
+                {"BW% DGL-float", CellFmt::kPct},
+                {"BW% HalfGNN", CellFmt::kPct}});
   const auto& spec = simt::a100_spec();
   const int feat = 64;
+  t.report().meta("feat", static_cast<std::int64_t>(feat));
 
   for (DatasetId id : perf_dataset_ids()) {
     const Dataset d = make_dataset(id);
@@ -28,17 +31,12 @@ void run() {
     const auto df = kernels::sddmm_dgl_f32(spec, true, g, xf, xf, ef, feat);
     const auto ours = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
                                              feat, kernels::SddmmVec::kHalf8);
-    bh.push_back(dh.bw_utilization);
-    bf.push_back(df.bw_utilization);
-    bo.push_back(ours.bw_utilization);
-    t.row({short_name(d), fmt_pct(dh.bw_utilization),
-           fmt_pct(df.bw_utilization), fmt_pct(ours.bw_utilization)});
+    t.row(short_name(d),
+          {dh.bw_utilization, df.bw_utilization, ours.bw_utilization});
   }
-  t.row({"AVERAGE", fmt_pct(mean(bh)), fmt_pct(mean(bf)),
-         fmt_pct(mean(bo))});
-  std::cout << "=== Fig. 11: SDDMM bandwidth utilization (paper avg: 50.9 / "
-               "50.6 / 83.7) ===\n";
-  t.print();
+  t.finish(
+      "=== Fig. 11: SDDMM bandwidth utilization (paper avg: 50.9 / "
+      "50.6 / 83.7) ===");
 }
 
 }  // namespace

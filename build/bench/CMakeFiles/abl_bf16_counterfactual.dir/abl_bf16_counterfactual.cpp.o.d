@@ -177,6 +177,7 @@ bench/CMakeFiles/abl_bf16_counterfactual.dir/abl_bf16_counterfactual.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -227,8 +228,7 @@ bench/CMakeFiles/abl_bf16_counterfactual.dir/abl_bf16_counterfactual.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/simt/warp.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/simt/warp.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -238,6 +238,7 @@ bench/CMakeFiles/abl_bf16_counterfactual.dir/abl_bf16_counterfactual.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/simt/spec.hpp /root/repo/src/simt/stats.hpp \
  /root/repo/src/simt/launch.hpp /root/repo/src/util/aligned.hpp \
+ /root/repo/src/obs/report.hpp /root/repo/src/obs/json.hpp \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/util/table.hpp /usr/include/c++/12/iomanip \
  /usr/include/c++/12/locale \

@@ -238,7 +238,17 @@ src/nn/CMakeFiles/hg_nn.dir/models.cpp.o: /root/repo/src/nn/models.cpp \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/simt/spec.hpp /root/repo/src/simt/stats.hpp \
  /root/repo/src/simt/launch.hpp /root/repo/src/util/aligned.hpp \
- /root/repo/src/tensor/ledger.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/ledger.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/json.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/tensor/tensor.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/tensor/dense_ops.hpp \
  /root/repo/src/nn/sparse_dispatch.hpp \
  /root/repo/src/kernels/edge_ops.hpp

@@ -217,9 +217,18 @@ src/nn/CMakeFiles/hg_nn.dir/sparse_dispatch.cpp.o: \
  /root/repo/src/simt/spec.hpp /root/repo/src/simt/stats.hpp \
  /root/repo/src/simt/launch.hpp /root/repo/src/util/aligned.hpp \
  /root/repo/src/nn/common.hpp /root/repo/src/graph/datasets.hpp \
- /root/repo/src/tensor/ledger.hpp /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/tensor/ledger.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -239,7 +248,8 @@ src/nn/CMakeFiles/hg_nn.dir/sparse_dispatch.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/obs/trace.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/kernels/sddmm.hpp \
  /root/repo/src/kernels/spmm_cusparse_like.hpp \
  /root/repo/src/kernels/spmm_halfgnn.hpp \

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hg_obs.dir/metrics.cpp.o"
+  "CMakeFiles/hg_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/hg_obs.dir/report.cpp.o"
+  "CMakeFiles/hg_obs.dir/report.cpp.o.d"
+  "CMakeFiles/hg_obs.dir/trace.cpp.o"
+  "CMakeFiles/hg_obs.dir/trace.cpp.o.d"
+  "libhg_obs.a"
+  "libhg_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hg_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

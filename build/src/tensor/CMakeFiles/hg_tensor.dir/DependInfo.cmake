@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/half/CMakeFiles/hg_half.dir/DependInfo.cmake"
   "/root/repo/build/src/simt/CMakeFiles/hg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hg_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -329,4 +329,8 @@ tests/CMakeFiles/test_dispatch.dir/nn/dispatch_test.cpp.o: \
  /root/repo/src/nn/sparse_dispatch.hpp \
  /root/repo/src/kernels/edge_ops.hpp /root/repo/src/nn/common.hpp \
  /root/repo/src/graph/datasets.hpp /root/repo/src/tensor/ledger.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/dense_ops.hpp
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/json.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/dense_ops.hpp

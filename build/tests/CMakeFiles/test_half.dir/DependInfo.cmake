@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tensor/CMakeFiles/hg_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/amp/CMakeFiles/hg_amp.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/hg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hg_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

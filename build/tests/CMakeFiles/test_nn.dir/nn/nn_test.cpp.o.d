@@ -318,6 +318,9 @@ tests/CMakeFiles/test_nn.dir/nn/nn_test.cpp.o: \
  /root/repo/src/graph/generators.hpp /root/repo/src/graph/graph.hpp \
  /usr/include/c++/12/span /root/repo/src/util/rng.hpp \
  /root/repo/src/nn/trainer.hpp /root/repo/src/amp/amp.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/json.hpp \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/half/half.hpp \
  /usr/include/c++/12/cstring /root/repo/src/util/aligned.hpp \
  /root/repo/src/nn/models.hpp /root/repo/src/nn/linear.hpp \
@@ -330,6 +333,6 @@ tests/CMakeFiles/test_nn.dir/nn/nn_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/simt/spec.hpp /root/repo/src/simt/stats.hpp \
  /root/repo/src/simt/launch.hpp /root/repo/src/tensor/ledger.hpp \
- /root/repo/src/tensor/dense_ops.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/tensor/dense_ops.hpp \
  /root/repo/src/nn/sparse_dispatch.hpp \
  /root/repo/src/kernels/edge_ops.hpp

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/counter_guard_test.cpp" "tests/CMakeFiles/test_obs.dir/obs/counter_guard_test.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/counter_guard_test.cpp.o.d"
+  "/root/repo/tests/obs/obs_test.cpp" "tests/CMakeFiles/test_obs.dir/obs/obs_test.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/obs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/half/CMakeFiles/hg_half.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/hg_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/hg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/amp/CMakeFiles/hg_amp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hg_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

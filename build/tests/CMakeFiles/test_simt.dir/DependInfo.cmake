@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/simt/simt_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/simt_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/simt_test.cpp.o.d"
+  "/root/repo/tests/simt/stats_test.cpp" "tests/CMakeFiles/test_simt.dir/simt/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/stats_test.cpp.o.d"
   )
 
 # Targets to which this target links.
@@ -20,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tensor/CMakeFiles/hg_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/amp/CMakeFiles/hg_amp.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/hg_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/hg_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

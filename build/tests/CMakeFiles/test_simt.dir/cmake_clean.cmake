@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_simt.dir/simt/simt_test.cpp.o"
   "CMakeFiles/test_simt.dir/simt/simt_test.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/stats_test.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/stats_test.cpp.o.d"
   "test_simt"
   "test_simt.pdb"
   "test_simt[1]_tests.cmake"

@@ -316,7 +316,11 @@ tests/CMakeFiles/test_tensor.dir/tensor/tensor_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/tensor/dense_ops.hpp /usr/include/c++/12/span \
- /root/repo/src/tensor/ledger.hpp /root/repo/src/simt/stats.hpp \
- /root/repo/src/simt/spec.hpp /root/repo/src/tensor/tensor.hpp \
- /root/repo/src/half/half.hpp /usr/include/c++/12/cstring \
- /root/repo/src/util/aligned.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/tensor/ledger.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/obs/json.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/simt/stats.hpp /root/repo/src/simt/spec.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/half/half.hpp \
+ /usr/include/c++/12/cstring /root/repo/src/util/aligned.hpp \
+ /root/repo/src/util/rng.hpp

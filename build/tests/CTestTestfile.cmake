@@ -16,3 +16,4 @@ include("/root/repo/build/tests/test_invariants[1]_include.cmake")
 include("/root/repo/build/tests/test_tensor[1]_include.cmake")
 include("/root/repo/build/tests/test_nn[1]_include.cmake")
 include("/root/repo/build/tests/test_dispatch[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")

@@ -6,12 +6,17 @@
 //
 //   e.g.   ./build/examples/train_cli --dataset 15 --model gcn
 //              --mode halfgnn --epochs 60 --profile
+//
+//   Observability: HALFGNN_TRACE=<path> exports a Chrome trace of the run
+//   on the modeled timeline; HALFGNN_METRICS=<path> dumps the metrics
+//   registry (both optional; see DESIGN.md "Observability").
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "graph/datasets.hpp"
 #include "nn/trainer.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -120,6 +125,9 @@ int main(int argc, char** argv) {
   }
   if (!have_lr) cfg.lr = nn::default_config(model).lr;
 
+  const obs::EnvConfig obs_cfg = obs::init_from_env();
+  if (!obs_cfg.trace_path.empty()) cfg.trace = true;
+
   Dataset d = make_dataset(static_cast<DatasetId>(dataset));
   ensure_features(d);
   std::printf("training %s / %s on %s (|V|=%d |E|=%ld), %d epochs, lr %g\n",
@@ -142,5 +150,23 @@ int main(int argc, char** argv) {
         res.epoch_ledger.dense_ms, res.epoch_ledger.convert_ms,
         res.epoch_ledger.dispatch_ms());
   }
-  return 0;
+  const obs::WriteStatus obs_st = obs::write_configured_outputs(obs_cfg);
+  if (!obs_cfg.trace_path.empty()) {
+    if (obs_st.trace_ok) {
+      std::printf("trace written       : %s (chrome://tracing)\n",
+                  obs_cfg.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write trace to %s\n",
+                   obs_cfg.trace_path.c_str());
+    }
+  }
+  if (!obs_cfg.metrics_path.empty()) {
+    if (obs_st.metrics_ok) {
+      std::printf("metrics written     : %s\n", obs_cfg.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write metrics to %s\n",
+                   obs_cfg.metrics_path.c_str());
+    }
+  }
+  return (obs_st.trace_ok && obs_st.metrics_ok) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hg::amp {
@@ -43,18 +44,28 @@ class GradScaler {
   // Call with whether any unscaled master gradient was non-finite.
   // Returns true if the optimizer step should proceed.
   bool update(bool found_nonfinite) {
+    bool step = true;
     if (found_nonfinite) {
       scale_ = std::max(1.0f, scale_ * backoff_);
       clean_steps_ = 0;
       ++skipped_;
-      return false;
+      step = false;
+    } else {
+      if (++clean_steps_ >= growth_interval_) {
+        scale_ = std::min(65536.0f, scale_ * growth_);
+        clean_steps_ = 0;
+      }
+      ++stepped_;
     }
-    if (++clean_steps_ >= growth_interval_) {
-      scale_ = std::min(65536.0f, scale_ * growth_);
-      clean_steps_ = 0;
+    // Loss-scale trajectory and skip count into the metrics registry (the
+    // Fig. 1 diagnostic: a scale pinned at 1 with a climbing skip counter
+    // is the signature of unrecoverable forward overflow).
+    if (obs::registry().enabled()) {
+      obs::registry().set_gauge("amp.loss_scale",
+                                static_cast<double>(scale_));
+      obs::registry().add_counter(step ? "amp.steps" : "amp.skipped_steps");
     }
-    ++stepped_;
-    return true;
+    return step;
   }
 
   int skipped_steps() const noexcept { return skipped_; }

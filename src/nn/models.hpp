@@ -9,6 +9,7 @@
 
 #include "nn/linear.hpp"
 #include "nn/sparse_dispatch.hpp"
+#include "obs/trace.hpp"
 
 namespace hg::nn {
 
@@ -20,6 +21,7 @@ class GcnConv {
   GcnConv(int in, int out, Rng& rng) : lin_(in, out, /*bias=*/true, rng) {}
 
   MTensor forward(const SparseCtx& ctx, const GraphCtx& g, const MTensor& x) {
+    HG_TRACE_SCOPE("GcnConv::forward", "layer");
     MTensor z = lin_.forward(ctx, x);
     // DGL modes: sum + post degree-norm (overflows in half at hubs);
     // HalfGNN: discretized-scaled mean — same math, protected range.
@@ -28,6 +30,7 @@ class GcnConv {
 
   MTensor backward(const SparseCtx& ctx, const GraphCtx& g,
                    const MTensor& dy) {
+    HG_TRACE_SCOPE("GcnConv::backward", "layer");
     // d(D^-1 A z) / dz = A^T D^-1: scale rows by 1/deg, then SpMM-sum over
     // the (symmetric) transpose.
     MTensor t = to_dtype(dy, dy.dtype(), nullptr);
@@ -57,6 +60,7 @@ class GinConv {
   // is exactly why DGL-half still overflows. HalfGNN uses Eq. 4:
   // discretized mean plus the lambda damping.
   MTensor forward(const SparseCtx& ctx, const GraphCtx& g, const MTensor& x) {
+    HG_TRACE_SCOPE("GinConv::forward", "layer");
     const bool eq4 = ctx.mode == SystemMode::kHalfGnn;
     const float lambda = eq4 ? kLambda : 1.0f;
     MTensor agg = spmm(ctx, g, nullptr, x, kernels::Reduce::kMean);
@@ -70,6 +74,7 @@ class GinConv {
 
   MTensor backward(const SparseCtx& ctx, const GraphCtx& g,
                    const MTensor& dout) {
+    HG_TRACE_SCOPE("GinConv::backward", "layer");
     const bool eq4 = ctx.mode == SystemMode::kHalfGnn;
     const float lambda = eq4 ? kLambda : 1.0f;
     MTensor dh = mlp2_.backward(ctx, dout);
@@ -114,6 +119,7 @@ class GatConv {
   }
 
   MTensor forward(const SparseCtx& ctx, const GraphCtx& g, const MTensor& x) {
+    HG_TRACE_SCOPE("GatConv::forward", "layer");
     z_ = lin_.forward(ctx, x);
     MTensor el = MTensor::zeros(z_.dtype(), z_.rows(), 1);
     MTensor er = MTensor::zeros(z_.dtype(), z_.rows(), 1);
@@ -136,6 +142,7 @@ class GatConv {
 
   MTensor backward(const SparseCtx& ctx, const GraphCtx& g,
                    const MTensor& dy) {
+    HG_TRACE_SCOPE("GatConv::backward", "layer");
     // d alpha_e = dot(dy[row], z[col]) — the backward SDDMM (Sec. 2.1.2).
     MTensor dalpha = sddmm(ctx, g, dy, z_);
     // dz (aggregation term) = SpMMve(alpha, dy) over A^T.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm_cusparse_like.hpp"
 #include "kernels/spmm_halfgnn.hpp"
@@ -13,6 +14,15 @@ namespace {
 
 void charge(const SparseCtx& ctx, const simt::KernelStats& ks) {
   if (ctx.ledger != nullptr) ctx.ledger->add_sparse(ks);
+}
+
+// Record which kernel variant a mode-dispatched op resolved to and why —
+// an instant trace event plus a dispatch.<op>.<kernel> counter. Only pays
+// when the tracer or registry is enabled.
+void decided(const char* op, const char* kernel, const char* why) {
+  if (obs::tracer().enabled() || obs::registry().enabled()) {
+    obs::dispatch_decision(op, kernel, why);
+  }
 }
 
 // kDglHalf promotion helper: run `f32_op` on a half tensor through the AMP
@@ -32,6 +42,8 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
   MTensor y = MTensor::zeros(x.dtype(), g.n(), feat);
   switch (ctx.mode) {
     case SystemMode::kDglFloat: {
+      decided("spmm", "spmm_cusparse_f32",
+              "mode=DGL-float: row-parallel f32 cuSPARSE-like path");
       charge(ctx, kernels::spmm_cusparse_f32(
                       *ctx.spec, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->f()
@@ -40,6 +52,9 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
       break;
     }
     case SystemMode::kDglHalf: {
+      decided("spmm", "spmm_cusparse_f16",
+              "mode=DGL-half: scalar-load half path with atomic-half "
+              "accumulation (Fig. 3a arithmetic)");
       charge(ctx, kernels::spmm_cusparse_f16(
                       *ctx.spec, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->h()
@@ -51,6 +66,9 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
       kernels::HalfgnnSpmmOpts opts;
       opts.reduce = reduce;
       opts.scale = kernels::ScaleMode::kDiscretized;
+      decided("spmm", "spmm_halfgnn",
+              "mode=HalfGNN: edge-parallel half2 with discretized scaling "
+              "(overflow-protected reduction)");
       charge(ctx, kernels::spmm_halfgnn(
                       *ctx.spec, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->h()
@@ -81,14 +99,20 @@ MTensor sddmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor& a,
   MTensor out = MTensor::zeros(a.dtype(), g.m(), 1);
   switch (ctx.mode) {
     case SystemMode::kDglFloat:
+      decided("sddmm", "sddmm_dgl_f32",
+              "mode=DGL-float: scalar f32 dot per edge");
       charge(ctx, kernels::sddmm_dgl_f32(*ctx.spec, ctx.profiled, g.view(),
                                          a.f(), b.f(), out.f(), feat));
       break;
     case SystemMode::kDglHalf:
+      decided("sddmm", "sddmm_dgl_f16",
+              "mode=DGL-half: scalar half loads (no vectorization)");
       charge(ctx, kernels::sddmm_dgl_f16(*ctx.spec, ctx.profiled, g.view(),
                                          a.h(), b.h(), out.h(), feat));
       break;
     case SystemMode::kHalfGnn:
+      decided("sddmm", "sddmm_halfgnn",
+              "mode=HalfGNN: half8 vectorized loads (4x fewer sectors)");
       charge(ctx, kernels::sddmm_halfgnn(*ctx.spec, ctx.profiled, g.view(),
                                          a.h(), b.h(), out.h(), feat,
                                          kernels::SddmmVec::kHalf8));
@@ -101,6 +125,7 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
                    const MTensor& edge_vals, kernels::SegReduce reduce) {
   if (ctx.mode == SystemMode::kDglFloat) {
     MTensor out = MTensor::f32(g.n(), 1);
+    decided("seg_reduce", "edge_segment_reduce_f32", "mode=DGL-float");
     charge(ctx, kernels::edge_segment_reduce_f32(*ctx.spec, ctx.profiled,
                                                  g.view(), edge_vals.f(),
                                                  out.f(), reduce));
@@ -109,6 +134,9 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
   if (ctx.mode == SystemMode::kDglHalf &&
       reduce == kernels::SegReduce::kSum) {
     // AMP: 'sum' is float-promoted.
+    decided("seg_reduce", "edge_segment_reduce_f32",
+            "mode=DGL-half: AMP promotes 'sum' to float "
+            "(half->f32->half round trip)");
     return promoted(ctx, edge_vals, [&](const MTensor& in_f) {
       MTensor out = MTensor::f32(g.n(), 1);
       charge(ctx, kernels::edge_segment_reduce_f32(*ctx.spec, ctx.profiled,
@@ -118,6 +146,10 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
     });
   }
   MTensor out = MTensor::f16(g.n(), 1);
+  decided("seg_reduce", "edge_segment_reduce_f16",
+          ctx.mode == SystemMode::kHalfGnn
+              ? "mode=HalfGNN: shadow half reduction (range-safe)"
+              : "mode=DGL-half: max/min stay half under AMP");
   charge(ctx, kernels::edge_segment_reduce_f16(*ctx.spec, ctx.profiled,
                                                g.view(), edge_vals.h(),
                                                out.h(), reduce));
@@ -145,6 +177,7 @@ MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
   switch (ctx.mode) {
     case SystemMode::kDglFloat: {
       MTensor out = MTensor::f32(g.m(), 1);
+      decided("edge_exp", "edge_exp_sub_row_f32", "mode=DGL-float");
       charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.spec, ctx.profiled,
                                                 g.view(), vals.f(),
                                                 rowv.f(), out.f()));
@@ -153,6 +186,9 @@ MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
     case SystemMode::kDglHalf: {
       // AMP promotes exp: both operands ride to float, the result rides
       // back (the exact churn Sec. 3.1.2 dissects).
+      decided("edge_exp", "edge_exp_sub_row_f32",
+              "mode=DGL-half: autocast promotes exp to f32 "
+              "(conversion churn both ways)");
       MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
       return promoted(ctx, vals, [&](const MTensor& vals_f) {
         MTensor out = MTensor::f32(g.m(), 1);
@@ -164,6 +200,8 @@ MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
     }
     case SystemMode::kHalfGnn: {
       // Shadow exp (Sec. 5.3): vals - rowmax <= 0, so half is safe.
+      decided("edge_exp", "edge_exp_sub_row_f16",
+              "mode=HalfGNN: shadow half exp (e - max <= 0, in range)");
       MTensor out = MTensor::f16(g.m(), 1);
       charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.spec, ctx.profiled,
                                                 g.view(), vals.h(),

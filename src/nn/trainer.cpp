@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/dense_ops.hpp"
 
 namespace hg::nn {
@@ -75,11 +77,31 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   TrainResult res;
   int adam_t = 0;
 
+  obs::Span run_span(std::string("train:") + model_name(kind) + "/" +
+                         mode_name(mode),
+                     "run");
+  run_span.arg("model", model_name(kind));
+  run_span.arg("mode", mode_name(mode));
+  run_span.arg("dataset", d.name);
+  run_span.arg("vertices", static_cast<std::int64_t>(d.num_vertices()));
+  run_span.arg("edges", static_cast<std::int64_t>(d.num_edges()));
+  run_span.arg("epochs", static_cast<std::int64_t>(cfg.epochs));
+  const bool snapshot_metrics = obs::registry().enabled();
+
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span("epoch", "epoch");
+    epoch_span.arg("epoch", static_cast<std::int64_t>(epoch));
+
+    // A scratch ledger keeps the dense/convert trace hooks charging the
+    // modeled timeline on traced epochs beyond epoch 0, without touching
+    // the epoch_ledger contract (one representative epoch).
+    CostLedger scratch_ledger;
     SparseCtx ctx;
     ctx.mode = mode;
-    ctx.profiled = cfg.profile_first_epoch && epoch == 0;
-    ctx.ledger = ctx.profiled ? &res.epoch_ledger : nullptr;
+    ctx.profiled = (cfg.profile_first_epoch && epoch == 0) || cfg.trace;
+    ctx.ledger = cfg.profile_first_epoch && epoch == 0 ? &res.epoch_ledger
+                 : ctx.profiled                        ? &scratch_ledger
+                                                       : nullptr;
     ctx.meter = epoch == 0 ? &res.memory : nullptr;
     if (ctx.ledger != nullptr) {
       // Framework dispatch per launched kernel: DGL's Python/op overhead
@@ -90,14 +112,24 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
 
     for (auto* p : model->params()) p->zero_grad();
 
-    MTensor logits = model->forward(ctx, g, x);
+    MTensor logits = [&] {
+      HG_TRACE_SCOPE("forward", "phase");
+      return model->forward(ctx, g, x);
+    }();
     const float gscale = half ? scaler.scale() : 1.0f;
     MTensor dlogits;
-    const LossResult lr = softmax_xent(logits, d.labels, d.train_mask,
-                                       /*use_masked=*/true, classes, gscale,
-                                       &dlogits, ctx.ledger);
-    model->backward(ctx, g, dlogits);
+    const LossResult lr = [&] {
+      HG_TRACE_SCOPE("loss", "phase");
+      return softmax_xent(logits, d.labels, d.train_mask,
+                          /*use_masked=*/true, classes, gscale, &dlogits,
+                          ctx.ledger);
+    }();
+    {
+      HG_TRACE_SCOPE("backward", "phase");
+      model->backward(ctx, g, dlogits);
+    }
 
+    obs::Span opt_span("optimizer", "phase");
     const float inv_scale = 1.0f / gscale;
     bool nonfinite = false;
     for (auto* p : model->params()) {
@@ -110,6 +142,8 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
         p->adam_step(cfg.lr, 0.9f, 0.999f, 1e-8f, inv_scale, adam_t);
       }
     }
+    opt_span.arg("stepped", do_step ? "yes" : "skipped");
+    opt_span.arg("loss_scale", static_cast<double>(gscale));
 
     res.losses.push_back(lr.loss);
     if (std::isnan(lr.loss)) ++res.nan_loss_epochs;
@@ -117,6 +151,23 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
         masked_accuracy(logits, d.labels, d.train_mask, 0, classes);
     res.test_accs.push_back(acc);
     res.best_test_acc = std::max(res.best_test_acc, acc);
+
+    epoch_span.arg("loss", lr.loss);
+    epoch_span.arg("train_acc", acc);
+    if (snapshot_metrics) {
+      auto& reg = obs::registry();
+      reg.set_gauge("train.loss", lr.loss);
+      reg.set_gauge("train.acc", acc);
+      reg.set_gauge("train.epoch", epoch);
+      if (ctx.ledger != nullptr) {
+        reg.set_gauge("ledger.epoch_dense_ms", ctx.ledger->dense_ms);
+        reg.set_gauge("ledger.epoch_sparse_ms", ctx.ledger->sparse_ms);
+        reg.set_gauge("ledger.epoch_convert_ms", ctx.ledger->convert_ms);
+        reg.set_gauge("ledger.epoch_dispatch_ms", ctx.ledger->dispatch_ms());
+        reg.set_gauge("ledger.epoch_total_ms", ctx.ledger->total_ms());
+      }
+      reg.snapshot_epoch(epoch);
+    }
     if (cfg.verbose && epoch % 10 == 0) {
       std::printf("[%s/%s] epoch %3d loss %.4f test-acc %.4f scale %g\n",
                   model_name(kind), mode_name(mode), epoch, lr.loss, acc,
@@ -125,6 +176,8 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   }
   res.final_test_acc = res.test_accs.empty() ? 0.0 : res.test_accs.back();
   res.scaler_skipped = scaler.skipped_steps();
+  run_span.arg("final_test_acc", res.final_test_acc);
+  run_span.arg("scaler_skipped", static_cast<std::int64_t>(res.scaler_skipped));
 
   // Parameter + input memory.
   for (auto* p : model->params()) {
@@ -136,6 +189,21 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     res.memory.add_state(x.numel() * 4);
   }
   fill_memory_model(res.memory, mode, d, cfg.hidden);
+  if (obs::registry().enabled()) {
+    auto& reg = obs::registry();
+    reg.set_gauge("memory.graph_bytes",
+                  static_cast<double>(res.memory.graph_bytes));
+    reg.set_gauge("memory.state_bytes",
+                  static_cast<double>(res.memory.state_bytes));
+    reg.set_gauge("memory.param_bytes",
+                  static_cast<double>(res.memory.param_bytes));
+    reg.set_gauge("memory.workspace_bytes",
+                  static_cast<double>(res.memory.workspace_bytes));
+    reg.set_gauge("memory.framework_overhead",
+                  static_cast<double>(res.memory.framework_overhead));
+    reg.set_gauge("memory.total_bytes",
+                  static_cast<double>(res.memory.total()));
+  }
   return res;
 }
 

@@ -18,6 +18,12 @@ struct TrainConfig {
   // time (identical numerics; the model is shape-deterministic so one
   // epoch's cost represents them all).
   bool profile_first_epoch = false;
+  // Observability: run EVERY epoch under the cost model and emit nested
+  // run -> epoch -> phase -> kernel spans into obs::tracer() plus per-epoch
+  // snapshots into obs::registry() (whichever of the two is enabled).
+  // Numerics are identical either way (profiled == unprofiled bits); with
+  // tracing off nothing is recorded and nothing changes.
+  bool trace = false;
   bool verbose = false;
 };
 

@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace hg::obs {
+
+namespace {
+
+double bucket_bound(int i) {
+  // 1e-6, 1e-5, ..., 1e9.
+  return std::pow(10.0, i - 6);
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  kernels_.clear();
+  snapshots_.clear();
+}
+
+void Registry::add_counter(const std::string& name, double v) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_[name] += v;
+}
+
+void Registry::set_gauge(const std::string& name, double v) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_[name] = v;
+}
+
+void Registry::observe(const std::string& name, double v) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  Histogram& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = h.max = v;
+  } else {
+    h.min = std::min(h.min, v);
+    h.max = std::max(h.max, v);
+  }
+  ++h.count;
+  h.sum += v;
+  int b = 0;
+  while (b < Histogram::kBuckets && v > bucket_bound(b)) ++b;
+  ++h.bucket[b];
+}
+
+void Registry::publish_kernel(
+    const std::string& kernel,
+    std::initializer_list<std::pair<const char*, double>> counters) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  KernelEntry& e = kernels_[kernel];
+  ++e.launches;
+  for (const auto& kv : counters) e.sums[kv.first] += kv.second;
+}
+
+double Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double Registry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, Registry::KernelEntry> Registry::kernels() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return kernels_;
+}
+
+void Registry::snapshot_epoch(int epoch) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot s;
+  s.epoch = epoch;
+  s.counters = counters_;
+  s.gauges = gauges_;
+  snapshots_.push_back(std::move(s));
+}
+
+Json Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Json doc = Json::object();
+  doc.set("schema", "halfgnn-metrics-v1");
+
+  Json counters = Json::object();
+  for (const auto& kv : counters_) counters.set(kv.first, kv.second);
+  doc.set("counters", std::move(counters));
+
+  Json gauges = Json::object();
+  for (const auto& kv : gauges_) gauges.set(kv.first, kv.second);
+  doc.set("gauges", std::move(gauges));
+
+  Json hists = Json::object();
+  for (const auto& kv : histograms_) {
+    const Histogram& h = kv.second;
+    Json jh = Json::object();
+    jh.set("count", h.count);
+    jh.set("sum", h.sum);
+    jh.set("min", h.min);
+    jh.set("max", h.max);
+    Json buckets = Json::array();
+    for (int b = 0; b <= Histogram::kBuckets; ++b) {
+      if (h.bucket[b] == 0) continue;
+      Json jb = Json::object();
+      if (b < Histogram::kBuckets) {
+        jb.set("le", bucket_bound(b));
+      } else {
+        jb.set("le", "inf");
+      }
+      jb.set("count", h.bucket[b]);
+      buckets.push(std::move(jb));
+    }
+    jh.set("buckets", std::move(buckets));
+    hists.set(kv.first, std::move(jh));
+  }
+  doc.set("histograms", std::move(hists));
+
+  Json kernels = Json::object();
+  for (const auto& kv : kernels_) {
+    const KernelEntry& e = kv.second;
+    Json jk = Json::object();
+    jk.set("launches", e.launches);
+    for (const auto& c : e.sums) jk.set(c.first, c.second);
+    // Aggregate utilizations: raw numerators over raw capacities, the same
+    // rule KernelStats::operator+= uses (see simt/stats.cpp).
+    const auto sum_of = [&](const char* k) {
+      const auto it = e.sums.find(k);
+      return it == e.sums.end() ? 0.0 : it->second;
+    };
+    const double bw_cap = sum_of("bw_cap_bytes");
+    if (bw_cap > 0) {
+      jk.set("bw_utilization", sum_of("bytes_moved") / bw_cap);
+    }
+    const double sm_cap = sum_of("sm_cap_cycles");
+    if (sm_cap > 0) {
+      jk.set("sm_utilization",
+             std::min(1.0, (sum_of("issue_cycles") + sum_of("mem_cycles") -
+                            sum_of("atomic_wait_cycles")) /
+                               sm_cap));
+    }
+    kernels.set(kv.first, std::move(jk));
+  }
+  doc.set("kernels", std::move(kernels));
+
+  Json epochs = Json::array();
+  for (const auto& s : snapshots_) {
+    Json js = Json::object();
+    js.set("epoch", s.epoch);
+    Json jc = Json::object();
+    for (const auto& kv : s.counters) jc.set(kv.first, kv.second);
+    js.set("counters", std::move(jc));
+    Json jg = Json::object();
+    for (const auto& kv : s.gauges) jg.set(kv.first, kv.second);
+    js.set("gauges", std::move(jg));
+    epochs.push(std::move(js));
+  }
+  doc.set("epochs", std::move(epochs));
+  return doc;
+}
+
+bool Registry::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json().dump(1) << '\n';
+  return static_cast<bool>(f);
+}
+
+}  // namespace hg::obs

@@ -1,0 +1,224 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace hg::obs {
+
+void PerfReport::add_row(const std::string& id,
+                         const std::vector<double>& cells) {
+  Json row = Json::object();
+  row.set("id", id);
+  Json jc = Json::object();
+  for (std::size_t i = 0; i < cells.size() && i < columns_.size(); ++i) {
+    if (std::isnan(cells[i])) {
+      jc.set(columns_[i], Json());
+    } else {
+      jc.set(columns_[i], cells[i]);
+    }
+  }
+  row.set("cells", std::move(jc));
+  rows_.push(std::move(row));
+}
+
+void PerfReport::add_kernel(
+    const std::string& kernel,
+    const std::vector<std::pair<std::string, double>>& sums,
+    std::uint64_t launches) {
+  Json jk = Json::object();
+  jk.set("launches", launches);
+  for (const auto& kv : sums) jk.set(kv.first, kv.second);
+  kernels_.set(kernel, std::move(jk));
+}
+
+Json PerfReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("schema", "halfgnn-bench-v1");
+  doc.set("name", name_);
+  doc.set("meta", meta_);
+  Json cols = Json::array();
+  for (const auto& c : columns_) cols.push(c);
+  doc.set("columns", std::move(cols));
+  doc.set("rows", rows_);
+  doc.set("summary", summary_);
+  doc.set("kernels", kernels_);
+  return doc;
+}
+
+bool PerfReport::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json().dump(1) << '\n';
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+std::string check_string_field(const Json& doc, const char* key) {
+  const Json* v = doc.find(key);
+  if (v == nullptr) return std::string("missing \"") + key + "\"";
+  if (!v->is_string() || v->as_string().empty()) {
+    return std::string("\"") + key + "\" must be a non-empty string";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validate_bench_report(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (auto e = check_string_field(doc, "schema"); !e.empty()) return e;
+  if (doc.find("schema")->as_string() != "halfgnn-bench-v1") {
+    return "schema is not halfgnn-bench-v1";
+  }
+  if (auto e = check_string_field(doc, "name"); !e.empty()) return e;
+
+  const Json* cols = doc.find("columns");
+  if (cols == nullptr || !cols->is_array()) {
+    return "missing \"columns\" array";
+  }
+  std::vector<std::string> names;
+  for (const auto& c : cols->items()) {
+    if (!c.is_string()) return "column names must be strings";
+    names.push_back(c.as_string());
+  }
+
+  const Json* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array()) return "missing \"rows\" array";
+  for (const auto& row : rows->items()) {
+    if (!row.is_object()) return "row is not an object";
+    if (auto e = check_string_field(row, "id"); !e.empty()) {
+      return "row: " + e;
+    }
+    const Json* cells = row.find("cells");
+    if (cells == nullptr || !cells->is_object()) {
+      return "row \"" + row.find("id")->as_string() +
+             "\" has no \"cells\" object";
+    }
+    for (const auto& kv : cells->members()) {
+      if (std::find(names.begin(), names.end(), kv.first) == names.end()) {
+        return "row cell \"" + kv.first + "\" not declared in columns";
+      }
+      if (!kv.second.is_number() && !kv.second.is_null()) {
+        return "row cell \"" + kv.first + "\" is not numeric";
+      }
+    }
+  }
+
+  const Json* summary = doc.find("summary");
+  if (summary != nullptr && summary->is_object()) {
+    for (const auto& kv : summary->members()) {
+      if (!kv.second.is_number()) {
+        return "summary \"" + kv.first + "\" is not numeric";
+      }
+    }
+  }
+
+  const Json* kernels = doc.find("kernels");
+  if (kernels != nullptr && kernels->is_object()) {
+    for (const auto& kv : kernels->members()) {
+      if (!kv.second.is_object()) {
+        return "kernel \"" + kv.first + "\" entry is not an object";
+      }
+      const Json* launches = kv.second.find("launches");
+      if (launches == nullptr || !launches->is_number()) {
+        return "kernel \"" + kv.first + "\" has no numeric \"launches\"";
+      }
+    }
+  }
+  return {};
+}
+
+std::string validate_metrics_json(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  if (auto e = check_string_field(doc, "schema"); !e.empty()) return e;
+  if (doc.find("schema")->as_string() != "halfgnn-metrics-v1") {
+    return "schema is not halfgnn-metrics-v1";
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    const Json* s = doc.find(section);
+    if (s == nullptr || !s->is_object()) {
+      return std::string("missing \"") + section + "\" object";
+    }
+    for (const auto& kv : s->members()) {
+      if (!kv.second.is_number()) {
+        return std::string(section) + " \"" + kv.first + "\" is not numeric";
+      }
+    }
+  }
+  const Json* kernels = doc.find("kernels");
+  if (kernels == nullptr || !kernels->is_object()) {
+    return "missing \"kernels\" object";
+  }
+  const Json* epochs = doc.find("epochs");
+  if (epochs == nullptr || !epochs->is_array()) {
+    return "missing \"epochs\" array";
+  }
+  for (const auto& s : epochs->items()) {
+    if (!s.is_object() || s.find("epoch") == nullptr ||
+        !s.find("epoch")->is_number()) {
+      return "epoch snapshot lacks a numeric \"epoch\"";
+    }
+  }
+  return {};
+}
+
+std::string validate_chrome_trace(const Json& doc) {
+  if (!doc.is_object()) return "document is not an object";
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return "missing \"traceEvents\" array";
+  }
+  struct SpanEv {
+    double ts = 0;
+    double dur = 0;
+  };
+  std::vector<SpanEv> spans;
+  for (const auto& e : events->items()) {
+    if (!e.is_object()) return "event is not an object";
+    const Json* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return "event has no \"ph\" string";
+    }
+    if (e.find("name") == nullptr) return "event has no \"name\"";
+    if (ph->as_string() == "M") continue;  // metadata
+    const Json* ts = e.find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return "event has no numeric \"ts\"";
+    }
+    if (ph->as_string() == "X") {
+      const Json* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        return "complete event has no numeric \"dur\"";
+      }
+      if (dur->as_double() < 0) return "negative span duration";
+      spans.push_back({ts->as_double(), dur->as_double()});
+    }
+  }
+  // Nesting check: with events sorted by (ts, dur desc), an enclosing span
+  // always precedes its children; every span must fit inside the innermost
+  // still-open span.
+  std::sort(spans.begin(), spans.end(), [](const SpanEv& a, const SpanEv& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.dur > b.dur;
+  });
+  std::vector<SpanEv> stack;
+  for (const auto& sp : spans) {
+    const double eps =
+        1e-9 * std::max(1.0, std::fabs(sp.ts) + std::fabs(sp.dur));
+    while (!stack.empty() &&
+           sp.ts >= stack.back().ts + stack.back().dur - eps) {
+      stack.pop_back();
+    }
+    if (!stack.empty() &&
+        sp.ts + sp.dur > stack.back().ts + stack.back().dur + eps) {
+      return "span at ts=" + Json::number_to_string(sp.ts) +
+             " overlaps its parent instead of nesting";
+    }
+    stack.push_back(sp);
+  }
+  return {};
+}
+
+}  // namespace hg::obs

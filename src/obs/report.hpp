@@ -1,0 +1,77 @@
+// Machine-readable perf reports: every bench binary (and the trainer demo)
+// can emit a BENCH_<name>.json documenting what it measured — kernel
+// counters, per-row results, summary aggregates — under the stable
+// "halfgnn-bench-v1" schema. This is the repo's perf trajectory: a CI run
+// diffs these files against history to catch regressions.
+//
+// Schema (halfgnn-bench-v1):
+//   {
+//     "schema":  "halfgnn-bench-v1",
+//     "name":    "<bench name>",            // e.g. "fig10_spmm_counters"
+//     "meta":    { "<key>": <string|num|bool>, ... },
+//     "columns": [ "<col>", ... ],          // ordered numeric column keys
+//     "rows":    [ {"id": "<row id>", "cells": {"<col>": <num>, ...}}, ... ],
+//     "summary": { "<key>": <num>, ... },   // e.g. column averages
+//     "kernels": { "<kernel>": {"launches": <num>, "<counter>": <num>, ...} }
+//   }
+// Validators for this plus the metrics/trace schemas live here so smoke
+// tests can assert emitted artifacts stay well-formed.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace hg::obs {
+
+class PerfReport {
+ public:
+  explicit PerfReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void meta(const std::string& key, Json v) { meta_.set(key, std::move(v)); }
+  void set_columns(std::vector<std::string> cols) {
+    columns_ = std::move(cols);
+  }
+  const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  // One result row: id (dataset/config label) + numeric cells, positionally
+  // matching set_columns(). NaNs are emitted as null.
+  void add_row(const std::string& id, const std::vector<double>& cells);
+  void summary(const std::string& key, double v) { summary_.set(key, v); }
+
+  // Per-kernel counters (typically Registry::KernelEntry contents).
+  void add_kernel(const std::string& kernel,
+                  const std::vector<std::pair<std::string, double>>& sums,
+                  std::uint64_t launches = 1);
+
+  Json to_json() const;
+  bool write(const std::string& path) const;
+
+  // "<dir>/BENCH_<name>.json"; dir defaults to the current directory.
+  std::string default_filename() const { return "BENCH_" + name_ + ".json"; }
+
+ private:
+  std::string name_;
+  Json meta_ = Json::object();
+  std::vector<std::string> columns_;
+  Json rows_ = Json::array();
+  Json summary_ = Json::object();
+  Json kernels_ = Json::object();
+};
+
+// Each validator returns an empty string when the document conforms, or a
+// description of the first violation.
+std::string validate_bench_report(const Json& doc);
+std::string validate_metrics_json(const Json& doc);
+// Structural check of a Chrome trace export: required keys, every event has
+// name/ph/ts, and each "X" span is fully contained in every enclosing span
+// (child.ts + child.dur <= parent.ts + parent.dur on the shared track).
+std::string validate_chrome_trace(const Json& doc);
+
+}  // namespace hg::obs

@@ -52,22 +52,14 @@ inline void finalize(KernelStats& ks, const DeviceSpec& spec,
   ks.device_cycles = std::max(sched_cycles, bw_cycles);
   ks.time_ms = spec.cycles_to_ms(ks.device_cycles);
 
-  ks.bw_utilization =
-      ks.device_cycles > 0
-          ? static_cast<double>(ks.bytes_moved) /
-                (ks.device_cycles * bw_bytes_per_cycle)
-          : 0.0;
-  // SM utilization (NCU "SM %" analogue): occupancy of the issue + memory
-  // pipes of the resident warps, excluding time spent *waiting* on
-  // contended atomics (the warp occupies no pipe while its CAS retries).
-  const double capacity =
-      ks.device_cycles * sms * std::max(1, ks.warps_per_cta);
-  ks.sm_utilization =
-      capacity > 0
-          ? std::min(1.0, (ks.issue_cycles + ks.mem_cycles -
-                           ks.atomic_wait_cycles) /
-                              capacity)
-          : 0.0;
+  // Raw capacities; recompute_derived() turns them into the NCU-style
+  // percentages. bw: peak DRAM bytes deliverable over the kernel's modeled
+  // runtime. sm ("SM %" analogue): issue+memory pipe slots of the resident
+  // warps, excluding time spent *waiting* on contended atomics (the warp
+  // occupies no pipe while its CAS retries).
+  ks.bw_cap_bytes = ks.device_cycles * bw_bytes_per_cycle;
+  ks.sm_cap_cycles = ks.device_cycles * sms * std::max(1, ks.warps_per_cta);
+  ks.recompute_derived();
 }
 
 }  // namespace detail
@@ -93,7 +85,12 @@ KernelStats launch(const DeviceSpec& spec, std::string name, LaunchCfg cfg,
     auto cost = cta.finish();
     if constexpr (Profiled) cta_cost.push_back(cost);
   }
-  if constexpr (Profiled) detail::finalize(ks, spec, cta_cost);
+  if constexpr (Profiled) {
+    detail::finalize(ks, spec, cta_cost);
+    // Observability: a span on the modeled timeline plus the raw counters
+    // into the metrics registry (no-op unless explicitly enabled).
+    publish_profile(ks);
+  }
   return ks;
 }
 

@@ -1,8 +1,23 @@
 #include "simt/stats.hpp"
 
+#include <algorithm>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace hg::simt {
+
+void KernelStats::recompute_derived() {
+  bw_utilization =
+      bw_cap_bytes > 0 ? static_cast<double>(bytes_moved) / bw_cap_bytes
+                       : 0.0;
+  sm_utilization =
+      sm_cap_cycles > 0
+          ? std::min(1.0, (issue_cycles + mem_cycles - atomic_wait_cycles) /
+                              sm_cap_cycles)
+          : 0.0;
+}
 
 KernelStats& KernelStats::operator+=(const KernelStats& o) {
   device_cycles += o.device_cycles;
@@ -25,6 +40,11 @@ KernelStats& KernelStats::operator+=(const KernelStats& o) {
   stall_cycles += o.stall_cycles;
   atomic_wait_cycles += o.atomic_wait_cycles;
   warp_busy_cycles += o.warp_busy_cycles;
+  ctas += o.ctas;
+  warps_per_cta = std::max(warps_per_cta, o.warps_per_cta);
+  bw_cap_bytes += o.bw_cap_bytes;
+  sm_cap_cycles += o.sm_cap_cycles;
+  recompute_derived();
   return *this;
 }
 
@@ -39,6 +59,50 @@ std::ostream& operator<<(std::ostream& os, const KernelStats& s) {
      << " bw%=" << s.bw_utilization * 100.0
      << " sm%=" << s.sm_utilization * 100.0;
   return os;
+}
+
+void publish_profile(const KernelStats& ks) {
+  auto& tr = obs::tracer();
+  if (tr.enabled()) {
+    obs::trace_complete(
+        ks.name, "kernel", ks.time_ms,
+        {{"device_cycles", ks.device_cycles},
+         {"time_ms", ks.time_ms},
+         {"bytes_moved", ks.bytes_moved},
+         {"useful_bytes", ks.useful_bytes},
+         {"sectors", ks.sectors},
+         {"ld_instrs", ks.ld_instrs},
+         {"st_instrs", ks.st_instrs},
+         {"atomic_instrs", ks.atomic_instrs},
+         {"bw_utilization", ks.bw_utilization},
+         {"sm_utilization", ks.sm_utilization},
+         {"ctas", ks.ctas}});
+  }
+  auto& reg = obs::registry();
+  if (reg.enabled()) {
+    reg.publish_kernel(
+        ks.name,
+        {{"device_cycles", ks.device_cycles},
+         {"time_ms", ks.time_ms},
+         {"bytes_moved", static_cast<double>(ks.bytes_moved)},
+         {"useful_bytes", static_cast<double>(ks.useful_bytes)},
+         {"sectors", static_cast<double>(ks.sectors)},
+         {"ld_instrs", static_cast<double>(ks.ld_instrs)},
+         {"st_instrs", static_cast<double>(ks.st_instrs)},
+         {"alu_instrs", static_cast<double>(ks.alu_instrs)},
+         {"lane_ops", static_cast<double>(ks.lane_ops)},
+         {"cvt_instrs", static_cast<double>(ks.cvt_instrs)},
+         {"shfl_instrs", static_cast<double>(ks.shfl_instrs)},
+         {"atomic_instrs", static_cast<double>(ks.atomic_instrs)},
+         {"atomic_serialized", static_cast<double>(ks.atomic_serialized)},
+         {"issue_cycles", ks.issue_cycles},
+         {"mem_cycles", ks.mem_cycles},
+         {"stall_cycles", ks.stall_cycles},
+         {"atomic_wait_cycles", ks.atomic_wait_cycles},
+         {"bw_cap_bytes", ks.bw_cap_bytes},
+         {"sm_cap_cycles", ks.sm_cap_cycles}});
+    reg.observe("kernel.time_ms", ks.time_ms);
+  }
 }
 
 }  // namespace hg::simt

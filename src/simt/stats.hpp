@@ -47,13 +47,33 @@ struct KernelStats {
   int ctas = 0;
   int warps_per_cta = 0;
 
-  // Derived utilizations, filled by finalize().
+  // Raw capacity denominators, filled by finalize() alongside the derived
+  // utilizations. Keeping them allows exact recomputation of utilizations
+  // after aggregation: summing stats across launches sums numerators and
+  // denominators, and recompute_derived() re-divides — instead of the old
+  // behavior of summing cycles while leaving the lhs's stale ratios.
+  double bw_cap_bytes = 0;    // device_cycles x peak DRAM bytes/cycle
+  double sm_cap_cycles = 0;   // device_cycles x SMs x resident warps
+
+  // Derived utilizations, filled by finalize() / recompute_derived().
   double bw_utilization = 0;  // 0..1
   double sm_utilization = 0;  // 0..1
 
+  // Recompute bw/sm utilization from the raw counters and capacities.
+  void recompute_derived();
+
+  // Aggregates launches (e.g. a main kernel plus its staging pass): raw
+  // counters and capacities add; derived fields are recomputed, never
+  // summed or kept stale.
   KernelStats& operator+=(const KernelStats& o);
 };
 
 std::ostream& operator<<(std::ostream& os, const KernelStats& s);
+
+// Publishes one finalized launch to the observability layer: a span on the
+// modeled timeline (advancing the trace clock by time_ms) and the raw
+// counters into the metrics registry. No-op unless tracing/metrics are
+// enabled. Called by simt::launch<true>.
+void publish_profile(const KernelStats& ks);
 
 }  // namespace hg::simt

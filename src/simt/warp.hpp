@@ -383,11 +383,13 @@ class Warp {
     // are a faithful proxy for addresses because all kernel buffers are
     // 64-byte aligned (util/aligned.hpp).
     std::array<std::int64_t, kWarpSize> sec{};
+    std::array<std::int64_t, kWarpSize> elems{};
     int n = 0;
     const auto elems_per_sector =
         static_cast<std::int64_t>(spec_.sector_bytes / sizeof(T));
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
+        elems[static_cast<std::size_t>(n)] = idx[static_cast<std::size_t>(l)];
         sec[static_cast<std::size_t>(n++)] =
             elems_per_sector > 0
                 ? idx[static_cast<std::size_t>(l)] / elems_per_sector
@@ -411,7 +413,18 @@ class Warp {
       sectors = static_cast<int>(
           n * (sizeof(T) / static_cast<std::size_t>(spec_.sector_bytes)));
     }
-    finish_access<T>(sectors, n, is_load);
+    // Useful bytes dedup too: lanes broadcasting the same element (edges
+    // sharing a source row, say) consume one copy of the data, served by a
+    // single sector fetch — so useful_bytes <= bytes_moved is an invariant.
+    std::sort(elems.begin(), elems.begin() + n);
+    int unique_elems = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i == 0 || elems[static_cast<std::size_t>(i)] !=
+                        elems[static_cast<std::size_t>(i - 1)]) {
+        ++unique_elems;
+      }
+    }
+    finish_access<T>(sectors, unique_elems, is_load);
   }
 
   template <class T>

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simt/stats.hpp"
 
 namespace hg {
@@ -72,20 +74,62 @@ struct CostLedger {
   void add_sparse(const simt::KernelStats& ks) {
     sparse_ms += ks.time_ms;
     ++sparse_kernels;
+    // The launch itself already emitted the kernel span / counters; the
+    // ledger only tallies aggregate sparse time.
+    if (obs::registry().enabled()) {
+      obs::registry().add_counter("ledger.sparse_kernels");
+    }
   }
   void add_gemm(std::int64_t m, std::int64_t n, std::int64_t k, bool half) {
-    dense_ms += dense_cost.gemm_ms(m, n, k, half);
+    const double ms = dense_cost.gemm_ms(m, n, k, half);
+    dense_ms += ms;
     ++dense_kernels;
+    if (obs::tracer().enabled()) {
+      // Roofline annotation: which side of the max() bound this GEMM.
+      const double flops = 2.0 * static_cast<double>(m) *
+                           static_cast<double>(n) * static_cast<double>(k);
+      const double flop_ms =
+          flops / (half ? dense_cost.f16_flops : dense_cost.f32_flops) * 1e3;
+      obs::trace_complete(
+          "gemm", "dense", ms,
+          {{"m", m},
+           {"n", n},
+           {"k", k},
+           {"dtype", half ? "f16" : "f32"},
+           {"time_ms", ms},
+           {"bound", flop_ms * 2 > ms ? "compute" : "bandwidth"}});
+    }
+    if (obs::registry().enabled()) {
+      obs::registry().add_counter("ledger.dense_kernels");
+    }
   }
   void add_elementwise(std::uint64_t bytes) {
-    dense_ms += dense_cost.elementwise_ms(bytes);
+    const double ms = dense_cost.elementwise_ms(bytes);
+    dense_ms += ms;
     ++dense_kernels;
+    if (obs::tracer().enabled()) {
+      obs::trace_complete("elementwise", "dense", ms,
+                          {{"bytes", bytes}, {"time_ms", ms}});
+    }
+    if (obs::registry().enabled()) {
+      obs::registry().add_counter("ledger.dense_kernels");
+    }
   }
   void add_conversion(std::uint64_t bytes) {
     // A dtype cast reads + writes the tensor.
-    convert_ms += dense_cost.elementwise_ms(bytes * 3 / 2);
+    const double ms = dense_cost.elementwise_ms(bytes * 3 / 2);
+    convert_ms += ms;
     ++conversions;
     converted_bytes += bytes;
+    if (obs::tracer().enabled()) {
+      obs::trace_complete("dtype_convert", "convert", ms,
+                          {{"bytes", bytes}, {"time_ms", ms}});
+    }
+    if (obs::registry().enabled()) {
+      obs::registry().add_counter("ledger.conversions");
+      obs::registry().add_counter("ledger.converted_bytes",
+                                  static_cast<double>(bytes));
+    }
   }
 
   CostLedger& operator+=(const CostLedger& o) {

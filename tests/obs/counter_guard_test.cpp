@@ -1,0 +1,116 @@
+// Counter-regression guard (tier-1): one profiled GCN epoch on a small
+// synthetic graph must keep the NCU-style counters physically sane —
+// useful_bytes <= bytes_moved, bw_utilization <= 1 — and the paper's core
+// memory claim must hold: half8 SpMM moves fewer sectors than the f32
+// cuSPARSE-like baseline for the same operation.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+
+namespace hg::obs {
+namespace {
+
+hg::Dataset guard_dataset(std::uint64_t seed) {
+  hg::Dataset d;
+  d.labeled = true;
+  d.feat_dim = 16;
+  d.num_classes = 3;
+  hg::Rng rng(seed);
+  hg::Coo raw = hg::sbm(120, 3, 420, 0.9, rng, d.labels);
+  d.csr = hg::symmetrize(hg::coo_to_csr(raw));
+  d.csr_t = d.csr;
+  d.coo = hg::csr_to_coo(d.csr);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const auto f = static_cast<std::size_t>(d.feat_dim);
+  d.features.resize(n * f);
+  for (auto& v : d.features) v = rng.next_float() * 2 - 1;
+  d.train_mask.resize(n);
+  for (std::size_t v = 0; v < n; ++v) d.train_mask[v] = (v % 5) < 3;
+  return d;
+}
+
+TEST(CounterGuard, ProfiledGcnEpochKeepsCountersPhysical) {
+  registry().reset();
+  registry().set_enabled(true);
+
+  const hg::Dataset d = guard_dataset(31);
+  nn::TrainConfig cfg = nn::default_config(nn::ModelKind::kGcn);
+  cfg.epochs = 1;
+  cfg.hidden = 16;
+  cfg.profile_first_epoch = true;
+  (void)nn::train(nn::ModelKind::kGcn, nn::SystemMode::kHalfGnn, d, cfg);
+
+  const auto kernels = registry().kernels();
+  registry().set_enabled(false);
+  registry().reset();
+
+  ASSERT_FALSE(kernels.empty());
+  for (const auto& [name, entry] : kernels) {
+    ASSERT_GT(entry.launches, 0u) << name;
+    const auto sum = [&](const char* key) {
+      const auto it = entry.sums.find(key);
+      return it == entry.sums.end() ? 0.0 : it->second;
+    };
+    EXPECT_LE(sum("useful_bytes"), sum("bytes_moved")) << name;
+    EXPECT_GE(sum("bytes_moved"), 0.0) << name;
+    // Aggregated over all launches: summed bytes over summed capacity.
+    if (sum("bw_cap_bytes") > 0) {
+      const double bw = sum("bytes_moved") / sum("bw_cap_bytes");
+      EXPECT_GE(bw, 0.0) << name;
+      EXPECT_LE(bw, 1.0) << name;
+    }
+    EXPECT_GE(sum("time_ms"), 0.0) << name;
+  }
+}
+
+TEST(CounterGuard, Half8SpmmMovesFewerSectorsThanF32Baseline) {
+  const hg::Dataset d = guard_dataset(32);
+  const auto g = hg::kernels::view(d.csr, d.coo);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const int feat = 64;
+  const auto f = static_cast<std::size_t>(feat);
+  const auto& spec = hg::simt::a100_spec();
+
+  hg::Rng rng(5);
+  hg::AlignedVec<hg::half_t> xh(n * f);
+  for (auto& v : xh) v = hg::half_t(rng.next_float() * 2 - 1);
+  hg::AlignedVec<float> xf(n * f);
+  for (std::size_t i = 0; i < xh.size(); ++i) xf[i] = xh[i].to_float();
+  hg::AlignedVec<hg::half_t> yh(n * f);
+  hg::AlignedVec<float> yf(n * f);
+
+  registry().reset();
+  registry().set_enabled(true);
+  const auto f32 = hg::kernels::spmm_cusparse_f32(
+      spec, true, g, {}, xf, yf, feat, hg::kernels::Reduce::kSum);
+  hg::kernels::HalfgnnSpmmOpts opts;
+  const auto h8 =
+      hg::kernels::spmm_halfgnn(spec, true, g, {}, xh, yh, feat, opts);
+  const auto kernels = registry().kernels();
+  registry().set_enabled(false);
+  registry().reset();
+
+  EXPECT_LT(h8.sectors, f32.sectors);
+  EXPECT_LE(h8.useful_bytes, h8.bytes_moved);
+  EXPECT_LE(f32.useful_bytes, f32.bytes_moved);
+
+  // The registry's per-kernel counters are exactly the KernelStats the
+  // fig10/fig11 benches print — a single launch must match bit-for-bit.
+  const auto it = kernels.find(f32.name);
+  ASSERT_NE(it, kernels.end());
+  EXPECT_EQ(it->second.launches, 1u);
+  EXPECT_EQ(it->second.sums.at("bytes_moved"),
+            static_cast<double>(f32.bytes_moved));
+  EXPECT_EQ(it->second.sums.at("sectors"),
+            static_cast<double>(f32.sectors));
+  EXPECT_EQ(it->second.sums.at("bytes_moved") /
+                it->second.sums.at("bw_cap_bytes"),
+            f32.bw_utilization);
+}
+
+}  // namespace
+}  // namespace hg::obs

@@ -1,0 +1,216 @@
+// Observability-layer tests: span nesting/ordering on the modeled clock,
+// registry snapshot determinism (same seed => byte-identical JSON), and a
+// golden structural check that the exported Chrome trace parses and its
+// spans nest (child.ts + child.dur <= parent.ts + parent.dur).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "nn/trainer.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace hg::obs {
+namespace {
+
+// Both singletons are process-global: each test starts from a clean slate
+// and disables them on exit so unrelated tests stay unobserved.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().reset();
+    registry().reset();
+  }
+  void TearDown() override {
+    tracer().set_enabled(false);
+    registry().set_enabled(false);
+    tracer().reset();
+    registry().reset();
+  }
+};
+
+hg::Dataset obs_dataset(std::uint64_t seed) {
+  hg::Dataset d;
+  d.labeled = true;
+  d.feat_dim = 8;
+  d.num_classes = 3;
+  hg::Rng rng(seed);
+  hg::Coo raw = hg::sbm(80, 3, 240, 0.9, rng, d.labels);
+  d.csr = hg::symmetrize(hg::coo_to_csr(raw));
+  d.csr_t = d.csr;
+  d.coo = hg::csr_to_coo(d.csr);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const auto f = static_cast<std::size_t>(d.feat_dim);
+  d.features.resize(n * f);
+  for (auto& v : d.features) v = rng.next_float() * 2 - 1;
+  d.train_mask.resize(n);
+  for (std::size_t v = 0; v < n; ++v) d.train_mask[v] = (v % 5) < 3;
+  return d;
+}
+
+TEST_F(ObsTest, SpansNestOnTheModeledClock) {
+  tracer().set_enabled(true);
+  {
+    Span outer("outer", "phase");
+    trace_complete("child_a", "kernel", 2.0, {{"k", 1}});
+    {
+      Span inner("inner", "phase");
+      trace_complete("child_b", "kernel", 3.0, {});
+    }
+  }
+  EXPECT_DOUBLE_EQ(tracer().now_ms(), 5.0);  // clock advanced by children
+
+  const Json doc = tracer().chrome_trace_json();
+  EXPECT_TRUE(validate_chrome_trace(doc).empty())
+      << validate_chrome_trace(doc);
+
+  // Find the spans and check containment explicitly.
+  double outer_ts = -1, outer_end = -1;
+  double inner_ts = -1, inner_end = -1;
+  double b_ts = -1, b_end = -1;
+  for (const auto& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    const double ts = e.find("ts")->as_double();
+    const double end = ts + e.find("dur")->as_double();
+    const std::string name = e.find("name")->as_string();
+    if (name == "outer") outer_ts = ts, outer_end = end;
+    if (name == "inner") inner_ts = ts, inner_end = end;
+    if (name == "child_b") b_ts = ts, b_end = end;
+  }
+  ASSERT_GE(outer_ts, 0);
+  ASSERT_GE(inner_ts, 0);
+  ASSERT_GE(b_ts, 0);
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+  EXPECT_GE(b_ts, inner_ts);
+  EXPECT_LE(b_end, inner_end);
+  // "outer" spans the full modeled timeline: 5 ms == 5000 us.
+  EXPECT_DOUBLE_EQ(outer_end - outer_ts, 5000.0);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(tracer().enabled());
+  {
+    Span s("ghost", "phase");
+    s.arg("k", 1.0);
+    trace_complete("ghost_kernel", "kernel", 2.0, {});
+  }
+  EXPECT_EQ(tracer().event_count(), 0u);
+  EXPECT_DOUBLE_EQ(tracer().now_ms(), 0.0);
+}
+
+TEST_F(ObsTest, RegistrySnapshotsAreByteIdenticalAcrossRuns) {
+  const hg::Dataset d = obs_dataset(21);
+  nn::TrainConfig cfg = nn::default_config(nn::ModelKind::kGcn);
+  cfg.epochs = 3;
+  cfg.hidden = 8;
+  cfg.trace = true;
+  cfg.profile_first_epoch = true;
+
+  auto run_once = [&] {
+    registry().reset();
+    registry().set_enabled(true);
+    (void)nn::train(nn::ModelKind::kGcn, nn::SystemMode::kHalfGnn, d, cfg);
+    return registry().to_json().dump(1);
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  const Json doc = Json::parse(first);
+  EXPECT_TRUE(validate_metrics_json(doc).empty())
+      << validate_metrics_json(doc);
+  ASSERT_NE(doc.find("epochs"), nullptr);
+  EXPECT_EQ(doc.find("epochs")->items().size(), 3u);
+}
+
+TEST_F(ObsTest, TrainedTraceParsesAndNests) {
+  const hg::Dataset d = obs_dataset(22);
+  nn::TrainConfig cfg = nn::default_config(nn::ModelKind::kGcn);
+  cfg.epochs = 2;
+  cfg.hidden = 8;
+  cfg.trace = true;
+
+  tracer().set_enabled(true);
+  (void)nn::train(nn::ModelKind::kGcn, nn::SystemMode::kHalfGnn, d, cfg);
+  ASSERT_GT(tracer().event_count(), 0u);
+
+  // Golden structural check through the full serialize -> parse round trip.
+  const std::string text = tracer().chrome_trace_json().dump(1);
+  const Json doc = Json::parse(text);
+  EXPECT_TRUE(validate_chrome_trace(doc).empty())
+      << validate_chrome_trace(doc);
+
+  // The run span exists and covers every kernel span.
+  double run_ts = -1, run_end = -1;
+  int kernel_spans = 0;
+  for (const auto& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    const double ts = e.find("ts")->as_double();
+    const double end = ts + e.find("dur")->as_double();
+    const Json* cat = e.find("cat");
+    if (cat != nullptr && cat->as_string() == "run") {
+      run_ts = ts;
+      run_end = end;
+    }
+    if (cat != nullptr && cat->as_string() == "kernel") ++kernel_spans;
+  }
+  ASSERT_GE(run_ts, 0);
+  EXPECT_GT(kernel_spans, 0);
+  for (const auto& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "X") continue;
+    const Json* cat = e.find("cat");
+    if (cat == nullptr || cat->as_string() != "kernel") continue;
+    const double ts = e.find("ts")->as_double();
+    const double end = ts + e.find("dur")->as_double();
+    EXPECT_GE(ts, run_ts - 1e-9);
+    EXPECT_LE(end, run_end + 1e-9);
+  }
+}
+
+TEST_F(ObsTest, TracingDoesNotChangeNumerics) {
+  const hg::Dataset d = obs_dataset(23);
+  nn::TrainConfig cfg = nn::default_config(nn::ModelKind::kGcn);
+  cfg.epochs = 3;
+  cfg.hidden = 8;
+
+  const nn::TrainResult plain =
+      nn::train(nn::ModelKind::kGcn, nn::SystemMode::kHalfGnn, d, cfg);
+
+  tracer().set_enabled(true);
+  registry().set_enabled(true);
+  cfg.trace = true;
+  const nn::TrainResult traced =
+      nn::train(nn::ModelKind::kGcn, nn::SystemMode::kHalfGnn, d, cfg);
+
+  ASSERT_EQ(plain.losses.size(), traced.losses.size());
+  for (std::size_t i = 0; i < plain.losses.size(); ++i) {
+    EXPECT_EQ(plain.losses[i], traced.losses[i]) << "epoch " << i;
+  }
+  EXPECT_EQ(plain.final_test_acc, traced.final_test_acc);
+}
+
+TEST_F(ObsTest, PerfReportRoundTripsAndValidates) {
+  PerfReport r("unit");
+  r.meta("purpose", "test");
+  r.set_columns({"a", "b"});
+  r.add_row("row0", {1.5, 2.5});
+  r.add_row("row1", {3.0, std::numeric_limits<double>::quiet_NaN()});
+  r.summary("avg a", 2.25);
+  r.add_kernel("k0", {{"time_ms", 1.0}}, 2);
+
+  const Json doc = Json::parse(r.to_json().dump(1));
+  EXPECT_TRUE(validate_bench_report(doc).empty())
+      << validate_bench_report(doc);
+  // NaN cells serialize as null, not as invalid JSON.
+  const Json* rows = doc.find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_TRUE(rows->items()[1].find("cells")->find("b")->is_null());
+}
+
+}  // namespace
+}  // namespace hg::obs

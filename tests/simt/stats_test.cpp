@@ -1,0 +1,83 @@
+// KernelStats aggregation: operator+= must preserve raw counters and
+// recompute the derived utilizations from the summed raw capacities —
+// never carry a stale (or zero) lhs value forward. This is the multi-launch
+// aggregation path (`ks += followup_ks`) used by the staged SpMM kernels.
+#include <gtest/gtest.h>
+
+#include "simt/stats.hpp"
+
+namespace hg::simt {
+namespace {
+
+KernelStats make_stats(const char* name, double cycles, std::uint64_t bytes,
+                       double issue, double mem, double bw_cap,
+                       double sm_cap) {
+  KernelStats ks;
+  ks.name = name;
+  ks.device_cycles = cycles;
+  ks.time_ms = cycles / 1e6;
+  ks.bytes_moved = bytes;
+  ks.useful_bytes = bytes / 2;
+  ks.sectors = bytes / 32;
+  ks.ld_instrs = 10;
+  ks.st_instrs = 5;
+  ks.issue_cycles = issue;
+  ks.mem_cycles = mem;
+  ks.bw_cap_bytes = bw_cap;
+  ks.sm_cap_cycles = sm_cap;
+  ks.recompute_derived();
+  return ks;
+}
+
+TEST(KernelStatsAggregate, RawCountersSumExactly) {
+  KernelStats a = make_stats("a", 1000, 64000, 400, 300, 128000, 2000);
+  const KernelStats b = make_stats("a", 3000, 32000, 900, 800, 384000, 6000);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.device_cycles, 4000.0);
+  EXPECT_EQ(a.bytes_moved, 96000u);
+  EXPECT_EQ(a.useful_bytes, 48000u);
+  EXPECT_EQ(a.sectors, 3000u);
+  EXPECT_EQ(a.ld_instrs, 20u);
+  EXPECT_EQ(a.st_instrs, 10u);
+  EXPECT_DOUBLE_EQ(a.bw_cap_bytes, 512000.0);
+  EXPECT_DOUBLE_EQ(a.sm_cap_cycles, 8000.0);
+}
+
+TEST(KernelStatsAggregate, UtilizationIsCycleWeightedRecomputation) {
+  KernelStats a = make_stats("a", 1000, 64000, 400, 300, 128000, 2000);
+  const KernelStats b = make_stats("a", 3000, 32000, 900, 800, 384000, 6000);
+  const double bw_a = a.bw_utilization;
+  const double bw_b = b.bw_utilization;
+  a += b;
+  // Exact: summed numerator over summed capacity, not an average of ratios.
+  EXPECT_DOUBLE_EQ(a.bw_utilization, 96000.0 / 512000.0);
+  EXPECT_DOUBLE_EQ(a.sm_utilization, (400 + 900 + 300 + 800) / 8000.0);
+  // And it lands between the per-launch utilizations.
+  EXPECT_GE(a.bw_utilization, std::min(bw_a, bw_b));
+  EXPECT_LE(a.bw_utilization, std::max(bw_a, bw_b));
+}
+
+TEST(KernelStatsAggregate, FreshLhsDoesNotZeroTheResult) {
+  // The historical bug: KernelStats{} += profiled_stats left the derived
+  // fields at the lhs's zeros because += summed raw counters but never
+  // recomputed.
+  KernelStats fresh;
+  const KernelStats b = make_stats("k", 2000, 50000, 700, 600, 256000, 4000);
+  fresh += b;
+  EXPECT_GT(fresh.bw_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(fresh.bw_utilization, b.bw_utilization);
+  EXPECT_DOUBLE_EQ(fresh.sm_utilization, b.sm_utilization);
+}
+
+TEST(KernelStatsAggregate, UtilizationsStayInUnitRange) {
+  KernelStats a = make_stats("a", 100, 3200, 90, 2000, 3200, 100);
+  const KernelStats b = make_stats("a", 100, 3200, 90, 2000, 3200, 100);
+  a += b;
+  EXPECT_LE(a.bw_utilization, 1.0);
+  EXPECT_LE(a.sm_utilization, 1.0);
+  EXPECT_GE(a.bw_utilization, 0.0);
+  EXPECT_GE(a.sm_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace hg::simt
