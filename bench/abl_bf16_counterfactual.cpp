@@ -72,11 +72,11 @@ void run() {
   kernels::HalfgnnSpmmOpts opts;
   opts.reduce = kernels::Reduce::kMean;
   opts.scale = kernels::ScaleMode::kPost;
-  kernels::spmm_halfgnn(simt::a100_spec(), false, g, {}, xh, y, feat, opts);
+  kernels::spmm_halfgnn(simt::default_stream(), false, g, {}, xh, y, feat, opts);
   score("fp16 + post-scaling", [&](std::size_t i) { return y[i].to_float(); });
 
   opts.scale = kernels::ScaleMode::kDiscretized;
-  kernels::spmm_halfgnn(simt::a100_spec(), false, g, {}, xh, y, feat, opts);
+  kernels::spmm_halfgnn(simt::default_stream(), false, g, {}, xh, y, feat, opts);
   score("fp16 + discretized (HalfGNN)",
         [&](std::size_t i) { return y[i].to_float(); });
 

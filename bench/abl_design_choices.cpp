@@ -40,7 +40,7 @@ void scaling_modes() {
     kernels::HalfgnnSpmmOpts opts;
     opts.reduce = kernels::Reduce::kMean;
     opts.scale = mode;
-    const auto ks = kernels::spmm_halfgnn(simt::a100_spec(), true, g, {}, x,
+    const auto ks = kernels::spmm_halfgnn(simt::default_stream(), true, g, {}, x,
                                           y, feat, opts);
     if (mode == kernels::ScaleMode::kPost) post_alu = ks.alu_instrs;
     std::size_t inf_rows = 0;
@@ -77,7 +77,7 @@ void edges_per_warp() {
     for (int epw : {64, 128, 256}) {
       kernels::HalfgnnSpmmOpts opts;
       opts.edges_per_warp = epw;
-      const auto ks = kernels::spmm_halfgnn(simt::a100_spec(), true, g, wh,
+      const auto ks = kernels::spmm_halfgnn(simt::default_stream(), true, g, wh,
                                             xh, y, 64, opts);
       cells.push_back(fmt(ks.time_ms, 4) + " ms");
     }

@@ -200,10 +200,13 @@ class BenchTable {
 };
 
 // Attach a profiled kernel's headline counters to a report's "kernels"
-// section (mirrors what simt::publish_profile feeds the metrics registry).
+// section (mirrors what simt::publish_profile feeds the metrics registry,
+// plus host_ms — the executor-measured wall time, which only ever appears
+// in bench reports, never in the metrics/trace JSON).
 inline void report_kernel(obs::PerfReport& r, const simt::KernelStats& ks) {
   r.add_kernel(ks.name,
                {{"time_ms", ks.time_ms},
+                {"host_ms", ks.host_ms},
                 {"device_cycles", static_cast<double>(ks.device_cycles)},
                 {"bytes_moved", static_cast<double>(ks.bytes_moved)},
                 {"useful_bytes", static_cast<double>(ks.useful_bytes)},

@@ -1,0 +1,210 @@
+// Executor scaling bench: host wall time of the Fig. 9 kernel workload as a
+// function of the Device worker-pool size.
+//
+// The modeled device cost (time_ms) is thread-count invariant by the
+// executor's determinism contract; host_ms is the wall time the pool
+// actually spent. This bench sweeps threads x kernels on the Fig. 9 SpMM/
+// SDDMM workload, writes BENCH_executor.json, and verifies along the way
+// that every kernel's output bits match the single-threaded run — the same
+// determinism sweep the ExecutorDeterminism gtest pins, but on a
+// bench-sized graph.
+//
+// Usage: bench_executor [output.json]   (default: BENCH_executor.json in cwd)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "simt/simt.hpp"
+
+namespace hg::bench {
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "bench_executor: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+struct KernelRun {
+  std::string name;
+  double host_ms = 0;    // min wall ms over reps
+  double modeled_ms = 0; // device-model ms (thread-count invariant)
+  std::vector<std::byte> bits;  // output bytes of the last rep
+};
+
+template <class T>
+std::vector<std::byte> snapshot(const AlignedVec<T>& v) {
+  std::vector<std::byte> b(v.size() * sizeof(T));
+  if (!b.empty()) std::memcpy(b.data(), v.data(), b.size());
+  return b;
+}
+
+// Run the Fig. 9 kernel set once per rep on `stream`, keeping the minimum
+// host wall time per kernel.
+std::vector<KernelRun> run_workload(simt::Stream& stream,
+                                    const kernels::GraphView& g,
+                                    std::size_t n, std::size_t m, int feat,
+                                    std::span<const half_t> xh,
+                                    std::span<const half_t> wh,
+                                    std::span<const float> xf,
+                                    std::span<const float> wf, int reps) {
+  const auto f = static_cast<std::size_t>(feat);
+  AlignedVec<half_t> yh(n * f);
+  AlignedVec<float> yf(n * f);
+  AlignedVec<half_t> eh(m);
+
+  std::vector<KernelRun> runs(5);
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto cus_h = kernels::spmm_cusparse_f16(stream, true, g, wh, xh, yh,
+                                                  feat, kernels::Reduce::kSum);
+    runs[0].name = cus_h.name;
+    runs[0].modeled_ms = cus_h.time_ms;
+    runs[0].host_ms = rep == 0 ? cus_h.host_ms
+                               : std::min(runs[0].host_ms, cus_h.host_ms);
+    runs[0].bits = snapshot(yh);
+
+    const auto cus_f = kernels::spmm_cusparse_f32(stream, true, g, wf, xf, yf,
+                                                  feat, kernels::Reduce::kSum);
+    runs[1].name = cus_f.name;
+    runs[1].modeled_ms = cus_f.time_ms;
+    runs[1].host_ms = rep == 0 ? cus_f.host_ms
+                               : std::min(runs[1].host_ms, cus_f.host_ms);
+    runs[1].bits = snapshot(yf);
+
+    kernels::HalfgnnSpmmOpts opts;
+    opts.reduce = kernels::Reduce::kSum;
+    const auto ours =
+        kernels::spmm_halfgnn(stream, true, g, wh, xh, yh, feat, opts);
+    runs[2].name = ours.name;
+    runs[2].modeled_ms = ours.time_ms;
+    runs[2].host_ms =
+        rep == 0 ? ours.host_ms : std::min(runs[2].host_ms, ours.host_ms);
+    runs[2].bits = snapshot(yh);
+
+    const auto dgl_sd =
+        kernels::sddmm_dgl_f16(stream, true, g, xh, xh, eh, feat);
+    runs[3].name = dgl_sd.name;
+    runs[3].modeled_ms = dgl_sd.time_ms;
+    runs[3].host_ms = rep == 0 ? dgl_sd.host_ms
+                               : std::min(runs[3].host_ms, dgl_sd.host_ms);
+    runs[3].bits = snapshot(eh);
+
+    const auto ours_sd = kernels::sddmm_halfgnn(stream, true, g, xh, xh, eh,
+                                                feat,
+                                                kernels::SddmmVec::kHalf8);
+    runs[4].name = ours_sd.name;
+    runs[4].modeled_ms = ours_sd.time_ms;
+    runs[4].host_ms = rep == 0 ? ours_sd.host_ms
+                               : std::min(runs[4].host_ms, ours_sd.host_ms);
+    runs[4].bits = snapshot(eh);
+  }
+  return runs;
+}
+
+int run(const std::string& path) {
+  // Quick mode trades graph size for ctest latency; the full run uses the
+  // Fig. 9 quick dataset (Kron) whose 262k edges give the pool real work.
+  const Dataset d =
+      make_dataset(quick_mode() ? DatasetId::kReddit : DatasetId::kKron);
+  const auto g = kernels::view(d.csr, d.coo);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const auto m = static_cast<std::size_t>(d.num_edges());
+  const int feat = 64;
+  const int reps = quick_mode() ? 2 : 3;
+  const auto f = static_cast<std::size_t>(feat);
+
+  const auto xh = random_h16(n * f, 7);
+  const auto wh = random_h16(m, 8);
+  const auto xf = to_f32(xh);
+  const auto wf = to_f32(wh);
+
+  std::vector<int> thread_counts{1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) thread_counts.push_back(std::min(hw, 16));
+
+  BenchTable t("executor", "kernel/threads",
+               {{"host_ms", CellFmt::kRaw},
+                {"modeled_ms", CellFmt::kRaw},
+                {"speedup vs 1T", CellFmt::kTimes}});
+  t.report().meta("dataset", short_name(d));
+  t.report().meta("vertices", static_cast<std::int64_t>(d.num_vertices()));
+  t.report().meta("edges", static_cast<std::int64_t>(d.num_edges()));
+  t.report().meta("feat", static_cast<std::int64_t>(feat));
+  t.report().meta("hardware_concurrency", static_cast<std::int64_t>(hw));
+
+  std::vector<KernelRun> base;  // threads == 1
+  double spmm_speedup_at_4 = 0;
+  for (const int threads : thread_counts) {
+    simt::Device dev(simt::a100_spec(), threads);
+    simt::Stream stream(dev);
+    const auto runs =
+        run_workload(stream, g, n, m, feat, xh, wh, xf, wf, reps);
+    if (threads == 1) base = runs;
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      // Determinism sweep: every thread count must reproduce the
+      // single-threaded output bit-for-bit.
+      if (runs[k].bits != base[k].bits) {
+        return fail(runs[k].name + ": output bits differ at threads=" +
+                    std::to_string(threads));
+      }
+      const double speedup = base[k].host_ms > 0 && runs[k].host_ms > 0
+                                 ? base[k].host_ms / runs[k].host_ms
+                                 : 1.0;
+      if (threads == 4 && runs[k].name.rfind("spmm", 0) == 0) {
+        spmm_speedup_at_4 = std::max(spmm_speedup_at_4, speedup);
+      }
+      t.row(runs[k].name + " t=" + std::to_string(threads),
+            {runs[k].host_ms, runs[k].modeled_ms, speedup});
+    }
+  }
+  t.report().summary("max_spmm_speedup_4_threads", spmm_speedup_at_4);
+  const std::string written = t.finish(
+      "=== Executor scaling: host wall ms per kernel vs worker threads "
+      "(modeled ms is thread-invariant by construction) ===");
+
+  // Also honor the bench_smoke-style explicit output path so ctest can gate
+  // on a file it controls regardless of HALFGNN_REPORT_DIR.
+  if (!t.report().write(path)) return fail("cannot write " + path);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    return fail(std::string("re-parse of ") + path + ": " + e.what());
+  }
+  if (auto e = obs::validate_bench_report(doc); !e.empty()) {
+    return fail("schema: " + e);
+  }
+  (void)written;
+
+  if (spmm_speedup_at_4 < 2.0) {
+    std::fprintf(stderr,
+                 "bench_executor: WARNING: best SpMM speedup at 4 threads is "
+                 "%.2fx (< 2x) — machine may be loaded or undersized\n",
+                 spmm_speedup_at_4);
+  }
+  std::printf("bench_executor: OK — wrote and validated %s "
+              "(best SpMM speedup at 4 threads: %.2fx)\n",
+              path.c_str(), spmm_speedup_at_4);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main(int argc, char** argv) {
+  return hg::bench::run(argc > 1 ? argv[1] : "BENCH_executor.json");
+}

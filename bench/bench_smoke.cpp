@@ -33,7 +33,7 @@ int run(const std::string& path) {
   const auto m = static_cast<std::size_t>(d.num_edges());
   const int feat = 64;
   const auto f = static_cast<std::size_t>(feat);
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
 
   const auto xh = random_h16(n * f, 7);
   const auto wh = random_h16(m, 8);
@@ -44,15 +44,15 @@ int run(const std::string& path) {
   AlignedVec<half_t> eh(m);
   AlignedVec<float> ef(m);
 
-  const auto cus_h = kernels::spmm_cusparse_f16(spec, true, g, wh, xh, yh,
+  const auto cus_h = kernels::spmm_cusparse_f16(stream, true, g, wh, xh, yh,
                                                 feat, kernels::Reduce::kSum);
-  const auto cus_f = kernels::spmm_cusparse_f32(spec, true, g, wf, xf, yf,
+  const auto cus_f = kernels::spmm_cusparse_f32(stream, true, g, wf, xf, yf,
                                                 feat, kernels::Reduce::kSum);
   kernels::HalfgnnSpmmOpts opts;
   const auto ours =
-      kernels::spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts);
-  const auto sd_dgl = kernels::sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat);
-  const auto sd_ours = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+      kernels::spmm_halfgnn(stream, true, g, wh, xh, yh, feat, opts);
+  const auto sd_dgl = kernels::sddmm_dgl_f16(stream, true, g, xh, xh, eh, feat);
+  const auto sd_ours = kernels::sddmm_halfgnn(stream, true, g, xh, xh, eh,
                                               feat, kernels::SddmmVec::kHalf8);
   (void)ef;
 

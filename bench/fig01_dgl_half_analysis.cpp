@@ -16,7 +16,7 @@ namespace {
 void kernels_part() {
   Table t({"dataset", "F", "SpMM half ms", "SpMM float ms", "half/float",
            "SDDMM half ms", "SDDMM float ms", "half/float"});
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
   for (DatasetId id : {DatasetId::kOgbProduct, DatasetId::kReddit}) {
     const Dataset d = make_dataset(id);
     const auto g = kernels::view(d.csr, d.coo);
@@ -32,13 +32,13 @@ void kernels_part() {
       AlignedVec<float> yf(n * f), ef(m);
 
       const auto sp_h = kernels::spmm_cusparse_f16(
-          spec, true, g, wh, xh, yh, feat, kernels::Reduce::kSum);
+          stream, true, g, wh, xh, yh, feat, kernels::Reduce::kSum);
       const auto sp_f = kernels::spmm_cusparse_f32(
-          spec, true, g, wf, xf, yf, feat, kernels::Reduce::kSum);
+          stream, true, g, wf, xf, yf, feat, kernels::Reduce::kSum);
       const auto sd_h =
-          kernels::sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat);
+          kernels::sddmm_dgl_f16(stream, true, g, xh, xh, eh, feat);
       const auto sd_f =
-          kernels::sddmm_dgl_f32(spec, true, g, xf, xf, ef, feat);
+          kernels::sddmm_dgl_f32(stream, true, g, xf, xf, ef, feat);
       t.row({short_name(d), std::to_string(feat), fmt(sp_h.time_ms, 3),
              fmt(sp_f.time_ms, 3), fmt_times(sp_h.time_ms / sp_f.time_ms),
              fmt(sd_h.time_ms, 3), fmt(sd_f.time_ms, 3),

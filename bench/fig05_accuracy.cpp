@@ -79,7 +79,7 @@ void ablation() {
     kernels::HalfgnnSpmmOpts opts;
     opts.reduce = kernels::Reduce::kMean;
     opts.scale = mode;
-    kernels::spmm_halfgnn(simt::a100_spec(), false, g, {}, x, y, feat, opts);
+    kernels::spmm_halfgnn(simt::default_stream(), false, g, {}, x, y, feat, opts);
     std::size_t infs = 0, nans = 0;
     for (const half_t v : y) {
       infs += v.is_inf();

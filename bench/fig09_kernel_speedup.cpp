@@ -18,7 +18,7 @@ void run() {
                {{"SpMM vs cusp-half", CellFmt::kTimes},
                 {"SpMM vs cusp-float", CellFmt::kTimes},
                 {"SDDMM vs DGL-half", CellFmt::kTimes}});
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
 
   for (DatasetId id : perf_dataset_ids()) {
     const Dataset d = make_dataset(id);
@@ -39,18 +39,18 @@ void run() {
       AlignedVec<float> ef(m);
 
       const auto cus_h = kernels::spmm_cusparse_f16(
-          spec, true, g, wh, xh, yh, feat, kernels::Reduce::kSum);
+          stream, true, g, wh, xh, yh, feat, kernels::Reduce::kSum);
       const auto cus_f = kernels::spmm_cusparse_f32(
-          spec, true, g, wf, xf, yf, feat, kernels::Reduce::kSum);
+          stream, true, g, wf, xf, yf, feat, kernels::Reduce::kSum);
       kernels::HalfgnnSpmmOpts opts;
       opts.reduce = kernels::Reduce::kSum;
       const auto ours_spmm =
-          kernels::spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts);
+          kernels::spmm_halfgnn(stream, true, g, wh, xh, yh, feat, opts);
 
       const auto dgl_sd =
-          kernels::sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat);
+          kernels::sddmm_dgl_f16(stream, true, g, xh, xh, eh, feat);
       const auto ours_sd = kernels::sddmm_halfgnn(
-          spec, true, g, xh, xh, eh, feat, kernels::SddmmVec::kHalf8);
+          stream, true, g, xh, xh, eh, feat, kernels::SddmmVec::kHalf8);
 
       const double s_h = cus_h.time_ms / ours_spmm.time_ms;
       const double s_f = cus_f.time_ms / ours_spmm.time_ms;

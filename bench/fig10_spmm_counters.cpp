@@ -18,7 +18,7 @@ void run() {
                 {"SM% cusp-half", CellFmt::kPct},
                 {"SM% cusp-float", CellFmt::kPct},
                 {"SM% HalfGNN", CellFmt::kPct}});
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
   const int feat = 64;
   t.report().meta("feat", static_cast<std::int64_t>(feat));
 
@@ -36,15 +36,15 @@ void run() {
     AlignedVec<half_t> yh(n * f);
     AlignedVec<float> yf(n * f);
 
-    const auto cus_h = kernels::spmm_cusparse_f16(spec, true, g, wh, xh, yh,
+    const auto cus_h = kernels::spmm_cusparse_f16(stream, true, g, wh, xh, yh,
                                                   feat,
                                                   kernels::Reduce::kSum);
-    const auto cus_f = kernels::spmm_cusparse_f32(spec, true, g, wf, xf, yf,
+    const auto cus_f = kernels::spmm_cusparse_f32(stream, true, g, wf, xf, yf,
                                                   feat,
                                                   kernels::Reduce::kSum);
     kernels::HalfgnnSpmmOpts opts;
     const auto ours =
-        kernels::spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts);
+        kernels::spmm_halfgnn(stream, true, g, wh, xh, yh, feat, opts);
 
     t.row(short_name(d),
           {cus_h.bw_utilization, cus_f.bw_utilization, ours.bw_utilization,

@@ -13,7 +13,7 @@ void run() {
                {{"BW% DGL-half", CellFmt::kPct},
                 {"BW% DGL-float", CellFmt::kPct},
                 {"BW% HalfGNN", CellFmt::kPct}});
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
   const int feat = 64;
   t.report().meta("feat", static_cast<std::int64_t>(feat));
 
@@ -27,9 +27,9 @@ void run() {
     AlignedVec<half_t> eh(m);
     AlignedVec<float> ef(m);
 
-    const auto dh = kernels::sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat);
-    const auto df = kernels::sddmm_dgl_f32(spec, true, g, xf, xf, ef, feat);
-    const auto ours = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+    const auto dh = kernels::sddmm_dgl_f16(stream, true, g, xh, xh, eh, feat);
+    const auto df = kernels::sddmm_dgl_f32(stream, true, g, xf, xf, ef, feat);
+    const auto ours = kernels::sddmm_halfgnn(stream, true, g, xh, xh, eh,
                                              feat, kernels::SddmmVec::kHalf8);
     t.row(short_name(d),
           {dh.bw_utilization, df.bw_utilization, ours.bw_utilization});

@@ -13,7 +13,7 @@ void run() {
   Table t({"dataset", "F", "half2 ms", "half4 ms", "half8 ms",
            "h8 speedup over h2"});
   std::vector<double> sp;
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
 
   for (DatasetId id : perf_dataset_ids()) {
     const Dataset d = make_dataset(id);
@@ -23,13 +23,13 @@ void run() {
     for (int feat : {32, 64}) {
       const auto xh = random_h16(n * static_cast<std::size_t>(feat), 7);
       AlignedVec<half_t> eh(m);
-      const auto h2 = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+      const auto h2 = kernels::sddmm_halfgnn(stream, true, g, xh, xh, eh,
                                              feat,
                                              kernels::SddmmVec::kHalf2);
-      const auto h4 = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+      const auto h4 = kernels::sddmm_halfgnn(stream, true, g, xh, xh, eh,
                                              feat,
                                              kernels::SddmmVec::kHalf4);
-      const auto h8 = kernels::sddmm_halfgnn(spec, true, g, xh, xh, eh,
+      const auto h8 = kernels::sddmm_halfgnn(stream, true, g, xh, xh, eh,
                                              feat,
                                              kernels::SddmmVec::kHalf8);
       const double s = h2.time_ms / h8.time_ms;

@@ -13,7 +13,7 @@ void run() {
   Table t({"dataset", "atomic ms", "non-atomic ms", "speedup",
            "atomics removed"});
   std::vector<double> sp;
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
   const int feat = 64;
 
   for (DatasetId id : perf_dataset_ids()) {
@@ -29,10 +29,10 @@ void run() {
     opts.reduce = kernels::Reduce::kSum;
     opts.atomic_writes = true;
     const auto atomic =
-        kernels::spmm_halfgnn(spec, true, g, wh, xh, y, feat, opts);
+        kernels::spmm_halfgnn(stream, true, g, wh, xh, y, feat, opts);
     opts.atomic_writes = false;
     const auto ours =
-        kernels::spmm_halfgnn(spec, true, g, wh, xh, y, feat, opts);
+        kernels::spmm_halfgnn(stream, true, g, wh, xh, y, feat, opts);
     const double s = atomic.time_ms / ours.time_ms;
     sp.push_back(s);
     t.row({short_name(d), fmt(atomic.time_ms, 3), fmt(ours.time_ms, 3),

@@ -13,7 +13,7 @@ namespace {
 void run() {
   Table t({"dataset", "Huang-float ms", "Huang-half2 ms", "speedup"});
   std::vector<double> sp;
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
   const int feat = 64;
 
   for (DatasetId id : perf_dataset_ids()) {
@@ -29,9 +29,9 @@ void run() {
     AlignedVec<half_t> yh(n * static_cast<std::size_t>(feat));
     AlignedVec<float> yf(n * static_cast<std::size_t>(feat));
 
-    const auto f32 = kernels::huang_f32(spec, true, g, ng, wf, xf, yf, feat);
+    const auto f32 = kernels::huang_f32(stream, true, g, ng, wf, xf, yf, feat);
     const auto f16 =
-        kernels::huang_half2(spec, true, g, ng, wh, xh, yh, feat);
+        kernels::huang_half2(stream, true, g, ng, wh, xh, yh, feat);
     const double s = f32.time_ms / f16.time_ms;
     sp.push_back(s);
     t.row({short_name(d), fmt(f32.time_ms, 3), fmt(f16.time_ms, 3),

@@ -15,16 +15,16 @@ using hg::half_t;
 // ---- modeled device cost of 1M fma ops per path (Fig. 3) -----------------
 void BM_Modeled_Fig3(benchmark::State& state) {
   const auto op = static_cast<hg::simt::Op>(state.range(0));
-  const auto& spec = hg::simt::a100_spec();
+  auto& stream = hg::simt::default_stream();
   double cycles = 0;
   for (auto _ : state) {
-    auto ks = hg::simt::launch<true>(
-        spec, "fig3", {.ctas = 1, .warps_per_cta = 1},
+    auto ks = stream.launch<true>(
+        hg::simt::LaunchDesc{"fig3", 1, 1},
         [&](hg::simt::Cta<true>& cta) {
           cta.for_each_warp(
               [&](hg::simt::Warp<true>& w) { w.alu(op, 1000); });
         });
-    cycles = ks.device_cycles - spec.launch_overhead_cycles;
+    cycles = ks.device_cycles - stream.spec().launch_overhead_cycles;
     benchmark::DoNotOptimize(cycles);
   }
   state.counters["modeled_cycles_per_kop"] = cycles;

@@ -37,7 +37,7 @@ int main() {
   std::printf("true neighborhood mean : 20.0 (easily representable)\n\n");
 
   // 1. The DGL path: unprotected half reduction, degree-norm afterwards.
-  spmm_cusparse_f16(simt::a100_spec(), false, g, {}, x, y, feat,
+  spmm_cusparse_f16(simt::default_stream(), false, g, {}, x, y, feat,
                     Reduce::kMean);
   std::printf("DGL-half (post-norm)   : hub output = %s\n",
               y[0].is_inf() ? "INF  <-- overflow during reduction" : "??");
@@ -53,7 +53,7 @@ int main() {
   HalfgnnSpmmOpts opts;
   opts.reduce = Reduce::kMean;
   opts.scale = ScaleMode::kDiscretized;
-  spmm_halfgnn(simt::a100_spec(), false, g, {}, x, y, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, g, {}, x, y, feat, opts);
   std::printf("HalfGNN (discretized)  : hub output = %.2f (finite, exact "
               "mean)\n",
               y[0].to_float());

@@ -60,29 +60,29 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < wf.size(); ++i) wf[i] = wh[i].to_float();
   AlignedVec<half_t> yh(n * f), eh(m);
   AlignedVec<float> yf(n * f), ef(m);
-  const auto& spec = simt::a100_spec();
+  auto& stream = simt::default_stream();
 
   std::puts("-- SpMM (SpMMve, sum) --");
   report("cusparse-float",
-         spmm_cusparse_f32(spec, true, g, wf, xf, yf, feat, Reduce::kSum));
+         spmm_cusparse_f32(stream, true, g, wf, xf, yf, feat, Reduce::kSum));
   report("cusparse-half",
-         spmm_cusparse_f16(spec, true, g, wh, xh, yh, feat, Reduce::kSum));
+         spmm_cusparse_f16(stream, true, g, wh, xh, yh, feat, Reduce::kSum));
   HalfgnnSpmmOpts opts;
-  report("halfgnn", spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts));
+  report("halfgnn", spmm_halfgnn(stream, true, g, wh, xh, yh, feat, opts));
   opts.atomic_writes = true;
   report("halfgnn (atomics)",
-         spmm_halfgnn(spec, true, g, wh, xh, yh, feat, opts));
+         spmm_halfgnn(stream, true, g, wh, xh, yh, feat, opts));
   const auto ng = build_neighbor_groups(d.csr);
-  report("gespmm-float", gespmm_f32(spec, true, g, wf, xf, yf, feat));
-  report("huang-float", huang_f32(spec, true, g, ng, wf, xf, yf, feat));
-  report("huang-half2", huang_half2(spec, true, g, ng, wh, xh, yh, feat));
+  report("gespmm-float", gespmm_f32(stream, true, g, wf, xf, yf, feat));
+  report("huang-float", huang_f32(stream, true, g, ng, wf, xf, yf, feat));
+  report("huang-half2", huang_half2(stream, true, g, ng, wh, xh, yh, feat));
 
   std::puts("\n-- SDDMM --");
-  report("dgl-float", sddmm_dgl_f32(spec, true, g, xf, xf, ef, feat));
-  report("dgl-half", sddmm_dgl_f16(spec, true, g, xh, xh, eh, feat));
+  report("dgl-float", sddmm_dgl_f32(stream, true, g, xf, xf, ef, feat));
+  report("dgl-half", sddmm_dgl_f16(stream, true, g, xh, xh, eh, feat));
   report("halfgnn-half2",
-         sddmm_halfgnn(spec, true, g, xh, xh, eh, feat, SddmmVec::kHalf2));
+         sddmm_halfgnn(stream, true, g, xh, xh, eh, feat, SddmmVec::kHalf2));
   report("halfgnn-half8",
-         sddmm_halfgnn(spec, true, g, xh, xh, eh, feat, SddmmVec::kHalf8));
+         sddmm_halfgnn(stream, true, g, xh, xh, eh, feat, SddmmVec::kHalf8));
   return 0;
 }

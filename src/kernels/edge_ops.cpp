@@ -12,7 +12,7 @@ namespace {
 using simt::Cta;
 using simt::KernelStats;
 using simt::Lanes;
-using simt::LaunchCfg;
+using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
@@ -20,10 +20,10 @@ using simt::Warp;
 // Shared edge-parallel skeleton: one warp handles kEdgesPerWarp edges in
 // 32-wide batches; `fn(w, e_base, cnt)` processes one batch.
 template <bool P, class Fn>
-KernelStats edge_parallel(const simt::DeviceSpec& spec, const char* name,
+KernelStats edge_parallel(simt::Stream& stream, const char* name,
                           eid_t m, Fn&& fn) {
-  const LaunchCfg cfg{num_ctas_for_edges(m), kWarpsPerCta};
-  return simt::launch<P>(spec, name, cfg, [&](Cta<P>& cta) {
+  const LaunchDesc cfg{name, num_ctas_for_edges(m), kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
       const eid_t gw = static_cast<eid_t>(cta.cta_id()) * kWarpsPerCta +
                        w.warp_in_cta();
@@ -57,14 +57,16 @@ T from_f(float v) {
 // segment reduce (per-row max / sum over edge scalars)
 // ---------------------------------------------------------------------------
 template <bool P, class T>
-KernelStats seg_reduce_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats seg_reduce_impl(simt::Stream& stream, const GraphView& g,
                             std::span<const T> vals, std::span<T> out,
                             SegReduce reduce, const char* name) {
   constexpr bool is_half = std::is_same_v<T, half_t>;
   const vid_t n = g.n();
-  const LaunchCfg cfg{static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
-                      kWarpsPerCta};
-  return simt::launch<P>(spec, name, cfg, [&](Cta<P>& cta) {
+  const LaunchDesc cfg{name,
+                       static_cast<int>((n + kWarpsPerCta - 1) /
+                                        kWarpsPerCta),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
       const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
                       w.warp_in_cta();
@@ -117,13 +119,13 @@ KernelStats seg_reduce_impl(const simt::DeviceSpec& spec, const GraphView& g,
 // mode 0: leaky_relu(el[row] + er[col]); mode 1: exp(v - rowv[row]);
 // mode 2: v / rowv[row].
 template <bool P, class T>
-KernelStats edge_rowwise_impl(const simt::DeviceSpec& spec,
+KernelStats edge_rowwise_impl(simt::Stream& stream,
                               const GraphView& g, std::span<const T> va,
                               std::span<const T> vb, std::span<T> out,
                               int mode, float slope, const char* name) {
   constexpr bool is_half = std::is_same_v<T, half_t>;
   return edge_parallel<P>(
-      spec, name, g.m(), [&](Warp<P>& w, eid_t b, int cnt) {
+      stream, name, g.m(), [&](Warp<P>& w, eid_t b, int cnt) {
         Lanes<vid_t> rows{};
         w.template load_contiguous<vid_t>(g.coo->row, b, cnt, rows);
         Lanes<std::int64_t> ridx{};
@@ -181,13 +183,13 @@ KernelStats edge_rowwise_impl(const simt::DeviceSpec& spec,
 
 // out = alpha * (dalpha - c[row]) in the value type's precision.
 template <bool P, class T>
-KernelStats softmax_bwd_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats softmax_bwd_impl(simt::Stream& stream, const GraphView& g,
                              std::span<const T> alpha,
                              std::span<const T> dalpha, std::span<const T> c,
                              std::span<T> out, const char* name) {
   constexpr bool is_half = std::is_same_v<T, half_t>;
   return edge_parallel<P>(
-      spec, name, g.m(), [&](Warp<P>& w, eid_t b, int cnt) {
+      stream, name, g.m(), [&](Warp<P>& w, eid_t b, int cnt) {
         Lanes<vid_t> rows{};
         w.template load_contiguous<vid_t>(g.coo->row, b, cnt, rows);
         Lanes<std::int64_t> ridx{};
@@ -214,12 +216,12 @@ KernelStats softmax_bwd_impl(const simt::DeviceSpec& spec, const GraphView& g,
 }
 
 template <bool P, class T>
-KernelStats leaky_bwd_impl(const simt::DeviceSpec& spec,
+KernelStats leaky_bwd_impl(simt::Stream& stream,
                            std::span<const T> pre, std::span<const T> grad,
                            std::span<T> out, float slope, const char* name) {
   constexpr bool is_half = std::is_same_v<T, half_t>;
   return edge_parallel<P>(
-      spec, name, static_cast<eid_t>(pre.size()),
+      stream, name, static_cast<eid_t>(pre.size()),
       [&](Warp<P>& w, eid_t b, int cnt) {
         Lanes<T> vp{}, vg{};
         w.template load_contiguous<T>(pre, b, cnt, vp);
@@ -239,11 +241,11 @@ KernelStats leaky_bwd_impl(const simt::DeviceSpec& spec,
 }
 
 template <bool P, class T>
-KernelStats permute_impl(const simt::DeviceSpec& spec, std::span<const T> in,
+KernelStats permute_impl(simt::Stream& stream, std::span<const T> in,
                          std::span<const eid_t> perm, std::span<T> out,
                          const char* name) {
   return edge_parallel<P>(
-      spec, name, static_cast<eid_t>(perm.size()),
+      stream, name, static_cast<eid_t>(perm.size()),
       [&](Warp<P>& w, eid_t b, int cnt) {
         Lanes<eid_t> pv{};
         w.template load_contiguous<eid_t>(perm, b, cnt, pv);
@@ -258,12 +260,12 @@ KernelStats permute_impl(const simt::DeviceSpec& spec, std::span<const T> in,
 }
 
 template <bool P, class T>
-KernelStats edge_mul_impl(const simt::DeviceSpec& spec,
+KernelStats edge_mul_impl(simt::Stream& stream,
                           std::span<const T> a, std::span<const T> b,
                           std::span<T> out, const char* name) {
   constexpr bool is_half = std::is_same_v<T, half_t>;
   return edge_parallel<P>(
-      spec, name, static_cast<eid_t>(a.size()),
+      stream, name, static_cast<eid_t>(a.size()),
       [&](Warp<P>& w, eid_t bb, int cnt) {
         Lanes<T> va{}, vb{};
         w.template load_contiguous<T>(a, bb, cnt, va);
@@ -290,179 +292,179 @@ KernelStats edge_mul_impl(const simt::DeviceSpec& spec,
 #define HG_DISPATCH(fnname, call_true, call_false) \
   return profiled ? call_true : call_false
 
-KernelStats edge_segment_reduce_f32(const simt::DeviceSpec& spec,
+KernelStats edge_segment_reduce_f32(simt::Stream& stream,
                                     bool profiled, const GraphView& g,
                                     std::span<const float> vals,
                                     std::span<float> out, SegReduce reduce) {
   assert(out.size() == static_cast<std::size_t>(g.n()));
   HG_DISPATCH(seg_reduce,
-              (seg_reduce_impl<true, float>(spec, g, vals, out, reduce,
+              (seg_reduce_impl<true, float>(stream, g, vals, out, reduce,
                                             "edge_segreduce_f32")),
-              (seg_reduce_impl<false, float>(spec, g, vals, out, reduce,
+              (seg_reduce_impl<false, float>(stream, g, vals, out, reduce,
                                              "edge_segreduce_f32")));
 }
-KernelStats edge_segment_reduce_f16(const simt::DeviceSpec& spec,
+KernelStats edge_segment_reduce_f16(simt::Stream& stream,
                                     bool profiled, const GraphView& g,
                                     std::span<const half_t> vals,
                                     std::span<half_t> out, SegReduce reduce) {
   assert(out.size() == static_cast<std::size_t>(g.n()));
   HG_DISPATCH(seg_reduce,
-              (seg_reduce_impl<true, half_t>(spec, g, vals, out, reduce,
+              (seg_reduce_impl<true, half_t>(stream, g, vals, out, reduce,
                                              "edge_segreduce_f16")),
-              (seg_reduce_impl<false, half_t>(spec, g, vals, out, reduce,
+              (seg_reduce_impl<false, half_t>(stream, g, vals, out, reduce,
                                               "edge_segreduce_f16")));
 }
 
-KernelStats edge_add_scalars_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_add_scalars_f32(simt::Stream& stream, bool profiled,
                                  const GraphView& g,
                                  std::span<const float> el,
                                  std::span<const float> er,
                                  std::span<float> out, float slope) {
   HG_DISPATCH(rowwise,
-              (edge_rowwise_impl<true, float>(spec, g, el, er, out, 0, slope,
+              (edge_rowwise_impl<true, float>(stream, g, el, er, out, 0, slope,
                                               "edge_addscalar_f32")),
-              (edge_rowwise_impl<false, float>(spec, g, el, er, out, 0,
+              (edge_rowwise_impl<false, float>(stream, g, el, er, out, 0,
                                                slope, "edge_addscalar_f32")));
 }
-KernelStats edge_add_scalars_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_add_scalars_f16(simt::Stream& stream, bool profiled,
                                  const GraphView& g,
                                  std::span<const half_t> el,
                                  std::span<const half_t> er,
                                  std::span<half_t> out, float slope) {
   HG_DISPATCH(rowwise,
-              (edge_rowwise_impl<true, half_t>(spec, g, el, er, out, 0,
+              (edge_rowwise_impl<true, half_t>(stream, g, el, er, out, 0,
                                                slope, "edge_addscalar_f16")),
-              (edge_rowwise_impl<false, half_t>(spec, g, el, er, out, 0,
+              (edge_rowwise_impl<false, half_t>(stream, g, el, er, out, 0,
                                                 slope,
                                                 "edge_addscalar_f16")));
 }
 
-KernelStats edge_exp_sub_row_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_exp_sub_row_f32(simt::Stream& stream, bool profiled,
                                  const GraphView& g,
                                  std::span<const float> vals,
                                  std::span<const float> rowv,
                                  std::span<float> out) {
   HG_DISPATCH(rowwise,
-              (edge_rowwise_impl<true, float>(spec, g, vals, rowv, out, 1,
+              (edge_rowwise_impl<true, float>(stream, g, vals, rowv, out, 1,
                                               0.0f, "edge_expsub_f32")),
-              (edge_rowwise_impl<false, float>(spec, g, vals, rowv, out, 1,
+              (edge_rowwise_impl<false, float>(stream, g, vals, rowv, out, 1,
                                                0.0f, "edge_expsub_f32")));
 }
-KernelStats edge_exp_sub_row_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_exp_sub_row_f16(simt::Stream& stream, bool profiled,
                                  const GraphView& g,
                                  std::span<const half_t> vals,
                                  std::span<const half_t> rowv,
                                  std::span<half_t> out) {
   HG_DISPATCH(rowwise,
-              (edge_rowwise_impl<true, half_t>(spec, g, vals, rowv, out, 1,
+              (edge_rowwise_impl<true, half_t>(stream, g, vals, rowv, out, 1,
                                                0.0f, "edge_expsub_f16")),
-              (edge_rowwise_impl<false, half_t>(spec, g, vals, rowv, out, 1,
+              (edge_rowwise_impl<false, half_t>(stream, g, vals, rowv, out, 1,
                                                 0.0f, "edge_expsub_f16")));
 }
 
-KernelStats edge_div_row_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_div_row_f32(simt::Stream& stream, bool profiled,
                              const GraphView& g, std::span<const float> vals,
                              std::span<const float> rowv,
                              std::span<float> out) {
   HG_DISPATCH(rowwise,
-              (edge_rowwise_impl<true, float>(spec, g, vals, rowv, out, 2,
+              (edge_rowwise_impl<true, float>(stream, g, vals, rowv, out, 2,
                                               0.0f, "edge_divrow_f32")),
-              (edge_rowwise_impl<false, float>(spec, g, vals, rowv, out, 2,
+              (edge_rowwise_impl<false, float>(stream, g, vals, rowv, out, 2,
                                                0.0f, "edge_divrow_f32")));
 }
-KernelStats edge_div_row_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_div_row_f16(simt::Stream& stream, bool profiled,
                              const GraphView& g,
                              std::span<const half_t> vals,
                              std::span<const half_t> rowv,
                              std::span<half_t> out) {
   HG_DISPATCH(rowwise,
-              (edge_rowwise_impl<true, half_t>(spec, g, vals, rowv, out, 2,
+              (edge_rowwise_impl<true, half_t>(stream, g, vals, rowv, out, 2,
                                                0.0f, "edge_divrow_f16")),
-              (edge_rowwise_impl<false, half_t>(spec, g, vals, rowv, out, 2,
+              (edge_rowwise_impl<false, half_t>(stream, g, vals, rowv, out, 2,
                                                 0.0f, "edge_divrow_f16")));
 }
 
-KernelStats edge_mul_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_mul_f32(simt::Stream& stream, bool profiled,
                          std::span<const float> a, std::span<const float> b,
                          std::span<float> out) {
   HG_DISPATCH(mul,
-              (edge_mul_impl<true, float>(spec, a, b, out, "edge_mul_f32")),
-              (edge_mul_impl<false, float>(spec, a, b, out, "edge_mul_f32")));
+              (edge_mul_impl<true, float>(stream, a, b, out, "edge_mul_f32")),
+              (edge_mul_impl<false, float>(stream, a, b, out, "edge_mul_f32")));
 }
-KernelStats edge_mul_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_mul_f16(simt::Stream& stream, bool profiled,
                          std::span<const half_t> a,
                          std::span<const half_t> b, std::span<half_t> out) {
   HG_DISPATCH(mul,
-              (edge_mul_impl<true, half_t>(spec, a, b, out, "edge_mul_f16")),
-              (edge_mul_impl<false, half_t>(spec, a, b, out,
+              (edge_mul_impl<true, half_t>(stream, a, b, out, "edge_mul_f16")),
+              (edge_mul_impl<false, half_t>(stream, a, b, out,
                                             "edge_mul_f16")));
 }
 
-KernelStats edge_softmax_backward_f32(const simt::DeviceSpec& spec,
+KernelStats edge_softmax_backward_f32(simt::Stream& stream,
                                       bool profiled, const GraphView& g,
                                       std::span<const float> alpha,
                                       std::span<const float> dalpha,
                                       std::span<const float> c,
                                       std::span<float> out) {
   HG_DISPATCH(smb,
-              (softmax_bwd_impl<true, float>(spec, g, alpha, dalpha, c, out,
+              (softmax_bwd_impl<true, float>(stream, g, alpha, dalpha, c, out,
                                              "edge_softmax_bwd_f32")),
-              (softmax_bwd_impl<false, float>(spec, g, alpha, dalpha, c, out,
+              (softmax_bwd_impl<false, float>(stream, g, alpha, dalpha, c, out,
                                               "edge_softmax_bwd_f32")));
 }
-KernelStats edge_softmax_backward_f16(const simt::DeviceSpec& spec,
+KernelStats edge_softmax_backward_f16(simt::Stream& stream,
                                       bool profiled, const GraphView& g,
                                       std::span<const half_t> alpha,
                                       std::span<const half_t> dalpha,
                                       std::span<const half_t> c,
                                       std::span<half_t> out) {
   HG_DISPATCH(smb,
-              (softmax_bwd_impl<true, half_t>(spec, g, alpha, dalpha, c, out,
+              (softmax_bwd_impl<true, half_t>(stream, g, alpha, dalpha, c, out,
                                               "edge_softmax_bwd_f16")),
-              (softmax_bwd_impl<false, half_t>(spec, g, alpha, dalpha, c,
+              (softmax_bwd_impl<false, half_t>(stream, g, alpha, dalpha, c,
                                                out, "edge_softmax_bwd_f16")));
 }
 
-KernelStats edge_leaky_backward_f32(const simt::DeviceSpec& spec,
+KernelStats edge_leaky_backward_f32(simt::Stream& stream,
                                     bool profiled, std::span<const float> pre,
                                     std::span<const float> grad,
                                     std::span<float> out, float slope) {
   HG_DISPATCH(lb,
-              (leaky_bwd_impl<true, float>(spec, pre, grad, out, slope,
+              (leaky_bwd_impl<true, float>(stream, pre, grad, out, slope,
                                            "edge_leaky_bwd_f32")),
-              (leaky_bwd_impl<false, float>(spec, pre, grad, out, slope,
+              (leaky_bwd_impl<false, float>(stream, pre, grad, out, slope,
                                             "edge_leaky_bwd_f32")));
 }
-KernelStats edge_leaky_backward_f16(const simt::DeviceSpec& spec,
+KernelStats edge_leaky_backward_f16(simt::Stream& stream,
                                     bool profiled,
                                     std::span<const half_t> pre,
                                     std::span<const half_t> grad,
                                     std::span<half_t> out, float slope) {
   HG_DISPATCH(lb,
-              (leaky_bwd_impl<true, half_t>(spec, pre, grad, out, slope,
+              (leaky_bwd_impl<true, half_t>(stream, pre, grad, out, slope,
                                             "edge_leaky_bwd_f16")),
-              (leaky_bwd_impl<false, half_t>(spec, pre, grad, out, slope,
+              (leaky_bwd_impl<false, half_t>(stream, pre, grad, out, slope,
                                              "edge_leaky_bwd_f16")));
 }
 
-KernelStats edge_permute_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_permute_f32(simt::Stream& stream, bool profiled,
                              std::span<const float> in,
                              std::span<const eid_t> perm,
                              std::span<float> out) {
   HG_DISPATCH(perm,
-              (permute_impl<true, float>(spec, in, perm, out,
+              (permute_impl<true, float>(stream, in, perm, out,
                                          "edge_permute_f32")),
-              (permute_impl<false, float>(spec, in, perm, out,
+              (permute_impl<false, float>(stream, in, perm, out,
                                           "edge_permute_f32")));
 }
-KernelStats edge_permute_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats edge_permute_f16(simt::Stream& stream, bool profiled,
                              std::span<const half_t> in,
                              std::span<const eid_t> perm,
                              std::span<half_t> out) {
   HG_DISPATCH(perm,
-              (permute_impl<true, half_t>(spec, in, perm, out,
+              (permute_impl<true, half_t>(stream, in, perm, out,
                                           "edge_permute_f16")),
-              (permute_impl<false, half_t>(spec, in, perm, out,
+              (permute_impl<false, half_t>(stream, in, perm, out,
                                            "edge_permute_f16")));
 }
 

@@ -18,12 +18,12 @@ enum class SegReduce { kMax, kSum };
 
 // out_v = reduce over edges e with row(e)==v of vals[e]. Empty rows get 0
 // for kSum and -inf for kMax is replaced by 0 as well.
-simt::KernelStats edge_segment_reduce_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_segment_reduce_f32(simt::Stream& stream,
                                           bool profiled, const GraphView& g,
                                           std::span<const float> vals,
                                           std::span<float> out,
                                           SegReduce reduce);
-simt::KernelStats edge_segment_reduce_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_segment_reduce_f16(simt::Stream& stream,
                                           bool profiled, const GraphView& g,
                                           std::span<const half_t> vals,
                                           std::span<half_t> out,
@@ -31,12 +31,12 @@ simt::KernelStats edge_segment_reduce_f16(const simt::DeviceSpec& spec,
 
 // out[e] = leaky_relu(el[row(e)] + er[col(e)], slope) — the GAT score
 // SDDMM variant (u_add_v).
-simt::KernelStats edge_add_scalars_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_add_scalars_f32(simt::Stream& stream,
                                        bool profiled, const GraphView& g,
                                        std::span<const float> el,
                                        std::span<const float> er,
                                        std::span<float> out, float slope);
-simt::KernelStats edge_add_scalars_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_add_scalars_f16(simt::Stream& stream,
                                        bool profiled, const GraphView& g,
                                        std::span<const half_t> el,
                                        std::span<const half_t> er,
@@ -44,12 +44,12 @@ simt::KernelStats edge_add_scalars_f16(const simt::DeviceSpec& spec,
 
 // out[e] = exp(vals[e] - rowv[row(e)]). The half version is the shadow exp:
 // its inputs are guaranteed non-positive, so the result is in (0,1].
-simt::KernelStats edge_exp_sub_row_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_exp_sub_row_f32(simt::Stream& stream,
                                        bool profiled, const GraphView& g,
                                        std::span<const float> vals,
                                        std::span<const float> rowv,
                                        std::span<float> out);
-simt::KernelStats edge_exp_sub_row_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_exp_sub_row_f16(simt::Stream& stream,
                                        bool profiled, const GraphView& g,
                                        std::span<const half_t> vals,
                                        std::span<const half_t> rowv,
@@ -57,12 +57,12 @@ simt::KernelStats edge_exp_sub_row_f16(const simt::DeviceSpec& spec,
 
 // out[e] = vals[e] / rowv[row(e)] (softmax normalization); rowv entries of
 // zero are treated as 1 to keep empty rows harmless.
-simt::KernelStats edge_div_row_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_div_row_f32(simt::Stream& stream,
                                    bool profiled, const GraphView& g,
                                    std::span<const float> vals,
                                    std::span<const float> rowv,
                                    std::span<float> out);
-simt::KernelStats edge_div_row_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_div_row_f16(simt::Stream& stream,
                                    bool profiled, const GraphView& g,
                                    std::span<const half_t> vals,
                                    std::span<const half_t> rowv,
@@ -70,13 +70,13 @@ simt::KernelStats edge_div_row_f16(const simt::DeviceSpec& spec,
 
 // out[e] = alpha[e] * (dalpha[e] - c[row(e)]) — the edge-softmax backward
 // combine (c is the per-row sum of alpha * dalpha).
-simt::KernelStats edge_softmax_backward_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_softmax_backward_f32(simt::Stream& stream,
                                             bool profiled, const GraphView& g,
                                             std::span<const float> alpha,
                                             std::span<const float> dalpha,
                                             std::span<const float> c,
                                             std::span<float> out);
-simt::KernelStats edge_softmax_backward_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_softmax_backward_f16(simt::Stream& stream,
                                             bool profiled, const GraphView& g,
                                             std::span<const half_t> alpha,
                                             std::span<const half_t> dalpha,
@@ -84,33 +84,33 @@ simt::KernelStats edge_softmax_backward_f16(const simt::DeviceSpec& spec,
                                             std::span<half_t> out);
 
 // out[e] = grad[e] * (pre[e] > 0 ? 1 : slope) — LeakyReLU backward on edges.
-simt::KernelStats edge_leaky_backward_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_leaky_backward_f32(simt::Stream& stream,
                                           bool profiled,
                                           std::span<const float> pre,
                                           std::span<const float> grad,
                                           std::span<float> out, float slope);
-simt::KernelStats edge_leaky_backward_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_leaky_backward_f16(simt::Stream& stream,
                                           bool profiled,
                                           std::span<const half_t> pre,
                                           std::span<const half_t> grad,
                                           std::span<half_t> out, float slope);
 
 // out[e] = in[perm[e]] — edge permutation gather (transposed-graph weights).
-simt::KernelStats edge_permute_f32(const simt::DeviceSpec& spec,
+simt::KernelStats edge_permute_f32(simt::Stream& stream,
                                    bool profiled, std::span<const float> in,
                                    std::span<const eid_t> perm,
                                    std::span<float> out);
-simt::KernelStats edge_permute_f16(const simt::DeviceSpec& spec,
+simt::KernelStats edge_permute_f16(simt::Stream& stream,
                                    bool profiled, std::span<const half_t> in,
                                    std::span<const eid_t> perm,
                                    std::span<half_t> out);
 
 // out[e] = a[e] * b[e] (edge-elementwise product, used by softmax backward).
-simt::KernelStats edge_mul_f32(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats edge_mul_f32(simt::Stream& stream, bool profiled,
                                std::span<const float> a,
                                std::span<const float> b,
                                std::span<float> out);
-simt::KernelStats edge_mul_f16(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats edge_mul_f16(simt::Stream& stream, bool profiled,
                                std::span<const half_t> a,
                                std::span<const half_t> b,
                                std::span<half_t> out);

@@ -13,7 +13,7 @@ namespace {
 using simt::Cta;
 using simt::KernelStats;
 using simt::Lanes;
-using simt::LaunchCfg;
+using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
@@ -22,15 +22,15 @@ using simt::Warp;
 // DGL-style SDDMM, shared skeleton for float and naive half.
 // ---------------------------------------------------------------------------
 template <bool P, class T>
-KernelStats sddmm_dgl_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats sddmm_dgl_impl(simt::Stream& stream, const GraphView& g,
                            std::span<const T> a, std::span<const T> b,
                            std::span<T> out, int feat, const char* name) {
   const eid_t m = g.m();
   const int fchunks = (feat + 31) / 32;
-  const LaunchCfg cfg{num_ctas_for_edges(m), kWarpsPerCta};
+  const LaunchDesc cfg{name, num_ctas_for_edges(m), kWarpsPerCta};
   constexpr bool is_half = std::is_same_v<T, half_t>;
 
-  return simt::launch<P>(spec, name, cfg, [&](Cta<P>& cta) {
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
       const eid_t gw = static_cast<eid_t>(cta.cta_id()) * kWarpsPerCta +
                        w.warp_in_cta();
@@ -118,7 +118,7 @@ inline void vec_dot_acc(half8 a, half8 b, half2& acc) {
 }
 
 template <bool P, class VecT>
-KernelStats sddmm_halfgnn_impl(const simt::DeviceSpec& spec,
+KernelStats sddmm_halfgnn_impl(simt::Stream& stream,
                                const GraphView& g, std::span<const half_t> a,
                                std::span<const half_t> b,
                                std::span<half_t> out, int feat,
@@ -144,10 +144,10 @@ KernelStats sddmm_halfgnn_impl(const simt::DeviceSpec& spec,
   auto av = simt::as_vec<VecT>(a);
   auto bv = simt::as_vec<VecT>(b);
 
-  const LaunchCfg cfg{num_ctas_for_edges(m), kWarpsPerCta};
+  const LaunchDesc cfg{name, num_ctas_for_edges(m), kWarpsPerCta};
   const eid_t edges_per_cta = static_cast<eid_t>(kEdgesPerWarp) * kWarpsPerCta;
 
-  return simt::launch<P>(spec, name, cfg, [&](Cta<P>& cta) {
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     const eid_t cta_e0 = static_cast<eid_t>(cta.cta_id()) * edges_per_cta;
     const eid_t cta_e1 = std::min<eid_t>(m, cta_e0 + edges_per_cta);
     if (cta_e0 >= cta_e1) return;
@@ -288,31 +288,31 @@ KernelStats sddmm_halfgnn_impl(const simt::DeviceSpec& spec,
 
 }  // namespace
 
-KernelStats sddmm_dgl_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats sddmm_dgl_f32(simt::Stream& stream, bool profiled,
                           const GraphView& g, std::span<const float> a,
                           std::span<const float> b, std::span<float> out,
                           int feat) {
   assert(out.size() == static_cast<std::size_t>(g.m()));
   return profiled
-             ? sddmm_dgl_impl<true, float>(spec, g, a, b, out, feat,
+             ? sddmm_dgl_impl<true, float>(stream, g, a, b, out, feat,
                                            "sddmm_dgl_f32")
-             : sddmm_dgl_impl<false, float>(spec, g, a, b, out, feat,
+             : sddmm_dgl_impl<false, float>(stream, g, a, b, out, feat,
                                             "sddmm_dgl_f32");
 }
 
-KernelStats sddmm_dgl_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats sddmm_dgl_f16(simt::Stream& stream, bool profiled,
                           const GraphView& g, std::span<const half_t> a,
                           std::span<const half_t> b, std::span<half_t> out,
                           int feat) {
   assert(out.size() == static_cast<std::size_t>(g.m()));
   return profiled
-             ? sddmm_dgl_impl<true, half_t>(spec, g, a, b, out, feat,
+             ? sddmm_dgl_impl<true, half_t>(stream, g, a, b, out, feat,
                                             "sddmm_dgl_f16")
-             : sddmm_dgl_impl<false, half_t>(spec, g, a, b, out, feat,
+             : sddmm_dgl_impl<false, half_t>(stream, g, a, b, out, feat,
                                              "sddmm_dgl_f16");
 }
 
-KernelStats sddmm_halfgnn(const simt::DeviceSpec& spec, bool profiled,
+KernelStats sddmm_halfgnn(simt::Stream& stream, bool profiled,
                           const GraphView& g, std::span<const half_t> a,
                           std::span<const half_t> b, std::span<half_t> out,
                           int feat, SddmmVec vec) {
@@ -320,19 +320,19 @@ KernelStats sddmm_halfgnn(const simt::DeviceSpec& spec, bool profiled,
   switch (vec) {
     case SddmmVec::kHalf2:
       return profiled ? sddmm_halfgnn_impl<true, half2>(
-                            spec, g, a, b, out, feat, "sddmm_halfgnn_h2")
+                            stream, g, a, b, out, feat, "sddmm_halfgnn_h2")
                       : sddmm_halfgnn_impl<false, half2>(
-                            spec, g, a, b, out, feat, "sddmm_halfgnn_h2");
+                            stream, g, a, b, out, feat, "sddmm_halfgnn_h2");
     case SddmmVec::kHalf4:
       return profiled ? sddmm_halfgnn_impl<true, half4>(
-                            spec, g, a, b, out, feat, "sddmm_halfgnn_h4")
+                            stream, g, a, b, out, feat, "sddmm_halfgnn_h4")
                       : sddmm_halfgnn_impl<false, half4>(
-                            spec, g, a, b, out, feat, "sddmm_halfgnn_h4");
+                            stream, g, a, b, out, feat, "sddmm_halfgnn_h4");
     case SddmmVec::kHalf8:
       return profiled ? sddmm_halfgnn_impl<true, half8>(
-                            spec, g, a, b, out, feat, "sddmm_halfgnn_h8")
+                            stream, g, a, b, out, feat, "sddmm_halfgnn_h8")
                       : sddmm_halfgnn_impl<false, half8>(
-                            spec, g, a, b, out, feat, "sddmm_halfgnn_h8");
+                            stream, g, a, b, out, feat, "sddmm_halfgnn_h8");
   }
   throw std::invalid_argument("sddmm_halfgnn: unknown vector width");
 }

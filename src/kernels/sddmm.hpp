@@ -24,18 +24,18 @@ enum class SddmmVec { kHalf2 = 2, kHalf4 = 4, kHalf8 = 8 };
 
 // out has one entry per edge (COO order). feat must be a multiple of the
 // vector width (feature padding, Sec. 5.1.3).
-simt::KernelStats sddmm_dgl_f32(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats sddmm_dgl_f32(simt::Stream& stream, bool profiled,
                                 const GraphView& g, std::span<const float> a,
                                 std::span<const float> b,
                                 std::span<float> out, int feat);
 
-simt::KernelStats sddmm_dgl_f16(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats sddmm_dgl_f16(simt::Stream& stream, bool profiled,
                                 const GraphView& g,
                                 std::span<const half_t> a,
                                 std::span<const half_t> b,
                                 std::span<half_t> out, int feat);
 
-simt::KernelStats sddmm_halfgnn(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats sddmm_halfgnn(simt::Stream& stream, bool profiled,
                                 const GraphView& g,
                                 std::span<const half_t> a,
                                 std::span<const half_t> b,

@@ -9,20 +9,44 @@ namespace hg::kernels {
 
 namespace {
 
+using simt::ConflictPolicy;
 using simt::Cta;
 using simt::KernelStats;
 using simt::Lanes;
-using simt::LaunchCfg;
+using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
+
+// The edge-parallel kernels traverse COO edges in CSR order, so a CTA range
+// writes a contiguous row window — which bounds the executor's staging.
+template <class T>
+simt::CtaWindowFn row_window(const GraphView& g, eid_t edges_per_cta,
+                             int elems_per_row) {
+  return [&g, edges_per_cta,
+          elems_per_row](int c0, int c1) -> std::pair<std::size_t,
+                                                      std::size_t> {
+    const eid_t m = g.m();
+    const eid_t e0 = std::min<eid_t>(m, static_cast<eid_t>(c0) *
+                                            edges_per_cta);
+    const eid_t e1 = std::min<eid_t>(m, static_cast<eid_t>(c1) *
+                                            edges_per_cta);
+    if (e0 >= e1) return {0, 0};
+    const auto r0 = static_cast<std::size_t>(
+        g.coo->row[static_cast<std::size_t>(e0)]);
+    const auto r1 = static_cast<std::size_t>(
+        g.coo->row[static_cast<std::size_t>(e1 - 1)]);
+    const auto k = static_cast<std::size_t>(elems_per_row);
+    return {r0 * k, (r1 + 1) * k};
+  };
+}
 
 // ---------------------------------------------------------------------------
 // float path: edge-parallel segments with register accumulation per row run
 // and atomic-float adds at segment boundaries.
 // ---------------------------------------------------------------------------
 template <bool P>
-KernelStats spmm_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats spmm_f32_impl(simt::Stream& stream, const GraphView& g,
                           std::span<const float> edge_w,
                           std::span<const float> x, std::span<float> y,
                           int feat, Reduce reduce) {
@@ -33,9 +57,16 @@ KernelStats spmm_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
             is_max ? -std::numeric_limits<float>::infinity() : 0.0f);
 
   const int fchunks = (feat + 31) / 32;
-  const LaunchCfg cfg{num_ctas_for_edges(m), kWarpsPerCta};
+  const eid_t edges_per_cta =
+      static_cast<eid_t>(kEdgesPerWarp) * kWarpsPerCta;
+  // Boundary rows are shared between warps (and CTAs): a conflict launch.
+  const simt::StagedOutput<float> staged{
+      y, is_max ? ConflictPolicy::kStagedMax : ConflictPolicy::kStagedSum,
+      row_window<float>(g, edges_per_cta, feat)};
 
-  auto ks = simt::launch<P>(spec, "spmm_cusparse_f32", cfg, [&](Cta<P>& cta) {
+  auto ks = stream.launch<P>(
+      LaunchDesc{"spmm_cusparse_f32", num_ctas_for_edges(m), kWarpsPerCta},
+      staged, [&](Cta<P>& cta, std::span<float> out) {
     cta.for_each_warp([&](Warp<P>& w) {
       const eid_t gw = static_cast<eid_t>(cta.cta_id()) * kWarpsPerCta +
                        w.warp_in_cta();
@@ -68,15 +99,15 @@ KernelStats spmm_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
           if (interior) {
             // Exclusive to this warp: plain coalesced store.
             w.template store_contiguous<float>(
-                y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes,
+                out, static_cast<std::int64_t>(r) * feat + fc * 32, lanes,
                 vals);
           } else {
             const int contention = std::min<int>(
                 8, 2 + static_cast<int>(g.csr->degree(r)) / kEdgesPerWarp);
             if (is_max) {
-              w.atomic_max(y, idx, prefix_mask(lanes), vals, contention);
+              w.atomic_max(out, idx, prefix_mask(lanes), vals, contention);
             } else {
-              w.atomic_add(y, idx, prefix_mask(lanes), vals, contention);
+              w.atomic_add(out, idx, prefix_mask(lanes), vals, contention);
             }
           }
         }
@@ -140,7 +171,7 @@ KernelStats spmm_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
   }
 
   if (reduce == Reduce::kMean) {
-    ks += scale_rows_f32(spec, P, *g.csr, y, feat);
+    ks += scale_rows_f32(stream, P, *g.csr, y, feat);
   }
   return ks;
 }
@@ -150,7 +181,7 @@ KernelStats spmm_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
 // arithmetic, and per-edge atomic-half accumulation straight into Y.
 // ---------------------------------------------------------------------------
 template <bool P>
-KernelStats spmm_f16_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats spmm_f16_impl(simt::Stream& stream, const GraphView& g,
                           std::span<const half_t> edge_w,
                           std::span<const half_t> x, std::span<half_t> y,
                           int feat, Reduce reduce) {
@@ -161,9 +192,16 @@ KernelStats spmm_f16_impl(const simt::DeviceSpec& spec, const GraphView& g,
             is_max ? half_limits::kNegInf : half_t(0.0f));
 
   const int fchunks = (feat + 31) / 32;
-  const LaunchCfg cfg{num_ctas_for_edges(m), kWarpsPerCta};
+  const eid_t edges_per_cta =
+      static_cast<eid_t>(kEdgesPerWarp) * kWarpsPerCta;
+  // Every edge scatters atomically into Y: the whole launch is conflicting.
+  const simt::StagedOutput<half_t> staged{
+      y, is_max ? ConflictPolicy::kStagedMax : ConflictPolicy::kStagedSum,
+      row_window<half_t>(g, edges_per_cta, feat)};
 
-  auto ks = simt::launch<P>(spec, "spmm_cusparse_f16", cfg, [&](Cta<P>& cta) {
+  auto ks = stream.launch<P>(
+      LaunchDesc{"spmm_cusparse_f16", num_ctas_for_edges(m), kWarpsPerCta},
+      staged, [&](Cta<P>& cta, std::span<half_t> out) {
     cta.for_each_warp([&](Warp<P>& w) {
       const eid_t gw = static_cast<eid_t>(cta.cta_id()) * kWarpsPerCta +
                        w.warp_in_cta();
@@ -214,9 +252,9 @@ KernelStats spmm_f16_impl(const simt::DeviceSpec& spec, const GraphView& g,
               8, 1 + static_cast<int>(g.csr->degree(static_cast<vid_t>(r))) /
                         kEdgesPerWarp);
           if (is_max) {
-            w.atomic_max(y, dst, prefix_mask(lanes), xv, contention);
+            w.atomic_max(out, dst, prefix_mask(lanes), xv, contention);
           } else {
-            w.atomic_add(y, dst, prefix_mask(lanes), xv, contention);
+            w.atomic_add(out, dst, prefix_mask(lanes), xv, contention);
           }
           // The CAS loop's value round-trip drains the load pipeline.
           w.sync();
@@ -236,7 +274,7 @@ KernelStats spmm_f16_impl(const simt::DeviceSpec& spec, const GraphView& g,
   }
 
   if (reduce == Reduce::kMean) {
-    ks += scale_rows_f16(spec, P, *g.csr, y, feat);
+    ks += scale_rows_f16(stream, P, *g.csr, y, feat);
   }
   return ks;
 }
@@ -245,14 +283,16 @@ KernelStats spmm_f16_impl(const simt::DeviceSpec& spec, const GraphView& g,
 // post-pass degree norm
 // ---------------------------------------------------------------------------
 template <bool P, class T>
-KernelStats scale_rows_impl(const simt::DeviceSpec& spec, const Csr& csr,
+KernelStats scale_rows_impl(simt::Stream& stream, const Csr& csr,
                             std::span<T> y, int feat, const char* name) {
   const vid_t n = csr.num_vertices;
   const int fchunks = (feat + 31) / 32;
   const int rows_per_cta = kWarpsPerCta;  // one row per warp
-  const LaunchCfg cfg{static_cast<int>((n + rows_per_cta - 1) / rows_per_cta),
-                      kWarpsPerCta};
-  return simt::launch<P>(spec, name, cfg, [&](Cta<P>& cta) {
+  const LaunchDesc cfg{name,
+                       static_cast<int>((n + rows_per_cta - 1) /
+                                        rows_per_cta),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
       const vid_t r = static_cast<vid_t>(cta.cta_id()) * rows_per_cta +
                       w.warp_in_cta();
@@ -283,39 +323,44 @@ KernelStats scale_rows_impl(const simt::DeviceSpec& spec, const Csr& csr,
 
 }  // namespace
 
-KernelStats spmm_cusparse_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats spmm_cusparse_f32(simt::Stream& stream, bool profiled,
                               const GraphView& g, std::span<const float> edge_w,
                               std::span<const float> x, std::span<float> y,
                               int feat, Reduce reduce) {
   assert(y.size() == static_cast<std::size_t>(g.n()) *
                          static_cast<std::size_t>(feat));
-  return profiled ? spmm_f32_impl<true>(spec, g, edge_w, x, y, feat, reduce)
-                  : spmm_f32_impl<false>(spec, g, edge_w, x, y, feat, reduce);
+  return profiled ? spmm_f32_impl<true>(stream, g, edge_w, x, y, feat, reduce)
+                  : spmm_f32_impl<false>(stream, g, edge_w, x, y, feat,
+                                         reduce);
 }
 
-KernelStats spmm_cusparse_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats spmm_cusparse_f16(simt::Stream& stream, bool profiled,
                               const GraphView& g,
                               std::span<const half_t> edge_w,
                               std::span<const half_t> x, std::span<half_t> y,
                               int feat, Reduce reduce) {
   assert(y.size() == static_cast<std::size_t>(g.n()) *
                          static_cast<std::size_t>(feat));
-  return profiled ? spmm_f16_impl<true>(spec, g, edge_w, x, y, feat, reduce)
-                  : spmm_f16_impl<false>(spec, g, edge_w, x, y, feat, reduce);
+  return profiled ? spmm_f16_impl<true>(stream, g, edge_w, x, y, feat, reduce)
+                  : spmm_f16_impl<false>(stream, g, edge_w, x, y, feat,
+                                         reduce);
 }
 
-KernelStats scale_rows_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats scale_rows_f32(simt::Stream& stream, bool profiled,
                            const Csr& csr, std::span<float> y, int feat) {
   return profiled
-             ? scale_rows_impl<true, float>(spec, csr, y, feat, "scale_f32")
-             : scale_rows_impl<false, float>(spec, csr, y, feat, "scale_f32");
+             ? scale_rows_impl<true, float>(stream, csr, y, feat, "scale_f32")
+             : scale_rows_impl<false, float>(stream, csr, y, feat,
+                                             "scale_f32");
 }
 
-KernelStats scale_rows_f16(const simt::DeviceSpec& spec, bool profiled,
+KernelStats scale_rows_f16(simt::Stream& stream, bool profiled,
                            const Csr& csr, std::span<half_t> y, int feat) {
   return profiled
-             ? scale_rows_impl<true, half_t>(spec, csr, y, feat, "scale_f16")
-             : scale_rows_impl<false, half_t>(spec, csr, y, feat, "scale_f16");
+             ? scale_rows_impl<true, half_t>(stream, csr, y, feat,
+                                             "scale_f16")
+             : scale_rows_impl<false, half_t>(stream, csr, y, feat,
+                                              "scale_f16");
 }
 
 }  // namespace hg::kernels

@@ -30,14 +30,14 @@ namespace hg::kernels {
 
 // Y (size n*feat) is fully overwritten. `edge_w` empty => SpMMv (weights 1).
 // Returns modeled kernel stats when `profiled`; otherwise only numerics.
-simt::KernelStats spmm_cusparse_f32(const simt::DeviceSpec& spec,
+simt::KernelStats spmm_cusparse_f32(simt::Stream& stream,
                                     bool profiled, const GraphView& g,
                                     std::span<const float> edge_w,
                                     std::span<const float> x,
                                     std::span<float> y, int feat,
                                     Reduce reduce);
 
-simt::KernelStats spmm_cusparse_f16(const simt::DeviceSpec& spec,
+simt::KernelStats spmm_cusparse_f16(simt::Stream& stream,
                                     bool profiled, const GraphView& g,
                                     std::span<const half_t> edge_w,
                                     std::span<const half_t> x,
@@ -45,10 +45,10 @@ simt::KernelStats spmm_cusparse_f16(const simt::DeviceSpec& spec,
                                     Reduce reduce);
 
 // DGL-style separate degree-norm pass: y[v,:] /= max(1, deg(v)).
-simt::KernelStats scale_rows_f32(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats scale_rows_f32(simt::Stream& stream, bool profiled,
                                  const Csr& csr, std::span<float> y,
                                  int feat);
-simt::KernelStats scale_rows_f16(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats scale_rows_f16(simt::Stream& stream, bool profiled,
                                  const Csr& csr, std::span<half_t> y,
                                  int feat);
 

@@ -13,7 +13,8 @@ namespace {
 using simt::Cta;
 using simt::KernelStats;
 using simt::Lanes;
-using simt::LaunchCfg;
+using simt::ConflictPolicy;
+using simt::LaunchDesc;
 using simt::Op;
 using simt::Warp;
 
@@ -68,7 +69,7 @@ struct Smem {
 };
 
 template <bool P>
-KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
                       std::span<const half_t> edge_w,
                       std::span<const half_t> x, std::span<half_t> y,
                       int feat, const HalfgnnSpmmOpts& opts) {
@@ -111,9 +112,24 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
     return is_max ? h2max(a, b) : h2add(a, b);
   };
 
-  KernelStats ks = simt::launch<P>(
-      spec, "spmm_halfgnn", LaunchCfg{num_ctas, kWarpsPerCta},
-      [&](Cta<P>& cta) {
+  // CTA c streams edges [c*edges_per_cta, (c+1)*edges_per_cta); the rows it
+  // writes form the contiguous window [row(e0), row(e1-1)] because the COO
+  // list is in CSR row order. Used to bound the executor's staging merge.
+  const auto window = [&](int c0,
+                          int c1) -> std::pair<std::size_t, std::size_t> {
+    const eid_t we0 = std::min<eid_t>(m, static_cast<eid_t>(c0) * edges_per_cta);
+    const eid_t we1 = std::min<eid_t>(m, static_cast<eid_t>(c1) * edges_per_cta);
+    if (we0 >= we1) return {0, 0};
+    const auto r0 =
+        static_cast<std::size_t>(g.coo->row[static_cast<std::size_t>(we0)]);
+    const auto r1 =
+        static_cast<std::size_t>(g.coo->row[static_cast<std::size_t>(we1 - 1)]);
+    const auto hf = static_cast<std::size_t>(geo.half_f);
+    return {r0 * hf, (r1 + 1) * hf};
+  };
+
+  const auto body =
+      [&](Cta<P>& cta, std::span<half2> out) {
         const eid_t cta_e0 = static_cast<eid_t>(cta.cta_id()) * edges_per_cta;
         const eid_t cta_e1 = std::min<eid_t>(m, cta_e0 + edges_per_cta);
         Smem<P> sm = Smem<P>::alloc(cta, geo, kWarpsPerCta, has_w);
@@ -252,7 +268,7 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
                 mask |= simt::LaneMask{1} << lane;
               }
               if (interior) {
-                w.template scatter<half2>(y2, idx, mask, vals);
+                w.template scatter<half2>(out, idx, mask, vals);
               } else if (opts.atomic_writes) {
                 // Fig. 13 ablation: resolve boundary conflicts with
                 // half2 atomics (CAS loops) instead of the staging design.
@@ -266,9 +282,9 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
                     32, 4 + static_cast<int>(g.csr->degree(r)) /
                                opts.edges_per_warp);
                 if (is_max) {
-                  w.atomic_max(y2, idx, mask, vals, contention);
+                  w.atomic_max(out, idx, mask, vals, contention);
                 } else {
-                  w.atomic_add(y2, idx, mask, vals, contention);
+                  w.atomic_add(out, idx, mask, vals, contention);
                 }
                 // The CAS value round-trip drains the load pipeline.
                 w.sync();
@@ -418,7 +434,7 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
                     lanes, vals);
               } else {
                 w.template store_contiguous<half2>(
-                    y2, static_cast<std::int64_t>(r) * geo.half_f + c * 32,
+                    out, static_cast<std::int64_t>(r) * geo.half_f + c * 32,
                     lanes, vals);
               }
             }
@@ -457,7 +473,24 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
             emit(r);
           }
         });
-      });
+      };
+
+  // Fig. 13 ablation (atomic half2 boundary writes): every CTA range RMWs
+  // shared rows, so route the launch through the executor's deterministic
+  // staging+merge. The non-atomic design is conflict-free by construction
+  // (interior rows have one writer; boundary rows go via smem/staging).
+  KernelStats ks =
+      opts.atomic_writes
+          ? stream.launch<P>(
+                LaunchDesc{"spmm_halfgnn", num_ctas, kWarpsPerCta},
+                simt::StagedOutput<half2>{y2,
+                                          is_max ? ConflictPolicy::kStagedMax
+                                                 : ConflictPolicy::kStagedSum,
+                                          window},
+                body)
+          : stream.launch<P>(
+                LaunchDesc{"spmm_halfgnn", num_ctas, kWarpsPerCta},
+                [&](Cta<P>& cta) { body(cta, y2); });
 
   // ---- Follow-up kernel: fold the staging buffer into Y (Sec. 5.2.3).
   // One warp per staging entry; the warp owning the *head* of a run of
@@ -467,9 +500,9 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
   if (!opts.atomic_writes) {
     const auto staged2 =
         simt::as_vec<half2>(std::span<const half_t>(staging_vals));
-    KernelStats fks = simt::launch<P>(
-        spec, "spmm_halfgnn_followup",
-        LaunchCfg{(num_ctas + kWarpsPerCta - 1) / kWarpsPerCta, kWarpsPerCta},
+    KernelStats fks = stream.launch<P>(
+        LaunchDesc{"spmm_halfgnn_followup",
+                   (num_ctas + kWarpsPerCta - 1) / kWarpsPerCta, kWarpsPerCta},
         [&](Cta<P>& cta) {
           cta.for_each_warp([&](Warp<P>& w) {
             const int i = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
@@ -544,8 +577,8 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
 
   // Post-reduction scaling (the DGL-style mode, for the overflow ablation).
   if (is_mean && opts.scale == ScaleMode::kPost) {
-    KernelStats sks = simt::launch<P>(
-        spec, "spmm_halfgnn_postscale", LaunchCfg{(g.n() + 3) / 4, 4},
+    KernelStats sks = stream.launch<P>(
+        LaunchDesc{"spmm_halfgnn_postscale", (g.n() + 3) / 4, 4},
         [&](Cta<P>& cta) {
           cta.for_each_warp([&](Warp<P>& w) {
             const vid_t r = static_cast<vid_t>(cta.cta_id()) * 4 +
@@ -574,14 +607,14 @@ KernelStats spmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
 
 }  // namespace
 
-KernelStats spmm_halfgnn(const simt::DeviceSpec& spec, bool profiled,
+KernelStats spmm_halfgnn(simt::Stream& stream, bool profiled,
                          const GraphView& g, std::span<const half_t> edge_w,
                          std::span<const half_t> x, std::span<half_t> y,
                          int feat, const HalfgnnSpmmOpts& opts) {
   assert(y.size() == static_cast<std::size_t>(g.n()) *
                          static_cast<std::size_t>(feat));
-  return profiled ? spmm_impl<true>(spec, g, edge_w, x, y, feat, opts)
-                  : spmm_impl<false>(spec, g, edge_w, x, y, feat, opts);
+  return profiled ? spmm_impl<true>(stream, g, edge_w, x, y, feat, opts)
+                  : spmm_impl<false>(stream, g, edge_w, x, y, feat, opts);
 }
 
 }  // namespace hg::kernels

@@ -35,7 +35,7 @@ struct HalfgnnSpmmOpts {
 // Y (size n*feat) is fully overwritten. `edge_w` empty => SpMMv.
 // feat must be even (feature padding, Sec. 4.1.2 — callers pad odd class
 // counts up; see nn/).
-simt::KernelStats spmm_halfgnn(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats spmm_halfgnn(simt::Stream& stream, bool profiled,
                                const GraphView& g,
                                std::span<const half_t> edge_w,
                                std::span<const half_t> x,

@@ -10,7 +10,8 @@ namespace {
 using simt::Cta;
 using simt::KernelStats;
 using simt::Lanes;
-using simt::LaunchCfg;
+using simt::ConflictPolicy;
+using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
@@ -46,16 +47,17 @@ namespace {
 // GE-SpMM: warp per row, no balancing, no atomics.
 // ---------------------------------------------------------------------------
 template <bool P>
-KernelStats gespmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats gespmm_impl(simt::Stream& stream, const GraphView& g,
                         std::span<const float> edge_w,
                         std::span<const float> x, std::span<float> y,
                         int feat) {
   const vid_t n = g.n();
   const int fchunks = (feat + 31) / 32;
   std::fill(y.begin(), y.end(), 0.0f);
-  const LaunchCfg cfg{static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
-                      kWarpsPerCta};
-  return simt::launch<P>(spec, "gespmm_f32", cfg, [&](Cta<P>& cta) {
+  const LaunchDesc cfg{"gespmm_f32",
+                       static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
       const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
                       w.warp_in_cta();
@@ -110,7 +112,7 @@ KernelStats gespmm_impl(const simt::DeviceSpec& spec, const GraphView& g,
 // Huang et al.: warp per 32-neighbor group; float atomics for partials.
 // ---------------------------------------------------------------------------
 template <bool P>
-KernelStats huang_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats huang_f32_impl(simt::Stream& stream, const GraphView& g,
                            const NeighborGroups& ng,
                            std::span<const float> edge_w,
                            std::span<const float> x, std::span<float> y,
@@ -118,9 +120,26 @@ KernelStats huang_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
   const int fchunks = (feat + 31) / 32;
   std::fill(y.begin(), y.end(), 0.0f);
   const int groups = static_cast<int>(ng.num_groups());
-  const LaunchCfg cfg{(groups + kWarpsPerCta - 1) / kWarpsPerCta,
-                      kWarpsPerCta};
-  return simt::launch<P>(spec, "huang_f32", cfg, [&](Cta<P>& cta) {
+  const LaunchDesc cfg{"huang_f32", (groups + kWarpsPerCta - 1) / kWarpsPerCta,
+                       kWarpsPerCta};
+  // Groups are built in vertex order, so a CTA's group range writes a
+  // contiguous row window — lets the executor bound its staging merge.
+  const simt::StagedOutput<float> staged{
+      y, ConflictPolicy::kStagedSum,
+      [&ng, groups, feat](int c0,
+                          int c1) -> std::pair<std::size_t, std::size_t> {
+        const int g0 = std::min(groups, c0 * kWarpsPerCta);
+        const int g1 = std::min(groups, c1 * kWarpsPerCta);
+        if (g0 >= g1) return {0, 0};
+        const auto r0 =
+            static_cast<std::size_t>(ng.vertex[static_cast<std::size_t>(g0)]);
+        const auto r1 = static_cast<std::size_t>(
+            ng.vertex[static_cast<std::size_t>(g1 - 1)]);
+        const auto k = static_cast<std::size_t>(feat);
+        return {r0 * k, (r1 + 1) * k};
+      }};
+  return stream.launch<P>(cfg, staged, [&](Cta<P>& cta,
+                                           std::span<float> out) {
     cta.for_each_warp([&](Warp<P>& w) {
       const int gi = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
       if (gi >= groups) return;
@@ -172,9 +191,9 @@ KernelStats huang_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
         }
         if (whole_row) {
           w.template store_contiguous<float>(
-              y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
+              out, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
         } else {
-          w.atomic_add(y, idx, prefix_mask(lanes), v, contention);
+          w.atomic_add(out, idx, prefix_mask(lanes), v, contention);
         }
       }
     });
@@ -186,7 +205,7 @@ KernelStats huang_f32_impl(const simt::DeviceSpec& spec, const GraphView& g,
 // with the odd-offset fix-up, staging buffer + follow-up instead of atomics.
 // ---------------------------------------------------------------------------
 template <bool P>
-KernelStats huang_half2_impl(const simt::DeviceSpec& spec, const GraphView& g,
+KernelStats huang_half2_impl(simt::Stream& stream, const GraphView& g,
                              const NeighborGroups& ng,
                              std::span<const half_t> edge_w,
                              std::span<const half_t> x, std::span<half_t> y,
@@ -208,10 +227,10 @@ KernelStats huang_half2_impl(const simt::DeviceSpec& spec, const GraphView& g,
                              half_t(0.0f));
   auto staging2 = simt::as_vec_mut<half2>(std::span<half_t>(staging));
 
-  const LaunchCfg cfg{(groups + kWarpsPerCta - 1) / kWarpsPerCta,
-                      kWarpsPerCta};
-  KernelStats ks = simt::launch<P>(spec, "huang_half2", cfg, [&](Cta<P>&
-                                                                     cta) {
+  const LaunchDesc cfg{"huang_half2",
+                       (groups + kWarpsPerCta - 1) / kWarpsPerCta,
+                       kWarpsPerCta};
+  KernelStats ks = stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
       const int gi = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
       if (gi >= groups) return;
@@ -299,9 +318,9 @@ KernelStats huang_half2_impl(const simt::DeviceSpec& spec, const GraphView& g,
   // partials and stores the full row (no other writer exists).
   const int multis = static_cast<int>(ng.multi_rows.size());
   if (multis > 0) {
-    KernelStats fks = simt::launch<P>(
-        spec, "huang_half2_followup",
-        LaunchCfg{(multis + kWarpsPerCta - 1) / kWarpsPerCta, kWarpsPerCta},
+    KernelStats fks = stream.launch<P>(
+        LaunchDesc{"huang_half2_followup",
+                   (multis + kWarpsPerCta - 1) / kWarpsPerCta, kWarpsPerCta},
         [&](Cta<P>& cta) {
           cta.for_each_warp([&](Warp<P>& w) {
             const int mi = cta.cta_id() * kWarpsPerCta + w.warp_in_cta();
@@ -340,31 +359,31 @@ KernelStats huang_half2_impl(const simt::DeviceSpec& spec, const GraphView& g,
 
 }  // namespace
 
-KernelStats gespmm_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats gespmm_f32(simt::Stream& stream, bool profiled,
                        const GraphView& g, std::span<const float> edge_w,
                        std::span<const float> x, std::span<float> y,
                        int feat) {
-  return profiled ? gespmm_impl<true>(spec, g, edge_w, x, y, feat)
-                  : gespmm_impl<false>(spec, g, edge_w, x, y, feat);
+  return profiled ? gespmm_impl<true>(stream, g, edge_w, x, y, feat)
+                  : gespmm_impl<false>(stream, g, edge_w, x, y, feat);
 }
 
-KernelStats huang_f32(const simt::DeviceSpec& spec, bool profiled,
+KernelStats huang_f32(simt::Stream& stream, bool profiled,
                       const GraphView& g, const NeighborGroups& groups,
                       std::span<const float> edge_w, std::span<const float> x,
                       std::span<float> y, int feat) {
   return profiled
-             ? huang_f32_impl<true>(spec, g, groups, edge_w, x, y, feat)
-             : huang_f32_impl<false>(spec, g, groups, edge_w, x, y, feat);
+             ? huang_f32_impl<true>(stream, g, groups, edge_w, x, y, feat)
+             : huang_f32_impl<false>(stream, g, groups, edge_w, x, y, feat);
 }
 
-KernelStats huang_half2(const simt::DeviceSpec& spec, bool profiled,
+KernelStats huang_half2(simt::Stream& stream, bool profiled,
                         const GraphView& g, const NeighborGroups& groups,
                         std::span<const half_t> edge_w,
                         std::span<const half_t> x, std::span<half_t> y,
                         int feat) {
   return profiled
-             ? huang_half2_impl<true>(spec, g, groups, edge_w, x, y, feat)
-             : huang_half2_impl<false>(spec, g, groups, edge_w, x, y, feat);
+             ? huang_half2_impl<true>(stream, g, groups, edge_w, x, y, feat)
+             : huang_half2_impl<false>(stream, g, groups, edge_w, x, y, feat);
 }
 
 }  // namespace hg::kernels

@@ -38,18 +38,18 @@ struct NeighborGroups {
 
 NeighborGroups build_neighbor_groups(const Csr& csr, int group_size = 32);
 
-simt::KernelStats gespmm_f32(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats gespmm_f32(simt::Stream& stream, bool profiled,
                              const GraphView& g, std::span<const float> edge_w,
                              std::span<const float> x, std::span<float> y,
                              int feat);
 
-simt::KernelStats huang_f32(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats huang_f32(simt::Stream& stream, bool profiled,
                             const GraphView& g, const NeighborGroups& groups,
                             std::span<const float> edge_w,
                             std::span<const float> x, std::span<float> y,
                             int feat);
 
-simt::KernelStats huang_half2(const simt::DeviceSpec& spec, bool profiled,
+simt::KernelStats huang_half2(simt::Stream& stream, bool profiled,
                               const GraphView& g, const NeighborGroups& groups,
                               std::span<const half_t> edge_w,
                               std::span<const half_t> x,

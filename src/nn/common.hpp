@@ -88,7 +88,7 @@ class GraphCtx {
 
 // Everything a layer call needs to know about *how* to execute.
 struct SparseCtx {
-  const simt::DeviceSpec* spec = &simt::a100_spec();
+  simt::Stream* stream = &simt::default_stream();
   SystemMode mode = SystemMode::kDglFloat;
   bool profiled = false;       // run kernels under the cost model
   CostLedger* ledger = nullptr;

@@ -45,7 +45,7 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
       decided("spmm", "spmm_cusparse_f32",
               "mode=DGL-float: row-parallel f32 cuSPARSE-like path");
       charge(ctx, kernels::spmm_cusparse_f32(
-                      *ctx.spec, ctx.profiled, g.view(),
+                      *ctx.stream, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->f()
                                         : std::span<const float>{},
                       x.f(), y.f(), static_cast<int>(feat), reduce));
@@ -56,7 +56,7 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
               "mode=DGL-half: scalar-load half path with atomic-half "
               "accumulation (Fig. 3a arithmetic)");
       charge(ctx, kernels::spmm_cusparse_f16(
-                      *ctx.spec, ctx.profiled, g.view(),
+                      *ctx.stream, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->h()
                                         : std::span<const half_t>{},
                       x.h(), y.h(), static_cast<int>(feat), reduce));
@@ -70,7 +70,7 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
               "mode=HalfGNN: edge-parallel half2 with discretized scaling "
               "(overflow-protected reduction)");
       charge(ctx, kernels::spmm_halfgnn(
-                      *ctx.spec, ctx.profiled, g.view(),
+                      *ctx.stream, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->h()
                                         : std::span<const half_t>{},
                       x.h(), y.h(), static_cast<int>(feat), opts));
@@ -101,19 +101,19 @@ MTensor sddmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor& a,
     case SystemMode::kDglFloat:
       decided("sddmm", "sddmm_dgl_f32",
               "mode=DGL-float: scalar f32 dot per edge");
-      charge(ctx, kernels::sddmm_dgl_f32(*ctx.spec, ctx.profiled, g.view(),
+      charge(ctx, kernels::sddmm_dgl_f32(*ctx.stream, ctx.profiled, g.view(),
                                          a.f(), b.f(), out.f(), feat));
       break;
     case SystemMode::kDglHalf:
       decided("sddmm", "sddmm_dgl_f16",
               "mode=DGL-half: scalar half loads (no vectorization)");
-      charge(ctx, kernels::sddmm_dgl_f16(*ctx.spec, ctx.profiled, g.view(),
+      charge(ctx, kernels::sddmm_dgl_f16(*ctx.stream, ctx.profiled, g.view(),
                                          a.h(), b.h(), out.h(), feat));
       break;
     case SystemMode::kHalfGnn:
       decided("sddmm", "sddmm_halfgnn",
               "mode=HalfGNN: half8 vectorized loads (4x fewer sectors)");
-      charge(ctx, kernels::sddmm_halfgnn(*ctx.spec, ctx.profiled, g.view(),
+      charge(ctx, kernels::sddmm_halfgnn(*ctx.stream, ctx.profiled, g.view(),
                                          a.h(), b.h(), out.h(), feat,
                                          kernels::SddmmVec::kHalf8));
       break;
@@ -126,7 +126,7 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
   if (ctx.mode == SystemMode::kDglFloat) {
     MTensor out = MTensor::f32(g.n(), 1);
     decided("seg_reduce", "edge_segment_reduce_f32", "mode=DGL-float");
-    charge(ctx, kernels::edge_segment_reduce_f32(*ctx.spec, ctx.profiled,
+    charge(ctx, kernels::edge_segment_reduce_f32(*ctx.stream, ctx.profiled,
                                                  g.view(), edge_vals.f(),
                                                  out.f(), reduce));
     return out;
@@ -139,7 +139,7 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
             "(half->f32->half round trip)");
     return promoted(ctx, edge_vals, [&](const MTensor& in_f) {
       MTensor out = MTensor::f32(g.n(), 1);
-      charge(ctx, kernels::edge_segment_reduce_f32(*ctx.spec, ctx.profiled,
+      charge(ctx, kernels::edge_segment_reduce_f32(*ctx.stream, ctx.profiled,
                                                    g.view(), in_f.f(),
                                                    out.f(), reduce));
       return out;
@@ -150,7 +150,7 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
           ctx.mode == SystemMode::kHalfGnn
               ? "mode=HalfGNN: shadow half reduction (range-safe)"
               : "mode=DGL-half: max/min stay half under AMP");
-  charge(ctx, kernels::edge_segment_reduce_f16(*ctx.spec, ctx.profiled,
+  charge(ctx, kernels::edge_segment_reduce_f16(*ctx.stream, ctx.profiled,
                                                g.view(), edge_vals.h(),
                                                out.h(), reduce));
   return out;
@@ -160,14 +160,14 @@ MTensor edge_add_scalars(const SparseCtx& ctx, const GraphCtx& g,
                          const MTensor& el, const MTensor& er, float slope) {
   if (ctx.mode == SystemMode::kDglFloat) {
     MTensor out = MTensor::f32(g.m(), 1);
-    charge(ctx, kernels::edge_add_scalars_f32(*ctx.spec, ctx.profiled,
+    charge(ctx, kernels::edge_add_scalars_f32(*ctx.stream, ctx.profiled,
                                               g.view(), el.f(), er.f(),
                                               out.f(), slope));
     return out;
   }
   MTensor out = MTensor::f16(g.m(), 1);
   charge(ctx,
-         kernels::edge_add_scalars_f16(*ctx.spec, ctx.profiled, g.view(),
+         kernels::edge_add_scalars_f16(*ctx.stream, ctx.profiled, g.view(),
                                        el.h(), er.h(), out.h(), slope));
   return out;
 }
@@ -178,7 +178,7 @@ MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
     case SystemMode::kDglFloat: {
       MTensor out = MTensor::f32(g.m(), 1);
       decided("edge_exp", "edge_exp_sub_row_f32", "mode=DGL-float");
-      charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.spec, ctx.profiled,
+      charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.stream, ctx.profiled,
                                                 g.view(), vals.f(),
                                                 rowv.f(), out.f()));
       return out;
@@ -192,7 +192,7 @@ MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
       MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
       return promoted(ctx, vals, [&](const MTensor& vals_f) {
         MTensor out = MTensor::f32(g.m(), 1);
-        charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.spec, ctx.profiled,
+        charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.stream, ctx.profiled,
                                                   g.view(), vals_f.f(),
                                                   rowv_f.f(), out.f()));
         return out;
@@ -203,7 +203,7 @@ MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
       decided("edge_exp", "edge_exp_sub_row_f16",
               "mode=HalfGNN: shadow half exp (e - max <= 0, in range)");
       MTensor out = MTensor::f16(g.m(), 1);
-      charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.spec, ctx.profiled,
+      charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.stream, ctx.profiled,
                                                 g.view(), vals.h(),
                                                 rowv.h(), out.h()));
       return out;
@@ -216,7 +216,7 @@ MTensor edge_div_row(const SparseCtx& ctx, const GraphCtx& g,
                      const MTensor& vals, const MTensor& rowv) {
   if (ctx.mode == SystemMode::kDglFloat) {
     MTensor out = MTensor::f32(g.m(), 1);
-    charge(ctx, kernels::edge_div_row_f32(*ctx.spec, ctx.profiled, g.view(),
+    charge(ctx, kernels::edge_div_row_f32(*ctx.stream, ctx.profiled, g.view(),
                                           vals.f(), rowv.f(), out.f()));
     return out;
   }
@@ -229,7 +229,7 @@ MTensor edge_div_row(const SparseCtx& ctx, const GraphCtx& g,
                          ? to_dtype(rowv, Dtype::kF16, nullptr)
                          : to_dtype(rowv, Dtype::kF16, ctx.ledger);
   MTensor out = MTensor::f16(g.m(), 1);
-  charge(ctx, kernels::edge_div_row_f16(*ctx.spec, ctx.profiled, g.view(),
+  charge(ctx, kernels::edge_div_row_f16(*ctx.stream, ctx.profiled, g.view(),
                                         vh.h(), rh.h(), out.h()));
   return out;
 }
@@ -237,10 +237,10 @@ MTensor edge_div_row(const SparseCtx& ctx, const GraphCtx& g,
 MTensor edge_mul(const SparseCtx& ctx, const MTensor& a, const MTensor& b) {
   MTensor out = MTensor::zeros(a.dtype(), a.rows(), a.cols());
   if (a.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_mul_f32(*ctx.spec, ctx.profiled, a.f(), b.f(),
+    charge(ctx, kernels::edge_mul_f32(*ctx.stream, ctx.profiled, a.f(), b.f(),
                                       out.f()));
   } else {
-    charge(ctx, kernels::edge_mul_f16(*ctx.spec, ctx.profiled, a.h(), b.h(),
+    charge(ctx, kernels::edge_mul_f16(*ctx.stream, ctx.profiled, a.h(), b.h(),
                                       out.h()));
   }
   return out;
@@ -252,11 +252,11 @@ MTensor edge_softmax_backward(const SparseCtx& ctx, const GraphCtx& g,
   MTensor out = MTensor::zeros(alpha.dtype(), alpha.rows(), 1);
   if (alpha.dtype() == Dtype::kF32) {
     charge(ctx, kernels::edge_softmax_backward_f32(
-                    *ctx.spec, ctx.profiled, g.view(), alpha.f(),
+                    *ctx.stream, ctx.profiled, g.view(), alpha.f(),
                     dalpha.f(), c.f(), out.f()));
   } else {
     charge(ctx, kernels::edge_softmax_backward_f16(
-                    *ctx.spec, ctx.profiled, g.view(), alpha.h(),
+                    *ctx.stream, ctx.profiled, g.view(), alpha.h(),
                     dalpha.h(), c.h(), out.h()));
   }
   return out;
@@ -266,11 +266,11 @@ MTensor edge_leaky_backward(const SparseCtx& ctx, const MTensor& pre,
                             const MTensor& grad, float slope) {
   MTensor out = MTensor::zeros(grad.dtype(), grad.rows(), 1);
   if (grad.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_leaky_backward_f32(*ctx.spec, ctx.profiled,
+    charge(ctx, kernels::edge_leaky_backward_f32(*ctx.stream, ctx.profiled,
                                                  pre.f(), grad.f(), out.f(),
                                                  slope));
   } else {
-    charge(ctx, kernels::edge_leaky_backward_f16(*ctx.spec, ctx.profiled,
+    charge(ctx, kernels::edge_leaky_backward_f16(*ctx.stream, ctx.profiled,
                                                  pre.h(), grad.h(), out.h(),
                                                  slope));
   }
@@ -281,10 +281,10 @@ MTensor edge_permute(const SparseCtx& ctx, const MTensor& in,
                      std::span<const eid_t> perm) {
   MTensor out = MTensor::zeros(in.dtype(), in.rows(), in.cols());
   if (in.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_permute_f32(*ctx.spec, ctx.profiled, in.f(),
+    charge(ctx, kernels::edge_permute_f32(*ctx.stream, ctx.profiled, in.f(),
                                           perm, out.f()));
   } else {
-    charge(ctx, kernels::edge_permute_f16(*ctx.spec, ctx.profiled, in.h(),
+    charge(ctx, kernels::edge_permute_f16(*ctx.stream, ctx.profiled, in.h(),
                                           perm, out.h()));
   }
   return out;

@@ -14,6 +14,11 @@
 //     "summary": { "<key>": <num>, ... },   // e.g. column averages
 //     "kernels": { "<kernel>": {"launches": <num>, "<counter>": <num>, ...} }
 //   }
+// Kernel entries written through bench::report_kernel carry both "time_ms"
+// (modeled device time, thread-count invariant) and "host_ms" (executor
+// wall time). Bench reports are the only artifacts that carry host_ms —
+// the metrics/trace schemas exclude it so their output stays byte-identical
+// across HALFGNN_THREADS settings.
 // Validators for this plus the metrics/trace schemas live here so smoke
 // tests can assert emitted artifacts stay well-formed.
 #pragma once

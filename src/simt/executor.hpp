@@ -1,0 +1,364 @@
+// Device/Stream executor: parallel, deterministic CTA execution.
+//
+// A Device owns a persistent host thread pool (size from HALFGNN_THREADS,
+// default hardware_concurrency; 1 = sequential on the calling thread) and
+// the DeviceSpec cost model. A Stream is the launch API the kernels use.
+//
+// Determinism contract: every number a launch produces — output tensors,
+// KernelStats, and everything src/obs publishes — is bit-identical for any
+// thread count. Three mechanisms make that hold:
+//
+//  1. CTAs execute in fixed contiguous chunks (kCtasPerChunk, a property of
+//     the launch, not of the pool). Each chunk accumulates into a private
+//     KernelStats shard and a private per-CTA cost vector; shards merge in
+//     chunk order via KernelStats::operator+= (raw-denominator semantics),
+//     so double-precision accumulation order never depends on scheduling.
+//  2. Kernels with cross-CTA conflict writes (atomic cuSPARSE-like SpMM,
+//     the Fig. 13 atomic ablation, Huang-style group partials) declare a
+//     ConflictPolicy. The executor then gives each shard a private staging
+//     view of the output; a follow-up merge pass folds the shards into the
+//     destination in fixed shard order — the same staging-plus-deterministic-
+//     merge design HalfGNN itself uses instead of device atomics
+//     (paper Sec. 4.1.3/5.2.3), applied to host threads. Staging is active
+//     at every thread count (including 1), so float/half accumulation order
+//     and overflow behavior are launch properties, not schedule properties.
+//  3. The merged stats are finalized and published exactly once per launch,
+//     from the calling thread.
+//
+// The staged merge is host machinery, not device work: it charges nothing
+// to the cost model (the kernels' atomic charges stay), so profiled output
+// is unchanged in schema and value. Host wall time is measured per launch
+// into KernelStats::host_ms, which is reported by the benches but never
+// published to metrics/trace JSON.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "half/vec.hpp"
+#include "simt/cta.hpp"
+
+namespace hg::simt {
+
+struct LaunchDesc {
+  std::string name;
+  int ctas = 1;
+  int warps_per_cta = 4;
+};
+
+// How a launch's cross-CTA conflicting writes combine during the staged
+// merge. kNone means CTA output locations are exclusive (no staging).
+enum class ConflictPolicy { kNone, kStagedSum, kStagedMax };
+
+// Element window [begin, end) of the output that CTAs [cta_begin, cta_end)
+// may write. Bounds the staging memory the executor zeroes and merges; must
+// be a superset of the CTAs' actual writes. Unset = the whole output.
+using CtaWindowFn =
+    std::function<std::pair<std::size_t, std::size_t>(int cta_begin,
+                                                      int cta_end)>;
+
+// A conflict-writing launch's output declaration.
+template <class T>
+struct StagedOutput {
+  std::span<T> dst;
+  ConflictPolicy policy = ConflictPolicy::kStagedSum;
+  CtaWindowFn window;  // optional
+};
+
+namespace detail {
+
+// CTAs per execution chunk — fixed so chunk structure (and therefore every
+// accumulation order) is independent of the thread count.
+inline constexpr int kCtasPerChunk = 8;
+// Staging shards for conflict launches: enough to keep 16 host threads
+// busy, few enough that staging memory stays ~shards/ctas of the output.
+inline constexpr int kConflictShards = 16;
+// Elements per merge-pass job.
+inline constexpr std::size_t kMergeBlockElems = std::size_t{1} << 16;
+
+// HALFGNN_THREADS, default std::thread::hardware_concurrency().
+int env_threads();
+
+// Device-level scheduling model: CTA costs are distributed round-robin
+// over min(num_sms, num_ctas) SMs (a 1-CTA launch models a 1-SM device);
+// resident CTAs hide stalls but contend for issue slots; the result is
+// clamped by peak DRAM bandwidth.
+void finalize(KernelStats& ks, const DeviceSpec& spec,
+              const std::vector<std::pair<double, double>>& cta_cost);
+
+template <class T>
+T staged_identity(ConflictPolicy policy) {
+  if constexpr (std::is_same_v<T, half2>) {
+    return policy == ConflictPolicy::kStagedMax
+               ? half2{half_limits::kNegInf, half_limits::kNegInf}
+               : half2(0.0f, 0.0f);
+  } else if constexpr (std::is_same_v<T, half_t>) {
+    return policy == ConflictPolicy::kStagedMax ? half_limits::kNegInf
+                                                : half_t(0.0f);
+  } else {
+    return policy == ConflictPolicy::kStagedMax
+               ? -std::numeric_limits<T>::infinity()
+               : T{};
+  }
+}
+
+template <class T>
+T staged_combine(ConflictPolicy policy, T a, T b) {
+  if constexpr (std::is_same_v<T, half2>) {
+    return policy == ConflictPolicy::kStagedMax ? h2max(a, b) : h2add(a, b);
+  } else if constexpr (std::is_same_v<T, half_t>) {
+    if (policy == ConflictPolicy::kStagedMax) {
+      return a.to_float() < b.to_float() ? b : a;
+    }
+    return a + b;
+  } else {
+    return policy == ConflictPolicy::kStagedMax ? std::max(a, b) : a + b;
+  }
+}
+
+}  // namespace detail
+
+// A modeled GPU plus the host thread pool that simulates it.
+class Device {
+ public:
+  explicit Device(const DeviceSpec& spec, int threads = detail::env_threads());
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+  int threads() const noexcept { return threads_; }
+
+  // Runs fn(0..jobs-1) across the pool; the calling thread participates.
+  // Job indices are claimed dynamically, so callers must write results to
+  // per-job slots and merge in index order. Worker exceptions rethrow here.
+  // The caller must hold the launch mutex (Stream does).
+  void run_jobs(int jobs, const std::function<void(int)>& fn);
+
+  // Reusable per-shard staging arena (bytes survive across launches so
+  // repeated conflict launches do not re-fault pages).
+  std::span<std::byte> scratch(int slot, std::size_t bytes);
+
+ private:
+  friend class Stream;
+
+  void worker_loop();
+  bool claim(std::uint64_t gen, int jobs, int& idx);
+  void run_claimed(std::uint64_t gen, int jobs,
+                   const std::function<void(int)>& fn);
+
+  DeviceSpec spec_;
+  int threads_;
+
+  // One launch in flight per device; Stream locks this around each launch.
+  std::mutex launch_mu_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::function<void(int)> job_;
+  int jobs_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  // Packs (generation << 32) | next_job_index; claims CAS the low half so
+  // a stale worker can never claim into a newer launch.
+  std::atomic<std::uint64_t> claim_{0};
+
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<std::byte>> scratch_;
+};
+
+// The launch API. Kernels hold a Stream& and call launch(); SparseCtx
+// carries a Stream* (see nn/common.hpp).
+class Stream {
+ public:
+  explicit Stream(Device& dev) : dev_(&dev) {}
+
+  Device& device() const noexcept { return *dev_; }
+  const DeviceSpec& spec() const noexcept { return dev_->spec(); }
+
+  // Conflict-free launch: body(Cta<Profiled>&). CTA output locations must
+  // be exclusive per CTA (or written only through kernel-private staging).
+  template <bool Profiled, class Body>
+  KernelStats launch(LaunchDesc desc, Body&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> guard(dev_->launch_mu_);
+    KernelStats ks = run_ctas<Profiled>(desc, body);
+    return finish_launch<Profiled>(ks, t0);
+  }
+
+  // Conflict launch: body(Cta<Profiled>&, std::span<T> out) writes every
+  // conflicting (and interior) output element through `out`, a per-shard
+  // staging view indexed like staged.dst. Shards merge into staged.dst in
+  // fixed shard order under the declared policy.
+  template <bool Profiled, class T, class Body>
+  KernelStats launch(LaunchDesc desc, StagedOutput<T> staged, Body&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> guard(dev_->launch_mu_);
+
+    const int ctas = desc.ctas;
+    const int shards = std::min(detail::kConflictShards, std::max(1, ctas));
+    const auto shard_begin = [&](int s) {
+      return static_cast<int>(static_cast<long long>(ctas) * s / shards);
+    };
+
+    std::vector<std::pair<std::size_t, std::size_t>> win(
+        static_cast<std::size_t>(shards));
+    std::vector<std::span<T>> stage(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      win[su] = staged.window
+                    ? staged.window(shard_begin(s), shard_begin(s + 1))
+                    : std::pair<std::size_t, std::size_t>{0,
+                                                          staged.dst.size()};
+      win[su].second = std::min(win[su].second, staged.dst.size());
+      win[su].first = std::min(win[su].first, win[su].second);
+      auto bytes = dev_->scratch(s, staged.dst.size() * sizeof(T));
+      stage[su] = {reinterpret_cast<T*>(bytes.data()), staged.dst.size()};
+    }
+
+    const T identity = detail::staged_identity<T>(staged.policy);
+    std::vector<KernelStats> part(static_cast<std::size_t>(shards));
+    std::vector<std::vector<std::pair<double, double>>> cost(
+        Profiled ? static_cast<std::size_t>(shards) : 0);
+    dev_->run_jobs(ctas > 0 ? shards : 0, [&](int s) {
+      const auto su = static_cast<std::size_t>(s);
+      for (std::size_t i = win[su].first; i < win[su].second; ++i) {
+        stage[su][i] = identity;
+      }
+      const int c0 = shard_begin(s);
+      const int c1 = shard_begin(s + 1);
+      if constexpr (Profiled) {
+        cost[su].reserve(static_cast<std::size_t>(c1 - c0));
+      }
+      for (int c = c0; c < c1; ++c) {
+        Cta<Profiled> cta(dev_->spec(), part[su], c, desc.warps_per_cta);
+        body(cta, stage[su]);
+        auto cc = cta.finish();
+        if constexpr (Profiled) cost[su].push_back(cc);
+      }
+    });
+
+    // Staged merge (host machinery, never charged to the cost model): fold
+    // the shards into dst in shard order, per fixed element blocks. Elements
+    // outside every window keep the caller's prefill.
+    std::size_t lo = staged.dst.size(), hi = 0;
+    for (const auto& w : win) {
+      if (w.first >= w.second) continue;
+      lo = std::min(lo, w.first);
+      hi = std::max(hi, w.second);
+    }
+    if (lo < hi) {
+      const auto blocks = static_cast<int>(
+          (hi - lo + detail::kMergeBlockElems - 1) / detail::kMergeBlockElems);
+      dev_->run_jobs(blocks, [&](int b) {
+        const std::size_t b0 =
+            lo + static_cast<std::size_t>(b) * detail::kMergeBlockElems;
+        const std::size_t b1 = std::min(hi, b0 + detail::kMergeBlockElems);
+        for (std::size_t i = b0; i < b1; ++i) {
+          T v = identity;
+          bool covered = false;
+          for (int s = 0; s < shards; ++s) {
+            const auto su = static_cast<std::size_t>(s);
+            if (i >= win[su].first && i < win[su].second) {
+              v = detail::staged_combine<T>(staged.policy, v, stage[su][i]);
+              covered = true;
+            }
+          }
+          if (covered) staged.dst[i] = v;
+        }
+      });
+    }
+
+    KernelStats ks;
+    ks.name = std::move(desc.name);
+    ks.ctas = ctas;
+    ks.warps_per_cta = desc.warps_per_cta;
+    for (auto& p : part) ks += p;
+    if constexpr (Profiled) {
+      std::vector<std::pair<double, double>> cta_cost;
+      cta_cost.reserve(static_cast<std::size_t>(ctas));
+      for (auto& v : cost) {
+        cta_cost.insert(cta_cost.end(), v.begin(), v.end());
+      }
+      detail::finalize(ks, dev_->spec(), cta_cost);
+    }
+    return finish_launch<Profiled>(ks, t0);
+  }
+
+ private:
+  template <bool Profiled, class Body>
+  KernelStats run_ctas(const LaunchDesc& desc, Body& body) {
+    const int ctas = desc.ctas;
+    const int chunks =
+        (ctas + detail::kCtasPerChunk - 1) / detail::kCtasPerChunk;
+    std::vector<KernelStats> part(static_cast<std::size_t>(chunks));
+    std::vector<std::vector<std::pair<double, double>>> cost(
+        Profiled ? static_cast<std::size_t>(chunks) : 0);
+    dev_->run_jobs(chunks, [&](int ch) {
+      const auto cu = static_cast<std::size_t>(ch);
+      const int c0 = ch * detail::kCtasPerChunk;
+      const int c1 = std::min(ctas, c0 + detail::kCtasPerChunk);
+      if constexpr (Profiled) {
+        cost[cu].reserve(static_cast<std::size_t>(c1 - c0));
+      }
+      for (int c = c0; c < c1; ++c) {
+        Cta<Profiled> cta(dev_->spec(), part[cu], c, desc.warps_per_cta);
+        body(cta);
+        auto cc = cta.finish();
+        if constexpr (Profiled) cost[cu].push_back(cc);
+      }
+    });
+
+    KernelStats ks;
+    ks.name = desc.name;
+    ks.ctas = ctas;
+    ks.warps_per_cta = desc.warps_per_cta;
+    for (auto& p : part) ks += p;
+    if constexpr (Profiled) {
+      std::vector<std::pair<double, double>> cta_cost;
+      cta_cost.reserve(static_cast<std::size_t>(ctas));
+      for (auto& v : cost) {
+        cta_cost.insert(cta_cost.end(), v.begin(), v.end());
+      }
+      detail::finalize(ks, dev_->spec(), cta_cost);
+    }
+    return ks;
+  }
+
+  template <bool Profiled>
+  KernelStats finish_launch(KernelStats& ks,
+                            std::chrono::steady_clock::time_point t0) {
+    ks.host_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    if constexpr (Profiled) {
+      // One publish per launch, from the merged stats, on this thread.
+      publish_profile(ks);
+    }
+    return std::move(ks);
+  }
+
+  Device* dev_;
+};
+
+// The process-default modeled A100 and its stream (pool size from
+// HALFGNN_THREADS, read once on first use).
+Device& default_device();
+Stream& default_stream();
+
+}  // namespace hg::simt

@@ -22,6 +22,7 @@ void KernelStats::recompute_derived() {
 KernelStats& KernelStats::operator+=(const KernelStats& o) {
   device_cycles += o.device_cycles;
   time_ms += o.time_ms;
+  host_ms += o.host_ms;
   bytes_moved += o.bytes_moved;
   useful_bytes += o.useful_bytes;
   ld_instrs += o.ld_instrs;

@@ -17,6 +17,10 @@ struct KernelStats {
   // Timing.
   double device_cycles = 0;  // modeled critical path
   double time_ms = 0;
+  // Host wall-clock spent simulating this launch (executor-measured).
+  // Reported by the benches; never published to metrics/trace JSON, which
+  // must stay byte-identical across thread counts.
+  double host_ms = 0;
 
   // Memory traffic (sector-granular, i.e. what HBM actually moves).
   std::uint64_t bytes_moved = 0;
@@ -73,7 +77,7 @@ std::ostream& operator<<(std::ostream& os, const KernelStats& s);
 // Publishes one finalized launch to the observability layer: a span on the
 // modeled timeline (advancing the trace clock by time_ms) and the raw
 // counters into the metrics registry. No-op unless tracing/metrics are
-// enabled. Called by simt::launch<true>.
+// enabled. Called once per profiled launch by the Stream executor.
 void publish_profile(const KernelStats& ks);
 
 }  // namespace hg::simt

@@ -37,9 +37,9 @@ TEST(KernelInvariants, ModeledStatsAreDeterministic) {
   for (auto& v : x) v = half_t(rng.next_float());
 
   HalfgnnSpmmOpts opts;
-  const auto a = spmm_halfgnn(simt::a100_spec(), true, t.g, {}, x, y, 64,
+  const auto a = spmm_halfgnn(simt::default_stream(), true, t.g, {}, x, y, 64,
                               opts);
-  const auto b = spmm_halfgnn(simt::a100_spec(), true, t.g, {}, x, y, 64,
+  const auto b = spmm_halfgnn(simt::default_stream(), true, t.g, {}, x, y, 64,
                               opts);
   EXPECT_EQ(a.device_cycles, b.device_cycles);
   EXPECT_EQ(a.bytes_moved, b.bytes_moved);
@@ -63,8 +63,8 @@ TEST(KernelInvariants, SpmmvEqualsSpmmveWithUnitWeights) {
 
   HalfgnnSpmmOpts opts;
   opts.reduce = Reduce::kMean;
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, x, yv, 32, opts);
-  spmm_halfgnn(simt::a100_spec(), false, t.g, ones, x, yve, 32, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, x, yv, 32, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, ones, x, yve, 32, opts);
   for (std::size_t i = 0; i < yv.size(); ++i) {
     ASSERT_EQ(yv[i].bits(), yve[i].bits()) << i;
   }
@@ -81,9 +81,9 @@ TEST(KernelInvariants, SpmmvIsCheaperThanSpmmve) {
   AlignedVec<half_t> w(m, half_t(0.5f));
 
   HalfgnnSpmmOpts opts;
-  const auto v = spmm_halfgnn(simt::a100_spec(), true, t.g, {}, x, y, 64,
+  const auto v = spmm_halfgnn(simt::default_stream(), true, t.g, {}, x, y, 64,
                               opts);
-  const auto ve = spmm_halfgnn(simt::a100_spec(), true, t.g, w, x, y, 64,
+  const auto ve = spmm_halfgnn(simt::default_stream(), true, t.g, w, x, y, 64,
                                opts);
   EXPECT_LT(v.bytes_moved, ve.bytes_moved);
   EXPECT_LT(v.time_ms, ve.time_ms);
@@ -102,7 +102,7 @@ TEST(KernelInvariants, SddmmIsSymmetricInOperandsOnSymmetricInputs) {
   AlignedVec<half_t> a(n * 32);
   for (auto& v : a) v = half_t(rng.next_float() - 0.5f);
   AlignedVec<half_t> out(m);
-  sddmm_halfgnn(simt::a100_spec(), false, g, a, a, out, 32,
+  sddmm_halfgnn(simt::default_stream(), false, g, a, a, out, 32,
                 SddmmVec::kHalf8);
   const auto perm = reverse_edge_permutation(csr);
   for (std::size_t e = 0; e < m; ++e) {

@@ -57,14 +57,14 @@ TEST_P(SddmmCorrectness, AllKernelsMatchReference) {
 
   {
     std::vector<float> out(me);
-    sddmm_dgl_f32(simt::a100_spec(), false, t.g, a, b, out, feat);
+    sddmm_dgl_f32(simt::default_stream(), false, t.g, a, b, out, feat);
     for (std::size_t e = 0; e < me; ++e) {
       ASSERT_NEAR(out[e], ref[e], 1e-3 + 1e-4 * std::abs(ref[e])) << e;
     }
   }
   {
     AlignedVec<half_t> out(me);
-    sddmm_dgl_f16(simt::a100_spec(), false, t.g, ah, bh, out, feat);
+    sddmm_dgl_f16(simt::default_stream(), false, t.g, ah, bh, out, feat);
     for (std::size_t e = 0; e < me; ++e) {
       ASSERT_NEAR(out[e].to_float(), refq[e],
                   0.05 + 0.05 * std::abs(refq[e]))
@@ -74,7 +74,7 @@ TEST_P(SddmmCorrectness, AllKernelsMatchReference) {
   for (SddmmVec vec : {SddmmVec::kHalf2, SddmmVec::kHalf4, SddmmVec::kHalf8}) {
     if (feat % static_cast<int>(vec) != 0) continue;
     AlignedVec<half_t> out(me);
-    sddmm_halfgnn(simt::a100_spec(), false, t.g, ah, bh, out, feat, vec);
+    sddmm_halfgnn(simt::default_stream(), false, t.g, ah, bh, out, feat, vec);
     for (std::size_t e = 0; e < me; ++e) {
       ASSERT_NEAR(out[e].to_float(), refq[e],
                   0.05 + 0.05 * std::abs(refq[e]))
@@ -103,9 +103,9 @@ TEST(SddmmCost, DglHalfGainsNothingOverFloat) {
   std::vector<float> outf(static_cast<std::size_t>(t.csr.num_edges()));
   AlignedVec<half_t> outh(static_cast<std::size_t>(t.csr.num_edges()));
   const auto f32 =
-      sddmm_dgl_f32(simt::a100_spec(), true, t.g, a, b, outf, feat);
+      sddmm_dgl_f32(simt::default_stream(), true, t.g, a, b, outf, feat);
   const auto f16 =
-      sddmm_dgl_f16(simt::a100_spec(), true, t.g, ah, bh, outh, feat);
+      sddmm_dgl_f16(simt::default_stream(), true, t.g, ah, bh, outh, feat);
   EXPECT_LT(f16.time_ms / f32.time_ms, 1.25);
   EXPECT_GT(f16.time_ms / f32.time_ms, 0.75);
 }
@@ -124,9 +124,9 @@ TEST(SddmmCost, Half8BeatsHalf2) {
     const auto ah = to_half(a);
     const auto bh = to_half(b);
     AlignedVec<half_t> out(static_cast<std::size_t>(t.csr.num_edges()));
-    const auto h2 = sddmm_halfgnn(simt::a100_spec(), true, t.g, ah, bh, out,
+    const auto h2 = sddmm_halfgnn(simt::default_stream(), true, t.g, ah, bh, out,
                                   feat, SddmmVec::kHalf2);
-    const auto h8 = sddmm_halfgnn(simt::a100_spec(), true, t.g, ah, bh, out,
+    const auto h8 = sddmm_halfgnn(simt::default_stream(), true, t.g, ah, bh, out,
                                   feat, SddmmVec::kHalf8);
     EXPECT_GT(h2.time_ms / h8.time_ms, 1.2) << "feat=" << feat;
     // half8 issues ~4x fewer load instructions and fewer shuffle rounds.
@@ -148,8 +148,8 @@ TEST(SddmmCost, HalfgnnBeatsDglHalfClearly) {
   const auto bh = to_half(b);
   AlignedVec<half_t> out(static_cast<std::size_t>(t.csr.num_edges()));
   const auto dgl =
-      sddmm_dgl_f16(simt::a100_spec(), true, t.g, ah, bh, out, feat);
-  const auto ours = sddmm_halfgnn(simt::a100_spec(), true, t.g, ah, bh, out,
+      sddmm_dgl_f16(simt::default_stream(), true, t.g, ah, bh, out, feat);
+  const auto ours = sddmm_halfgnn(simt::default_stream(), true, t.g, ah, bh, out,
                                   feat, SddmmVec::kHalf8);
   // (The paper's 7.12x average includes F=32 runs and hub-heavy datasets;
   // this ER graph at F=64 is the least favorable shape.)
@@ -162,7 +162,7 @@ TEST(Sddmm, RejectsUnpaddedFeatureLengths) {
   Rng rng(1);
   const TestGraph t = make_er(50, 100, rng);
   AlignedVec<half_t> a(50 * 12), out(static_cast<std::size_t>(t.csr.num_edges()));
-  EXPECT_THROW(sddmm_halfgnn(simt::a100_spec(), false, t.g, a, a, out, 12,
+  EXPECT_THROW(sddmm_halfgnn(simt::default_stream(), false, t.g, a, a, out, 12,
                              SddmmVec::kHalf8),
                std::invalid_argument);
 }

@@ -110,14 +110,14 @@ TEST_P(CusparseF32, MatchesReference) {
   for (Reduce red : {Reduce::kSum, Reduce::kMean, Reduce::kMax}) {
     const auto ref = reference_spmm(t.csr, w, x, feat, red);
     AlignedVec<float> y(n * f);
-    spmm_cusparse_f32(simt::a100_spec(), /*profiled=*/false, t.g, w, x, y,
+    spmm_cusparse_f32(simt::default_stream(), /*profiled=*/false, t.g, w, x, y,
                       feat, red);
     expect_close_float(y, ref, 1e-4, 1e-4);
 
     // SpMMv (no edge weights).
     const auto refv =
         reference_spmm(t.csr, std::span<const float>{}, x, feat, red);
-    spmm_cusparse_f32(simt::a100_spec(), false, t.g, {}, x, y, feat, red);
+    spmm_cusparse_f32(simt::default_stream(), false, t.g, {}, x, y, feat, red);
     expect_close_float(y, refv, 1e-4, 1e-4);
   }
 }
@@ -140,7 +140,7 @@ TEST(CusparseF16, MatchesReferenceInBenignRange) {
 
   const auto ref = reference_spmm(t.csr, {}, x, feat, Reduce::kMean);
   AlignedVec<half_t> y(n * 32);
-  spmm_cusparse_f16(simt::a100_spec(), false, t.g, {}, xh, y, feat,
+  spmm_cusparse_f16(simt::default_stream(), false, t.g, {}, xh, y, feat,
                     Reduce::kMean);
   // Degrees are small here (~8), so half accumulation stays accurate.
   expect_close_half(y, ref, 0.03, 0.01);
@@ -158,13 +158,13 @@ TEST(CusparseF16, HubReductionOverflowsToInf) {
   const auto xh = to_half(x);
 
   AlignedVec<half_t> y(n * 32);
-  spmm_cusparse_f16(simt::a100_spec(), false, t.g, {}, xh, y, feat,
+  spmm_cusparse_f16(simt::default_stream(), false, t.g, {}, xh, y, feat,
                     Reduce::kMean);
   // Hub row: true sum = 2999 * 30 ~ 90k > 65504 -> INF; INF/deg stays INF.
   EXPECT_TRUE(y[0].is_inf());
   // Float path on identical input stays finite.
   AlignedVec<float> yf(n * 32);
-  spmm_cusparse_f32(simt::a100_spec(), false, t.g, {}, x, yf, feat,
+  spmm_cusparse_f32(simt::default_stream(), false, t.g, {}, x, yf, feat,
                     Reduce::kMean);
   EXPECT_TRUE(std::isfinite(yf[0]));
   EXPECT_NEAR(yf[0], 30.0f * 2999.0f / 2999.0f, 1.0f);
@@ -207,7 +207,7 @@ TEST_P(HalfgnnSpmm, MatchesReferenceAcrossShapes) {
     {
       const auto ref = reference_spmm(t.csr, wq, xq, feat, red);
       AlignedVec<half_t> y(n * f);
-      spmm_halfgnn(simt::a100_spec(), false, t.g, wh, xh, y, feat, opts);
+      spmm_halfgnn(simt::default_stream(), false, t.g, wh, xh, y, feat, opts);
       expect_close_half(y, ref, 0.05, 0.08);
     }
     // SpMMv
@@ -215,7 +215,7 @@ TEST_P(HalfgnnSpmm, MatchesReferenceAcrossShapes) {
       const auto ref =
           reference_spmm(t.csr, std::span<const float>{}, xq, feat, red);
       AlignedVec<half_t> y(n * f);
-      spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y, feat, opts);
+      spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y, feat, opts);
       expect_close_half(y, ref, 0.05, 0.08);
     }
   }
@@ -244,16 +244,16 @@ TEST(HalfgnnSpmmScaling, DiscretizedProtectsWherePostOverflows) {
 
   AlignedVec<half_t> y(n * 32);
   opts.scale = ScaleMode::kPost;
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y, feat, opts);
   EXPECT_TRUE(y[0].is_inf()) << "post-scaling should overflow on the hub";
 
   opts.scale = ScaleMode::kDiscretized;
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y, feat, opts);
   EXPECT_TRUE(y[0].is_finite());
   EXPECT_NEAR(y[0].to_float(), 25.0f, 0.5f);
 
   opts.scale = ScaleMode::kPre;
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y, feat, opts);
   EXPECT_TRUE(y[0].is_finite());
   EXPECT_NEAR(y[0].to_float(), 25.0f, 0.5f);
 }
@@ -273,11 +273,11 @@ TEST(HalfgnnSpmmScaling, PreScalingUnderflowsSmallValues) {
   AlignedVec<half_t> y(n * 2);
 
   opts.scale = ScaleMode::kPre;
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y, feat, opts);
   const float pre_result = y[0].to_float();
 
   opts.scale = ScaleMode::kDiscretized;
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y, feat, opts);
   const float disc_result = y[0].to_float();
 
   // 6.4e-5 / 2999 ~ 2.1e-8 < 2^-25: every pre-scaled term rounds to zero.
@@ -298,8 +298,8 @@ TEST(HalfgnnSpmm, ProfiledMatchesUnprofiledBitExactly) {
   HalfgnnSpmmOpts opts;
   opts.reduce = Reduce::kMean;
   AlignedVec<half_t> y1(n * 64), y2(n * 64);
-  spmm_halfgnn(simt::a100_spec(), true, t.g, {}, xh, y1, feat, opts);
-  spmm_halfgnn(simt::a100_spec(), false, t.g, {}, xh, y2, feat, opts);
+  spmm_halfgnn(simt::default_stream(), true, t.g, {}, xh, y1, feat, opts);
+  spmm_halfgnn(simt::default_stream(), false, t.g, {}, xh, y2, feat, opts);
   for (std::size_t i = 0; i < y1.size(); ++i) {
     ASSERT_EQ(y1[i].bits(), y2[i].bits()) << i;
   }
@@ -318,12 +318,12 @@ TEST(HalfgnnSpmm, StatsShowNoAtomicsInStagingMode) {
 
   HalfgnnSpmmOpts opts;
   const auto ks =
-      spmm_halfgnn(simt::a100_spec(), true, t.g, {}, xh, y, feat, opts);
+      spmm_halfgnn(simt::default_stream(), true, t.g, {}, xh, y, feat, opts);
   EXPECT_EQ(ks.atomic_instrs, 0u);
 
   opts.atomic_writes = true;
   const auto ks_atomic =
-      spmm_halfgnn(simt::a100_spec(), true, t.g, {}, xh, y, feat, opts);
+      spmm_halfgnn(simt::default_stream(), true, t.g, {}, xh, y, feat, opts);
   EXPECT_GT(ks_atomic.atomic_instrs, 0u);
   // The non-atomic design must be faster (Fig. 13).
   EXPECT_LT(ks.time_ms, ks_atomic.time_ms);
@@ -334,7 +334,7 @@ TEST(HalfgnnSpmm, RejectsOddFeatureLengths) {
   const TestGraph t = make_graph(0, 100, 400, rng);
   AlignedVec<half_t> x(100 * 41), y(100 * 41);
   EXPECT_THROW(
-      spmm_halfgnn(simt::a100_spec(), false, t.g, {}, x, y, 41, {}),
+      spmm_halfgnn(simt::default_stream(), false, t.g, {}, x, y, 41, {}),
       std::invalid_argument);
 }
 

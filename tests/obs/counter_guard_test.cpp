@@ -73,7 +73,7 @@ TEST(CounterGuard, Half8SpmmMovesFewerSectorsThanF32Baseline) {
   const auto n = static_cast<std::size_t>(d.num_vertices());
   const int feat = 64;
   const auto f = static_cast<std::size_t>(feat);
-  const auto& spec = hg::simt::a100_spec();
+  auto& stream = hg::simt::default_stream();
 
   hg::Rng rng(5);
   hg::AlignedVec<hg::half_t> xh(n * f);
@@ -86,10 +86,10 @@ TEST(CounterGuard, Half8SpmmMovesFewerSectorsThanF32Baseline) {
   registry().reset();
   registry().set_enabled(true);
   const auto f32 = hg::kernels::spmm_cusparse_f32(
-      spec, true, g, {}, xf, yf, feat, hg::kernels::Reduce::kSum);
+      stream, true, g, {}, xf, yf, feat, hg::kernels::Reduce::kSum);
   hg::kernels::HalfgnnSpmmOpts opts;
   const auto h8 =
-      hg::kernels::spmm_halfgnn(spec, true, g, {}, xh, yh, feat, opts);
+      hg::kernels::spmm_halfgnn(stream, true, g, {}, xh, yh, feat, opts);
   const auto kernels = registry().kernels();
   registry().set_enabled(false);
   registry().reset();

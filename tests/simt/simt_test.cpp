@@ -13,6 +13,22 @@ namespace {
 
 DeviceSpec test_spec() { return DeviceSpec{}; }
 
+// Test-local shim over the Stream executor, mirroring the pre-executor free
+// launch() so every cost-model test below also exercises Device/Stream.
+struct TestCfg {
+  int ctas = 1;
+  int warps_per_cta = 4;
+};
+
+template <bool P, class Body>
+KernelStats launch(const DeviceSpec& spec, const char* name, TestCfg cfg,
+                   Body&& body) {
+  Device dev(spec);
+  Stream stream(dev);
+  return stream.launch<P>(LaunchDesc{name, cfg.ctas, cfg.warps_per_cta},
+                          std::forward<Body>(body));
+}
+
 // --- functional semantics ---------------------------------------------------
 
 TEST(SimtFunctional, ContiguousLoadStoreRoundTrip) {
