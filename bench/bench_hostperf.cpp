@@ -1,0 +1,204 @@
+// Host-performance bench: wall-clock time the *host* spends simulating each
+// kernel family, in both profiled and training (unprofiled) modes — the
+// throughput limit of every figure bench and training run in this repo.
+//
+// Sweeps kernel families x modes on the Fig. 9 geometry (feat = 64; Kron,
+// or Reddit in quick mode), reports host_ms (min over reps) and edges/s,
+// and writes BENCH_hostperf.json (halfgnn-bench-v1). The quick-mode run is
+// registered under ctest so the host-perf trajectory is tracked per commit:
+// compare the "spmm_halfgnn profiled" row across commits to see the hot
+// path getting faster or slower.
+//
+// Modeled numbers (time_ms etc.) are *not* the subject here — they must be
+// bit-identical no matter how fast the host is; host_ms is the metric.
+//
+// Usage: bench_hostperf [output.json]  (default: BENCH_hostperf.json in cwd)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "kernels/edge_ops.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "kernels/spmm_halfgnn.hpp"
+#include "kernels/spmm_vertex.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "simt/simt.hpp"
+
+namespace hg::bench {
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "bench_hostperf: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+// One benched configuration: a kernel family in one mode. `run(profiled)`
+// executes the kernel once and returns its KernelStats.
+struct Case {
+  std::string name;
+  std::function<simt::KernelStats(bool profiled)> run;
+};
+
+struct Measured {
+  double host_ms = std::numeric_limits<double>::infinity();
+  double modeled_ms = 0;
+};
+
+Measured measure(const Case& c, bool profiled, int reps) {
+  Measured m;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto ks = c.run(profiled);
+    const double wall = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    // Wall time around the whole call (captures kernel-side setup like
+    // staging buffers, not just the executor's host_ms).
+    m.host_ms = std::min(m.host_ms, wall);
+    m.modeled_ms = ks.time_ms;
+  }
+  return m;
+}
+
+int run(const std::string& path) {
+  const Dataset d =
+      make_dataset(quick_mode() ? DatasetId::kReddit : DatasetId::kKron);
+  const auto g = kernels::view(d.csr, d.coo);
+  const auto n = static_cast<std::size_t>(d.num_vertices());
+  const auto m = static_cast<std::size_t>(d.num_edges());
+  const int feat = 64;  // Fig. 9 geometry
+  const int reps = quick_mode() ? 2 : 3;
+  const auto f = static_cast<std::size_t>(feat);
+
+  const auto xh = random_h16(n * f, 7);
+  const auto wh = random_h16(m, 8);
+  const auto xf = to_f32(xh);
+  const auto wf = to_f32(wh);
+  AlignedVec<half_t> yh(n * f);
+  AlignedVec<float> yf(n * f);
+  AlignedVec<half_t> eh(m);
+  AlignedVec<half_t> rh(n);
+  const auto groups = kernels::build_neighbor_groups(d.csr, 32);
+
+  simt::Device dev(simt::a100_spec());
+  simt::Stream stream(dev);
+
+  kernels::HalfgnnSpmmOpts hopts;
+  hopts.reduce = kernels::Reduce::kSum;
+  kernels::HalfgnnSpmmOpts aopts = hopts;
+  aopts.atomic_writes = true;
+
+  const std::vector<Case> cases{
+      {"spmm_halfgnn",
+       [&](bool p) {
+         return kernels::spmm_halfgnn(stream, p, g, wh, xh, yh, feat, hopts);
+       }},
+      {"spmm_halfgnn_atomic",
+       [&](bool p) {
+         return kernels::spmm_halfgnn(stream, p, g, wh, xh, yh, feat, aopts);
+       }},
+      {"spmm_cusparse_f16",
+       [&](bool p) {
+         return kernels::spmm_cusparse_f16(stream, p, g, wh, xh, yh, feat,
+                                           kernels::Reduce::kSum);
+       }},
+      {"spmm_cusparse_f32",
+       [&](bool p) {
+         return kernels::spmm_cusparse_f32(stream, p, g, wf, xf, yf, feat,
+                                           kernels::Reduce::kSum);
+       }},
+      {"gespmm_f32",
+       [&](bool p) {
+         return kernels::gespmm_f32(stream, p, g, wf, xf, yf, feat);
+       }},
+      {"huang_half2",
+       [&](bool p) {
+         return kernels::huang_half2(stream, p, g, groups, wh, xh, yh, feat);
+       }},
+      {"sddmm_dgl_f16",
+       [&](bool p) {
+         return kernels::sddmm_dgl_f16(stream, p, g, xh, xh, eh, feat);
+       }},
+      {"sddmm_halfgnn_h8",
+       [&](bool p) {
+         return kernels::sddmm_halfgnn(stream, p, g, xh, xh, eh, feat,
+                                       kernels::SddmmVec::kHalf8);
+       }},
+      {"edge_softmax_f16",
+       [&](bool p) {
+         auto ks = kernels::edge_segment_reduce_f16(stream, p, g, eh, rh,
+                                                    kernels::SegReduce::kMax);
+         ks += kernels::edge_exp_sub_row_f16(stream, p, g, eh, rh, eh);
+         ks += kernels::edge_segment_reduce_f16(stream, p, g, eh, rh,
+                                                kernels::SegReduce::kSum);
+         ks += kernels::edge_div_row_f16(stream, p, g, eh, rh, eh);
+         return ks;
+       }},
+  };
+
+  BenchTable t("hostperf", "kernel/mode",
+               {{"host_ms", CellFmt::kRaw},
+                {"edges_per_s", CellFmt::kRaw},
+                {"modeled_ms", CellFmt::kRaw}});
+  t.report().meta("dataset", short_name(d));
+  t.report().meta("vertices", static_cast<std::int64_t>(d.num_vertices()));
+  t.report().meta("edges", static_cast<std::int64_t>(d.num_edges()));
+  t.report().meta("feat", static_cast<std::int64_t>(feat));
+  t.report().meta("threads", static_cast<std::int64_t>(dev.threads()));
+
+  double spmm_profiled_ms = 0;
+  for (const auto& c : cases) {
+    for (const bool profiled : {true, false}) {
+      const Measured r = measure(c, profiled, reps);
+      const double edges_per_s =
+          r.host_ms > 0 ? static_cast<double>(m) / (r.host_ms / 1e3)
+                        : std::numeric_limits<double>::quiet_NaN();
+      t.row(c.name + (profiled ? " profiled" : " train"),
+            {r.host_ms, edges_per_s,
+             profiled ? r.modeled_ms
+                      : std::numeric_limits<double>::quiet_NaN()});
+      if (profiled && c.name == "spmm_halfgnn") spmm_profiled_ms = r.host_ms;
+    }
+  }
+  t.report().summary("spmm_halfgnn_profiled_host_ms", spmm_profiled_ms);
+  t.finish(
+      "=== Host perf: wall ms simulating each kernel family (profiled vs "
+      "training mode), Fig. 9 geometry ===");
+
+  // ctest gates on an explicit output path, independent of
+  // HALFGNN_REPORT_DIR (which BenchTable::finish honors as usual).
+  if (!t.report().write(path)) return fail("cannot write " + path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    return fail(std::string("re-parse of ") + path + ": " + e.what());
+  }
+  if (auto e = obs::validate_bench_report(doc); !e.empty()) {
+    return fail("schema: " + e);
+  }
+  std::printf(
+      "bench_hostperf: OK — wrote and validated %s (spmm_halfgnn profiled: "
+      "%.2f host ms)\n",
+      path.c_str(), spmm_profiled_ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main(int argc, char** argv) {
+  return hg::bench::run(argc > 1 ? argv[1] : "BENCH_hostperf.json");
+}

@@ -1,23 +1,20 @@
 #include "half/half.hpp"
 
-#include <array>
-#include <memory>
-
 namespace hg::detail {
 
 namespace {
-std::unique_ptr<std::array<float, 65536>> build_table() {
-  auto t = std::make_unique<std::array<float, 65536>>();
+constexpr HalfToFloatTable build_table() {
+  HalfToFloatTable t{};
   for (std::uint32_t i = 0; i < 65536; ++i) {
-    (*t)[i] = half_bits_to_float(static_cast<std::uint16_t>(i));
+    t.v[i] = half_bits_to_float(static_cast<std::uint16_t>(i));
   }
   return t;
 }
 }  // namespace
 
-const float* half_to_float_table() noexcept {
-  static const std::unique_ptr<std::array<float, 65536>> table = build_table();
-  return table->data();
-}
+// constexpr: the table lands in .rodata fully formed, so there is no
+// dynamic-initialization ordering hazard and no first-use guard on the
+// per-conversion load.
+constexpr HalfToFloatTable kHalfToFloatTable = build_table();
 
 }  // namespace hg::detail

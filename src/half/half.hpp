@@ -19,6 +19,10 @@
 #include <limits>
 #include <type_traits>
 
+#if defined(__F16C__)
+#include <immintrin.h>
+#endif
+
 namespace hg {
 
 // ---------------------------------------------------------------------------
@@ -28,7 +32,21 @@ namespace hg {
 // Convert a float to binary16 bits with round-to-nearest-even.
 // Values with magnitude >= 65520 round to +-INF; magnitudes below 2^-25
 // round to (signed) zero; subnormals are produced exactly.
+//
+// When the build enables F16C (see HALFGNN_F16C in CMakeLists.txt), runtime
+// calls use the hardware vcvtps2ph instruction with an explicit RNE
+// rounding override. Hardware and software paths are bit-identical over all
+// 2^32 inputs (including NaN payload quieting and subnormal halves), so the
+// choice is invisible to every consumer; constant evaluation always takes
+// the software path.
 constexpr std::uint16_t float_to_half_bits(float f) noexcept {
+#if defined(__F16C__)
+  if (!std::is_constant_evaluated()) {
+    const __m128i h = _mm_cvtps_ph(
+        _mm_set_ss(f), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    return static_cast<std::uint16_t>(_mm_extract_epi16(h, 0));
+  }
+#endif
   const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
   const std::uint32_t sign = (x >> 16) & 0x8000u;
   const std::uint32_t fexp = (x >> 23) & 0xFFu;
@@ -98,11 +116,21 @@ constexpr float half_bits_to_float(std::uint16_t h) noexcept {
 namespace detail {
 // 64K-entry half->float table; conversion is on the hot path of every
 // simulated kernel, and a table lookup is ~3x faster than the bit dance.
-const float* half_to_float_table() noexcept;
+// The table is a constant-initialized global (built at compile time in
+// half.cpp) so the lookup inlines to a single indexed load — no function
+// call, no init guard — on a path executed ~10^9 times per training run.
+struct HalfToFloatTable {
+  alignas(64) float v[65536];
+};
+extern const HalfToFloatTable kHalfToFloatTable;
+
+inline const float* half_to_float_table() noexcept {
+  return kHalfToFloatTable.v;
+}
 }  // namespace detail
 
 inline float half_bits_to_float_fast(std::uint16_t h) noexcept {
-  return detail::half_to_float_table()[h];
+  return detail::kHalfToFloatTable.v[h];
 }
 
 // ---------------------------------------------------------------------------

@@ -77,12 +77,12 @@ KernelStats spmm_f32_impl(simt::Stream& stream, const GraphView& g,
       const vid_t row_first = g.coo->row[static_cast<std::size_t>(e0)];
       const vid_t row_last = g.coo->row[static_cast<std::size_t>(e1 - 1)];
 
-      std::vector<float> acc(
-          f, is_max ? -std::numeric_limits<float>::infinity() : 0.0f);
+      const auto acc = cta.template scratch<float>(f);
       const auto reset = [&] {
         std::fill(acc.begin(), acc.end(),
                   is_max ? -std::numeric_limits<float>::infinity() : 0.0f);
       };
+      reset();
 
       const auto flush = [&](vid_t r) {
         const bool interior = r != row_first && r != row_last;

@@ -212,17 +212,22 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
           const auto lbase = static_cast<std::size_t>(
               w.warp_in_cta() * geo.edges_per_warp);
 
-          // Per sub-warp accumulator registers: chunks x 32 lanes.
-          std::vector<Lanes<half2>> acc(
-              static_cast<std::size_t>(geo.chunks));
+          // Per sub-warp accumulator registers: chunks x 32 lanes. CTA
+          // scratch, not heap — this runs once per warp per CTA.
+          const auto acc =
+              cta.template scratch<Lanes<half2>>(static_cast<std::size_t>(geo.chunks));
           for (auto& a : acc) a.fill(init);
 
-          std::vector<vid_t> cur_row(
-              static_cast<std::size_t>(geo.sub_warps), -1);
-          std::vector<vid_t> first_row(
-              static_cast<std::size_t>(geo.sub_warps), -1);
-          std::vector<vid_t> last_row(
-              static_cast<std::size_t>(geo.sub_warps), -1);
+          const auto cur_row =
+              cta.template scratch<vid_t>(static_cast<std::size_t>(geo.sub_warps));
+          const auto first_row =
+              cta.template scratch<vid_t>(static_cast<std::size_t>(geo.sub_warps));
+          const auto last_row =
+              cta.template scratch<vid_t>(static_cast<std::size_t>(geo.sub_warps));
+          for (int s = 0; s < geo.sub_warps; ++s) {
+            const auto su = static_cast<std::size_t>(s);
+            cur_row[su] = first_row[su] = last_row[su] = -1;
+          }
           for (int s = 0; s < geo.sub_warps; ++s) {
             const eid_t s0 = e0 + static_cast<eid_t>(s) * geo.seg;
             const eid_t s1 = std::min<eid_t>(e1, s0 + geo.seg);
@@ -416,7 +421,8 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
           const std::size_t total_slots = sm.brow.size();
           const std::size_t s0 =
               static_cast<std::size_t>(w.warp_in_cta()) * slots_per_warp;
-          std::vector<half2> macc(static_cast<std::size_t>(geo.half_f));
+          const auto macc =
+              cta.template scratch<half2>(static_cast<std::size_t>(geo.half_f));
 
           const auto emit = [&](vid_t r) {
             for (int c = 0; c < geo.chunks; ++c) {
@@ -520,8 +526,9 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
             if (i > 0 && staging_rows[static_cast<std::size_t>(i - 1)] == r) {
               return;  // not the head of this run
             }
-            std::vector<half2> macc(static_cast<std::size_t>(geo.half_f),
-                                    is_max ? kH2NegInf : kH2Zero);
+            const auto macc =
+                cta.template scratch<half2>(static_cast<std::size_t>(geo.half_f));
+            std::fill(macc.begin(), macc.end(), is_max ? kH2NegInf : kH2Zero);
             for (int c = i; c < num_ctas &&
                             staging_rows[static_cast<std::size_t>(c)] == r;
                  ++c) {

@@ -64,7 +64,7 @@ KernelStats gespmm_impl(simt::Stream& stream, const GraphView& g,
       if (r >= n) return;
       const eid_t lo = g.csr->offsets[r];
       const eid_t hi = g.csr->offsets[r + 1];
-      std::vector<float> acc(static_cast<std::size_t>(feat), 0.0f);
+      const auto acc = cta.template scratch<float>(static_cast<std::size_t>(feat));
       for (eid_t b = lo; b < hi; b += 32) {
         const int cnt = static_cast<int>(std::min<eid_t>(32, hi - b));
         Lanes<vid_t> cols{};
@@ -155,7 +155,7 @@ KernelStats huang_f32_impl(simt::Stream& stream, const GraphView& g,
         w.template load_contiguous<float>(edge_w, lo, cnt, wv);
       }
 
-      std::vector<float> acc(static_cast<std::size_t>(feat), 0.0f);
+      const auto acc = cta.template scratch<float>(static_cast<std::size_t>(feat));
       for (int k = 0; k < cnt; ++k) {
         const auto col =
             static_cast<std::int64_t>(cols[static_cast<std::size_t>(k)]);
@@ -267,8 +267,7 @@ KernelStats huang_half2_impl(simt::Stream& stream, const GraphView& g,
         w.alu(Op::kHalf2, 1);  // mirroring fix-up
       }
 
-      std::vector<half2> acc(static_cast<std::size_t>(half_f),
-                             half2(0.0f, 0.0f));
+      const auto acc = cta.template scratch<half2>(static_cast<std::size_t>(half_f));
       for (int k = 0; k < cnt; ++k) {
         const auto col =
             static_cast<std::int64_t>(cols[static_cast<std::size_t>(k)]);

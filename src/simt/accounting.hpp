@@ -1,0 +1,214 @@
+// Pure lane-pattern accounting for Warp<Profiled>: given the 32 target
+// indices of a gather/scatter/atomic, compute the quantities the cost model
+// charges for — unique sectors, unique elements, same-word conflict depth
+// and distinct word groups.
+//
+// Two implementations live here:
+//
+//   access_counts / atomic_counts          — the fast path Warp uses: one
+//     pass over the active lanes with fixed 32-entry small-set dedup. Real
+//     kernel patterns are overwhelmingly sorted runs (contiguous features)
+//     or broadcasts (lanes sharing a source row), so the last-value check
+//     catches nearly every duplicate; the backward linear probe is the
+//     n <= 32 worst-case fallback and still avoids std::sort's dispatch and
+//     branch-misprediction cost entirely.
+//
+//   access_counts_reference / atomic_counts_reference — the original
+//     sort-and-scan formulation, kept as the executable specification. The
+//     accounting property test (tests/simt/accounting_test.cpp) drives both
+//     over randomized lane patterns and requires identical counts; nothing
+//     in the hot path calls these.
+//
+// Both are pure functions of (indices, active mask, geometry) so they can
+// be tested without constructing a Warp or a KernelStats.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace hg::simt::accounting {
+
+inline constexpr int kAccLanes = 32;
+using LaneIdx = std::array<std::int64_t, kAccLanes>;
+
+struct AccessCounts {
+  int sectors = 0;       // unique 32B sectors moved (after wide-type scale)
+  int unique_elems = 0;  // distinct elements consumed by the warp
+  int active = 0;        // active lane count
+};
+
+struct AtomicCounts {
+  int active = 0;  // active lane count
+  int depth = 1;   // size of the largest same-word conflict group
+  int groups = 0;  // distinct 32-bit words targeted
+};
+
+// ----- fast path ----------------------------------------------------------
+
+inline AccessCounts access_counts(const LaneIdx& idx, std::uint32_t active,
+                                  std::size_t elem_size, int sector_bytes) {
+  AccessCounts c;
+  // Element offsets are a faithful address proxy: all kernel buffers are
+  // 64-byte aligned (util/aligned.hpp).
+  const auto elems_per_sector = static_cast<std::int64_t>(
+      static_cast<std::size_t>(sector_bytes) / elem_size);
+  const auto sectors_per_elem = static_cast<std::int64_t>(
+      elem_size / static_cast<std::size_t>(sector_bytes));
+  std::int64_t secs[kAccLanes];
+  std::int64_t elems[kAccLanes];
+  std::int64_t last_sec = 0;
+  std::int64_t last_elem = 0;
+  for (std::uint32_t m = active; m != 0; m &= m - 1) {
+    const auto l = static_cast<std::size_t>(std::countr_zero(m));
+    const std::int64_t e = idx[l];
+    const std::int64_t s =
+        elems_per_sector > 0 ? e / elems_per_sector : e * sectors_per_elem;
+    const bool first = c.active == 0;
+    ++c.active;
+    if (first || s != last_sec) {
+      bool seen = false;
+      for (int i = c.sectors - 1; i >= 0; --i) {
+        if (secs[i] == s) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) secs[c.sectors++] = s;
+      last_sec = s;
+    }
+    if (first || e != last_elem) {
+      bool seen = false;
+      for (int i = c.unique_elems - 1; i >= 0; --i) {
+        if (elems[i] == e) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) elems[c.unique_elems++] = e;
+      last_elem = e;
+    }
+  }
+  // Wide vector types span multiple sectors per lane even when the per-lane
+  // start sectors dedup; each lane moves its full element.
+  if (elem_size > static_cast<std::size_t>(sector_bytes)) {
+    c.sectors = static_cast<int>(static_cast<std::int64_t>(c.active) *
+                                 sectors_per_elem);
+  }
+  return c;
+}
+
+inline AtomicCounts atomic_counts(const LaneIdx& idx, std::uint32_t active,
+                                  int word_elems) {
+  AtomicCounts c;
+  std::int64_t words[kAccLanes];
+  int counts[kAccLanes];
+  int last_entry = -1;  // entry the previous lane landed in
+  for (std::uint32_t m = active; m != 0; m &= m - 1) {
+    const auto l = static_cast<std::size_t>(std::countr_zero(m));
+    const std::int64_t w = idx[l] / word_elems;
+    ++c.active;
+    if (last_entry >= 0 && words[last_entry] == w) {
+      ++counts[last_entry];
+      continue;
+    }
+    int entry = -1;
+    for (int i = c.groups - 1; i >= 0; --i) {
+      if (words[i] == w) {
+        entry = i;
+        break;
+      }
+    }
+    if (entry < 0) {
+      entry = c.groups++;
+      words[entry] = w;
+      counts[entry] = 1;
+    } else {
+      ++counts[entry];
+    }
+    last_entry = entry;
+  }
+  for (int i = 0; i < c.groups; ++i) c.depth = std::max(c.depth, counts[i]);
+  return c;
+}
+
+// ----- reference (executable specification; test-only) --------------------
+
+inline AccessCounts access_counts_reference(const LaneIdx& idx,
+                                            std::uint32_t active,
+                                            std::size_t elem_size,
+                                            int sector_bytes) {
+  AccessCounts c;
+  const auto elems_per_sector = static_cast<std::int64_t>(
+      static_cast<std::size_t>(sector_bytes) / elem_size);
+  const auto sectors_per_elem = static_cast<std::int64_t>(
+      elem_size / static_cast<std::size_t>(sector_bytes));
+  std::array<std::int64_t, kAccLanes> sec{};
+  std::array<std::int64_t, kAccLanes> elems{};
+  int n = 0;
+  for (int l = 0; l < kAccLanes; ++l) {
+    if (active >> l & 1) {
+      const auto li = static_cast<std::size_t>(l);
+      elems[static_cast<std::size_t>(n)] = idx[li];
+      sec[static_cast<std::size_t>(n++)] = elems_per_sector > 0
+                                               ? idx[li] / elems_per_sector
+                                               : idx[li] * sectors_per_elem;
+    }
+  }
+  c.active = n;
+  std::sort(sec.begin(), sec.begin() + n);
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || sec[static_cast<std::size_t>(i)] !=
+                      sec[static_cast<std::size_t>(i - 1)]) {
+      ++c.sectors;
+    }
+  }
+  if (elem_size > static_cast<std::size_t>(sector_bytes)) {
+    c.sectors =
+        static_cast<int>(static_cast<std::int64_t>(n) * sectors_per_elem);
+  }
+  std::sort(elems.begin(), elems.begin() + n);
+  for (int i = 0; i < n; ++i) {
+    if (i == 0 || elems[static_cast<std::size_t>(i)] !=
+                      elems[static_cast<std::size_t>(i - 1)]) {
+      ++c.unique_elems;
+    }
+  }
+  return c;
+}
+
+inline AtomicCounts atomic_counts_reference(const LaneIdx& idx,
+                                            std::uint32_t active,
+                                            int word_elems) {
+  AtomicCounts c;
+  std::array<std::int64_t, kAccLanes> words{};
+  int n = 0;
+  for (int l = 0; l < kAccLanes; ++l) {
+    if (active >> l & 1) {
+      words[static_cast<std::size_t>(n++)] =
+          idx[static_cast<std::size_t>(l)] / word_elems;
+    }
+  }
+  c.active = n;
+  std::sort(words.begin(), words.begin() + n);
+  int run = 1;
+  for (int i = 1; i < n; ++i) {
+    run = words[static_cast<std::size_t>(i)] ==
+                  words[static_cast<std::size_t>(i - 1)]
+              ? run + 1
+              : 1;
+    c.depth = std::max(c.depth, run);
+  }
+  if (n > 0) c.groups = 1;
+  for (int i = 1; i < n; ++i) {
+    if (words[static_cast<std::size_t>(i)] !=
+        words[static_cast<std::size_t>(i - 1)]) {
+      ++c.groups;
+    }
+  }
+  return c;
+}
+
+}  // namespace hg::simt::accounting

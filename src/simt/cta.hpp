@@ -6,6 +6,16 @@
 // the simulator equivalent of __syncthreads(). Per-warp state that must
 // survive across phases lives in kernel-owned arrays indexed by warp id, or
 // in the shared arena, exactly as it would on the GPU.
+//
+// Host-performance note: the executor runs one CTA at a time per pool
+// thread, so each thread keeps a CtaArena that backs the shared-memory
+// buffer, the warp objects, and the kernel scratch allocations across CTAs
+// — steady-state CTA construction performs no heap allocation and no 164 KB
+// zero-fill. `shared<T>` and `scratch<T>` value-initialize every element
+// they hand out, so reused backing memory is invisible to kernels and the
+// arena cannot break determinism. Constructing a Cta without an arena
+// (direct use in tests) falls back to owned storage with identical
+// behavior.
 #pragma once
 
 #include <cstddef>
@@ -20,24 +30,102 @@
 
 namespace hg::simt {
 
+// Per-host-thread backing store for Cta. Blocks never move once handed
+// out, so spans stay valid for the whole CTA even as more scratch is
+// carved; reset() recycles the space for the next CTA without freeing.
+class CtaArena {
+ public:
+  // Persistent shared-memory backing (not zeroed here; Cta::shared
+  // value-initializes per allocation).
+  std::byte* smem(std::size_t bytes) {
+    if (smem_.size() < bytes) smem_.resize(bytes);
+    return smem_.data();
+  }
+
+  // Bump-allocate `bytes` aligned to alignof(std::max_align_t).
+  std::byte* scratch(std::size_t bytes) {
+    constexpr std::size_t align = alignof(std::max_align_t);
+    const std::size_t need = (bytes + align - 1) / align * align;
+    while (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      if (b.used + need <= b.size) {
+        std::byte* p = b.data.get() + b.used;
+        b.used += need;
+        return p;
+      }
+      ++cur_;
+    }
+    const std::size_t size = std::max(need, kBlockBytes);
+    blocks_.push_back(
+        Block{std::make_unique<std::byte[]>(size), size, need});
+    cur_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+
+  // Recycle all scratch blocks (capacity retained) for the next CTA.
+  void reset() noexcept {
+    for (auto& b : blocks_) b.used = 0;
+    cur_ = 0;
+  }
+
+  // The calling thread's arena (pool workers and the launch thread each
+  // get their own; memory persists for the thread's lifetime).
+  static CtaArena& local() {
+    static thread_local CtaArena arena;
+    return arena;
+  }
+
+ private:
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  std::vector<std::byte> smem_;
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+};
+
 template <bool Profiled>
 class Cta {
+  static_assert(std::is_trivially_destructible_v<Warp<Profiled>>,
+                "inline warp storage skips destructor calls");
+
  public:
   // A100 shared memory: up to 164 KB per SM; we give each CTA the full
   // carveout and enforce the capacity like the hardware would.
   Cta(const DeviceSpec& spec, KernelStats& ks, int cta_id, int num_warps,
-      std::size_t smem_bytes = 164 * 1024)
-      : spec_(spec), cta_id_(cta_id), smem_(smem_bytes) {
-    warps_.reserve(static_cast<std::size_t>(num_warps));
+      std::size_t smem_bytes = 164 * 1024, CtaArena* arena = nullptr)
+      : spec_(spec), cta_id_(cta_id), arena_(arena),
+        num_warps_(num_warps), smem_bytes_(smem_bytes) {
+    if (arena_ != nullptr) {
+      arena_->reset();
+      smem_data_ = arena_->smem(smem_bytes);
+    } else {
+      owned_smem_.resize(smem_bytes);
+      smem_data_ = owned_smem_.data();
+    }
+    using W = Warp<Profiled>;
+    if (num_warps <= kInlineWarps) {
+      warps_ = reinterpret_cast<W*>(warp_storage_);
+    } else {
+      owned_warps_ = std::make_unique<std::byte[]>(
+          sizeof(W) * static_cast<std::size_t>(num_warps));
+      warps_ = reinterpret_cast<W*>(owned_warps_.get());
+    }
     for (int w = 0; w < num_warps; ++w) {
-      warps_.push_back(std::make_unique<Warp<Profiled>>(spec, ks, w, cta_id));
+      new (warps_ + w) W(spec, ks, w, cta_id);
     }
     if constexpr (Profiled) ks_ = &ks;
   }
 
+  Cta(const Cta&) = delete;
+  Cta& operator=(const Cta&) = delete;
+
   int cta_id() const noexcept { return cta_id_; }
-  int num_warps() const noexcept { return static_cast<int>(warps_.size()); }
-  Warp<Profiled>& warp(int i) { return *warps_[static_cast<std::size_t>(i)]; }
+  int num_warps() const noexcept { return num_warps_; }
+  Warp<Profiled>& warp(int i) { return warps_[i]; }
 
   // Bump-allocate a typed array from the shared-memory arena. Arena
   // contents persist for the CTA's lifetime (across phases), like real
@@ -49,12 +137,34 @@ class Cta {
     const std::size_t align = alignof(T) < 8 ? 8 : alignof(T);
     smem_used_ = (smem_used_ + align - 1) / align * align;
     const std::size_t bytes = n * sizeof(T);
-    if (smem_used_ + bytes > smem_.size()) {
+    if (smem_used_ + bytes > smem_bytes_) {
       throw std::runtime_error(
           "Cta::shared: shared-memory capacity exceeded (164 KB)");
     }
-    T* p = reinterpret_cast<T*>(smem_.data() + smem_used_);
+    T* p = reinterpret_cast<T*>(smem_data_ + smem_used_);
     smem_used_ += bytes;
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T{};
+    return {p, n};
+  }
+
+  // Kernel workspace with CTA lifetime but no shared-memory capacity
+  // charge or cost-model meaning: the host-side accumulators and row
+  // tables kernels previously heap-allocated per warp. Value-initialized,
+  // like the vectors it replaces; allocation-free in steady state when the
+  // CTA runs on an arena.
+  template <class T>
+  std::span<T> scratch(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "scratch holds PODs only");
+    const std::size_t bytes = n * sizeof(T);
+    std::byte* raw;
+    if (arena_ != nullptr) {
+      raw = arena_->scratch(bytes);
+    } else {
+      owned_scratch_.push_back(std::make_unique<std::byte[]>(bytes));
+      raw = owned_scratch_.back().get();
+    }
+    T* p = reinterpret_cast<T*>(raw);
     for (std::size_t i = 0; i < n; ++i) new (p + i) T{};
     return {p, n};
   }
@@ -62,22 +172,22 @@ class Cta {
   // Run `f(Warp&)` for every warp of the CTA (one barrier-free phase).
   template <class F>
   void for_each_warp(F&& f) {
-    for (auto& w : warps_) f(*w);
+    for (int w = 0; w < num_warps_; ++w) f(warps_[w]);
   }
 
   // __syncthreads(): all warps advance to the slowest warp, plus the
   // barrier cost; pending load latency is exposed.
   void barrier() {
-    for (auto& w : warps_) w->sync();
+    for (int w = 0; w < num_warps_; ++w) warps_[w].sync();
     if constexpr (Profiled) {
       double mi = 0, mm = 0, ms = 0;
-      for (auto& w : warps_) {
-        mi = std::max(mi, w->issue_cycles());
-        mm = std::max(mm, w->mem_cycles());
-        ms = std::max(ms, w->stall_cycles());
+      for (int w = 0; w < num_warps_; ++w) {
+        mi = std::max(mi, warps_[w].issue_cycles());
+        mm = std::max(mm, warps_[w].mem_cycles());
+        ms = std::max(ms, warps_[w].stall_cycles());
       }
-      for (auto& w : warps_) {
-        w->align_to(mi + spec_.cta_barrier_cycles, mm, ms);
+      for (int w = 0; w < num_warps_; ++w) {
+        warps_[w].align_to(mi + spec_.cta_barrier_cycles, mm, ms);
       }
       ks_->cta_barriers += 1;
     }
@@ -86,21 +196,32 @@ class Cta {
   // Final sync; returns (work = issue+mem, stall) of the CTA critical path.
   std::pair<double, double> finish() {
     double max_work = 0, max_stall = 0;
-    for (auto& w : warps_) {
-      w->finish();
-      max_work = std::max(max_work, w->busy_cycles());
-      max_stall = std::max(max_stall, w->stall_cycles());
+    for (int w = 0; w < num_warps_; ++w) {
+      warps_[w].finish();
+      max_work = std::max(max_work, warps_[w].busy_cycles());
+      max_stall = std::max(max_stall, warps_[w].stall_cycles());
     }
     return {max_work, max_stall};
   }
 
  private:
+  static constexpr int kInlineWarps = 8;
+
   const DeviceSpec& spec_;
   int cta_id_;
-  // unique_ptr because Warp is non-copyable and non-movable by design.
-  std::vector<std::unique_ptr<Warp<Profiled>>> warps_;
-  std::vector<std::byte> smem_;
+  CtaArena* arena_;
+  int num_warps_;
+  // Warp is non-copyable/non-movable and trivially destructible, so warps
+  // live placement-new'd either inline or in one heap block.
+  alignas(Warp<Profiled>) std::byte
+      warp_storage_[kInlineWarps * sizeof(Warp<Profiled>)];
+  std::unique_ptr<std::byte[]> owned_warps_;
+  Warp<Profiled>* warps_ = nullptr;
+  std::byte* smem_data_ = nullptr;
+  std::size_t smem_bytes_;
   std::size_t smem_used_ = 0;
+  std::vector<std::byte> owned_smem_;
+  std::vector<std::unique_ptr<std::byte[]>> owned_scratch_;
   KernelStats* ks_ = nullptr;
 };
 

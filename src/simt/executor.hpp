@@ -91,6 +91,33 @@ inline constexpr std::size_t kMergeBlockElems = std::size_t{1} << 16;
 // HALFGNN_THREADS, default std::thread::hardware_concurrency().
 int env_threads();
 
+// One chunk's private stats accumulator, padded to a cache line so pool
+// threads flushing neighboring shards never false-share.
+struct alignas(64) StatsShard {
+  KernelStats ks;
+};
+
+// Per-device launch workspace, reused across launches (the launch mutex
+// serializes access): shard stats, per-chunk cost vectors, the merged CTA
+// cost list, and staging windows. Steady-state launches allocate nothing
+// here — vectors only grow, never shrink.
+struct LaunchScratch {
+  std::vector<StatsShard> part;
+  std::vector<std::vector<std::pair<double, double>>> cost;
+  std::vector<std::pair<double, double>> cta_cost;
+  std::vector<std::pair<std::size_t, std::size_t>> win;
+
+  void prepare(std::size_t shards, bool profiled) {
+    if (part.size() < shards) part.resize(shards);
+    for (std::size_t i = 0; i < shards; ++i) part[i].ks = KernelStats{};
+    if (profiled) {
+      if (cost.size() < shards) cost.resize(shards);
+      for (std::size_t i = 0; i < shards; ++i) cost[i].clear();
+    }
+    cta_cost.clear();
+  }
+};
+
 // Device-level scheduling model: CTA costs are distributed round-robin
 // over min(num_sms, num_ctas) SMs (a 1-CTA launch models a 1-SM device);
 // resident CTAs hide stalls but contend for issue slots; the result is
@@ -180,6 +207,8 @@ class Device {
 
   std::vector<std::thread> workers_;
   std::vector<std::vector<std::byte>> scratch_;
+  // Reused launch workspace; guarded by launch_mu_.
+  detail::LaunchScratch launch_scratch_;
 };
 
 // The launch API. Kernels hold a Stream& and call launch(); SparseCtx
@@ -216,8 +245,10 @@ class Stream {
       return static_cast<int>(static_cast<long long>(ctas) * s / shards);
     };
 
-    std::vector<std::pair<std::size_t, std::size_t>> win(
-        static_cast<std::size_t>(shards));
+    detail::LaunchScratch& ls = dev_->launch_scratch_;
+    ls.prepare(static_cast<std::size_t>(shards), Profiled);
+    auto& win = ls.win;
+    win.resize(static_cast<std::size_t>(shards));
     std::vector<std::span<T>> stage(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s) {
       const auto su = static_cast<std::size_t>(s);
@@ -232,9 +263,8 @@ class Stream {
     }
 
     const T identity = detail::staged_identity<T>(staged.policy);
-    std::vector<KernelStats> part(static_cast<std::size_t>(shards));
-    std::vector<std::vector<std::pair<double, double>>> cost(
-        Profiled ? static_cast<std::size_t>(shards) : 0);
+    auto& part = ls.part;
+    auto& cost = ls.cost;
     dev_->run_jobs(ctas > 0 ? shards : 0, [&](int s) {
       const auto su = static_cast<std::size_t>(s);
       for (std::size_t i = win[su].first; i < win[su].second; ++i) {
@@ -246,7 +276,8 @@ class Stream {
         cost[su].reserve(static_cast<std::size_t>(c1 - c0));
       }
       for (int c = c0; c < c1; ++c) {
-        Cta<Profiled> cta(dev_->spec(), part[su], c, desc.warps_per_cta);
+        Cta<Profiled> cta(dev_->spec(), part[su].ks, c, desc.warps_per_cta,
+                          164 * 1024, &CtaArena::local());
         body(cta, stage[su]);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[su].push_back(cc);
@@ -288,11 +319,14 @@ class Stream {
     ks.name = std::move(desc.name);
     ks.ctas = ctas;
     ks.warps_per_cta = desc.warps_per_cta;
-    for (auto& p : part) ks += p;
+    for (int s = 0; s < shards; ++s) {
+      ks += part[static_cast<std::size_t>(s)].ks;
+    }
     if constexpr (Profiled) {
-      std::vector<std::pair<double, double>> cta_cost;
+      auto& cta_cost = ls.cta_cost;
       cta_cost.reserve(static_cast<std::size_t>(ctas));
-      for (auto& v : cost) {
+      for (int s = 0; s < shards; ++s) {
+        const auto& v = cost[static_cast<std::size_t>(s)];
         cta_cost.insert(cta_cost.end(), v.begin(), v.end());
       }
       detail::finalize(ks, dev_->spec(), cta_cost);
@@ -306,9 +340,10 @@ class Stream {
     const int ctas = desc.ctas;
     const int chunks =
         (ctas + detail::kCtasPerChunk - 1) / detail::kCtasPerChunk;
-    std::vector<KernelStats> part(static_cast<std::size_t>(chunks));
-    std::vector<std::vector<std::pair<double, double>>> cost(
-        Profiled ? static_cast<std::size_t>(chunks) : 0);
+    detail::LaunchScratch& ls = dev_->launch_scratch_;
+    ls.prepare(static_cast<std::size_t>(chunks), Profiled);
+    auto& part = ls.part;
+    auto& cost = ls.cost;
     dev_->run_jobs(chunks, [&](int ch) {
       const auto cu = static_cast<std::size_t>(ch);
       const int c0 = ch * detail::kCtasPerChunk;
@@ -317,7 +352,8 @@ class Stream {
         cost[cu].reserve(static_cast<std::size_t>(c1 - c0));
       }
       for (int c = c0; c < c1; ++c) {
-        Cta<Profiled> cta(dev_->spec(), part[cu], c, desc.warps_per_cta);
+        Cta<Profiled> cta(dev_->spec(), part[cu].ks, c, desc.warps_per_cta,
+                          164 * 1024, &CtaArena::local());
         body(cta);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[cu].push_back(cc);
@@ -328,11 +364,14 @@ class Stream {
     ks.name = desc.name;
     ks.ctas = ctas;
     ks.warps_per_cta = desc.warps_per_cta;
-    for (auto& p : part) ks += p;
+    for (int ch = 0; ch < chunks; ++ch) {
+      ks += part[static_cast<std::size_t>(ch)].ks;
+    }
     if constexpr (Profiled) {
-      std::vector<std::pair<double, double>> cta_cost;
+      auto& cta_cost = ls.cta_cost;
       cta_cost.reserve(static_cast<std::size_t>(ctas));
-      for (auto& v : cost) {
+      for (int ch = 0; ch < chunks; ++ch) {
+        const auto& v = cost[static_cast<std::size_t>(ch)];
         cta_cost.insert(cta_cost.end(), v.begin(), v.end());
       }
       detail::finalize(ks, dev_->spec(), cta_cost);

@@ -20,6 +20,15 @@
 //                  conversion issues (Fig. 3a).
 //   atomics     -> base cost x (half ? CAS-loop penalty : 1) x the size of
 //                  the largest same-word conflict group in the warp.
+//
+// Host-performance note: per-instruction charges accumulate into a private
+// POD counter block (`WarpCounters`) and flush into the shared KernelStats
+// shard exactly once, in finish(). The shard may be shared by every warp of
+// a CTA chunk, so per-instruction read-modify-write of it was both a cache
+// ping-pong and a dependency chain in the hot loop. All cost-model charge
+// values are multiples of 0.5 (see DeviceSpec), so the double-precision
+// sums are exact and the deferred flush is bit-identical to per-instruction
+// accumulation in any association order.
 #pragma once
 
 #include <algorithm>
@@ -30,6 +39,7 @@
 
 #include "half/half.hpp"
 #include "half/vec.hpp"
+#include "simt/accounting.hpp"
 #include "simt/spec.hpp"
 #include "simt/stats.hpp"
 
@@ -46,6 +56,28 @@ constexpr LaneMask prefix_mask(int n) noexcept {
 
 template <class T>
 using Lanes = std::array<T, kWarpSize>;
+
+// Per-warp accumulation of everything a warp charges to KernelStats.
+// Flushed once per warp in Warp::finish(); see the header note on why the
+// deferred flush is exact.
+struct WarpCounters {
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t useful_bytes = 0;
+  std::uint64_t ld_instrs = 0;
+  std::uint64_t st_instrs = 0;
+  std::uint64_t sectors = 0;
+  std::uint64_t alu_instrs = 0;
+  std::uint64_t lane_ops = 0;
+  std::uint64_t cvt_instrs = 0;
+  std::uint64_t smem_instrs = 0;
+  std::uint64_t shfl_instrs = 0;
+  std::uint64_t atomic_instrs = 0;
+  std::uint64_t atomic_serialized = 0;
+  double issue_cycles = 0;
+  double mem_cycles = 0;
+  double stall_cycles = 0;
+  double atomic_wait_cycles = 0;
+};
 
 template <bool Profiled>
 class Warp {
@@ -85,19 +117,22 @@ class Warp {
     if constexpr (Profiled) account_access<T>(idx, active, /*is_load=*/true);
   }
 
-  // Contiguous load: lane l reads mem[base + l] for l < count.
+  // Contiguous load: lane l reads mem[base + l] for l < count. `count`
+  // must fit the warp — a wider request would silently overflow Lanes<T>.
   template <class T>
   void load_contiguous(std::span<const T> mem, std::int64_t base, int count,
                        Lanes<T>& out) {
-    const LaneMask active = prefix_mask(count);
+    assert(count >= 0 && count <= kWarpSize);
+    assert(count == 0 ||
+           (base >= 0 && static_cast<std::size_t>(base) +
+                             static_cast<std::size_t>(count) <=
+                         mem.size()));
     for (int l = 0; l < count; ++l) {
-      assert(base + l >= 0 &&
-             static_cast<std::size_t>(base + l) < mem.size());
       out[static_cast<std::size_t>(l)] =
           mem[static_cast<std::size_t>(base + l)];
     }
     if constexpr (Profiled) {
-      account_contiguous<T>(base, count, active, /*is_load=*/true);
+      account_contiguous<T>(base, count, /*is_load=*/true);
     }
   }
 
@@ -119,13 +154,17 @@ class Warp {
   template <class T>
   void store_contiguous(std::span<T> mem, std::int64_t base, int count,
                         const Lanes<T>& vals) {
+    assert(count >= 0 && count <= kWarpSize);
+    assert(count == 0 ||
+           (base >= 0 && static_cast<std::size_t>(base) +
+                             static_cast<std::size_t>(count) <=
+                         mem.size()));
     for (int l = 0; l < count; ++l) {
       mem[static_cast<std::size_t>(base + l)] =
           vals[static_cast<std::size_t>(l)];
     }
     if constexpr (Profiled) {
-      account_contiguous<T>(base, count, prefix_mask(count),
-                            /*is_load=*/false);
+      account_contiguous<T>(base, count, /*is_load=*/false);
     }
   }
 
@@ -250,7 +289,7 @@ class Warp {
       }
     }
     if constexpr (Profiled) {
-      ks_.shfl_instrs += 1;
+      acc_.shfl_instrs += 1;
       issue(spec_.shfl_cycles);
     }
   }
@@ -292,39 +331,39 @@ class Warp {
       switch (c) {
         case Op::kFloatAlu:
         case Op::kIntAlu:
-          ks_.alu_instrs += static_cast<std::uint64_t>(n);
-          ks_.lane_ops += static_cast<std::uint64_t>(n) *
-                          static_cast<std::uint64_t>(active_lanes);
+          acc_.alu_instrs += static_cast<std::uint64_t>(n);
+          acc_.lane_ops += static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(active_lanes);
           issue(n * spec_.alu_cycles);
           break;
         case Op::kHalfIntrin:
-          ks_.alu_instrs += static_cast<std::uint64_t>(n);
-          ks_.lane_ops += static_cast<std::uint64_t>(n) *
-                          static_cast<std::uint64_t>(active_lanes);
+          acc_.alu_instrs += static_cast<std::uint64_t>(n);
+          acc_.lane_ops += static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(active_lanes);
           issue(n * spec_.alu_cycles);
           break;
         case Op::kHalf2:
-          ks_.alu_instrs += static_cast<std::uint64_t>(n);
-          ks_.lane_ops += 2ull * static_cast<std::uint64_t>(n) *
-                          static_cast<std::uint64_t>(active_lanes);
+          acc_.alu_instrs += static_cast<std::uint64_t>(n);
+          acc_.lane_ops += 2ull * static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(active_lanes);
           issue(n * spec_.alu_cycles);
           break;
         case Op::kHalfNaive:
           // Fig. 3a: cvt up (x2), float op, cvt down.
-          ks_.alu_instrs += static_cast<std::uint64_t>(n);
-          ks_.cvt_instrs += 3ull * static_cast<std::uint64_t>(n);
-          ks_.lane_ops += static_cast<std::uint64_t>(n) *
-                          static_cast<std::uint64_t>(active_lanes);
+          acc_.alu_instrs += static_cast<std::uint64_t>(n);
+          acc_.cvt_instrs += 3ull * static_cast<std::uint64_t>(n);
+          acc_.lane_ops += static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(active_lanes);
           issue(n * (spec_.alu_cycles + 3 * spec_.cvt_cycles));
           break;
         case Op::kCvt:
-          ks_.cvt_instrs += static_cast<std::uint64_t>(n);
+          acc_.cvt_instrs += static_cast<std::uint64_t>(n);
           issue(n * spec_.cvt_cycles);
           break;
         case Op::kSpecial:
-          ks_.alu_instrs += static_cast<std::uint64_t>(n);
-          ks_.lane_ops += static_cast<std::uint64_t>(n) *
-                          static_cast<std::uint64_t>(active_lanes);
+          acc_.alu_instrs += static_cast<std::uint64_t>(n);
+          acc_.lane_ops += static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(active_lanes);
           issue(n * spec_.special_cycles);
           break;
       }
@@ -339,7 +378,7 @@ class Warp {
   // lives in the Cta arena; only the cost flows through here).
   void smem_access(int n = 1) {
     if constexpr (Profiled) {
-      ks_.smem_instrs += static_cast<std::uint64_t>(n);
+      acc_.smem_instrs += static_cast<std::uint64_t>(n);
       issue(n * spec_.smem_cycles);
     } else {
       (void)n;
@@ -358,79 +397,58 @@ class Warp {
     stall_ = stall;
   }
 
-  void finish() { sync(); }
+  // End of the warp's kernel body: expose trailing load latency and flush
+  // the batched counters into the shared stats shard (once per warp).
+  void finish() {
+    sync();
+    if constexpr (Profiled) flush();
+  }
 
  private:
   void issue(double c) noexcept {
     issue_ += c;
-    ks_.issue_cycles += c;
-    ks_.warp_busy_cycles += c;
+    acc_.issue_cycles += c;
   }
   void memq(double c) noexcept {
     mem_ += c;
-    ks_.mem_cycles += c;
-    ks_.warp_busy_cycles += c;
+    acc_.mem_cycles += c;
   }
   void stall(double c) noexcept {
     stall_ += c;
-    ks_.stall_cycles += c;
+    acc_.stall_cycles += c;
+  }
+
+  void flush() noexcept {
+    ks_.bytes_moved += acc_.bytes_moved;
+    ks_.useful_bytes += acc_.useful_bytes;
+    ks_.ld_instrs += acc_.ld_instrs;
+    ks_.st_instrs += acc_.st_instrs;
+    ks_.sectors += acc_.sectors;
+    ks_.alu_instrs += acc_.alu_instrs;
+    ks_.lane_ops += acc_.lane_ops;
+    ks_.cvt_instrs += acc_.cvt_instrs;
+    ks_.smem_instrs += acc_.smem_instrs;
+    ks_.shfl_instrs += acc_.shfl_instrs;
+    ks_.atomic_instrs += acc_.atomic_instrs;
+    ks_.atomic_serialized += acc_.atomic_serialized;
+    ks_.issue_cycles += acc_.issue_cycles;
+    ks_.mem_cycles += acc_.mem_cycles;
+    ks_.stall_cycles += acc_.stall_cycles;
+    ks_.atomic_wait_cycles += acc_.atomic_wait_cycles;
+    ks_.warp_busy_cycles += acc_.issue_cycles + acc_.mem_cycles;
+    acc_ = WarpCounters{};
   }
 
   template <class T>
   void account_access(const Lanes<std::int64_t>& idx, LaneMask active,
                       bool is_load) {
-    // Unique 32-byte sectors touched by the active lanes. Element offsets
-    // are a faithful proxy for addresses because all kernel buffers are
-    // 64-byte aligned (util/aligned.hpp).
-    std::array<std::int64_t, kWarpSize> sec{};
-    std::array<std::int64_t, kWarpSize> elems{};
-    int n = 0;
-    const auto elems_per_sector =
-        static_cast<std::int64_t>(spec_.sector_bytes / sizeof(T));
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        elems[static_cast<std::size_t>(n)] = idx[static_cast<std::size_t>(l)];
-        sec[static_cast<std::size_t>(n++)] =
-            elems_per_sector > 0
-                ? idx[static_cast<std::size_t>(l)] / elems_per_sector
-                : idx[static_cast<std::size_t>(l)] *
-                      static_cast<std::int64_t>(sizeof(T) /
-                                                static_cast<std::size_t>(
-                                                    spec_.sector_bytes));
-      }
-    }
-    std::sort(sec.begin(), sec.begin() + n);
-    int sectors = 0;
-    for (int i = 0; i < n; ++i) {
-      if (i == 0 || sec[static_cast<std::size_t>(i)] !=
-                        sec[static_cast<std::size_t>(i - 1)]) {
-        ++sectors;
-      }
-    }
-    // Wide vector types can span multiple sectors per lane even when the
-    // per-lane start sectors dedup; scale up for T wider than a sector.
-    if (sizeof(T) > static_cast<std::size_t>(spec_.sector_bytes)) {
-      sectors = static_cast<int>(
-          n * (sizeof(T) / static_cast<std::size_t>(spec_.sector_bytes)));
-    }
-    // Useful bytes dedup too: lanes broadcasting the same element (edges
-    // sharing a source row, say) consume one copy of the data, served by a
-    // single sector fetch — so useful_bytes <= bytes_moved is an invariant.
-    std::sort(elems.begin(), elems.begin() + n);
-    int unique_elems = 0;
-    for (int i = 0; i < n; ++i) {
-      if (i == 0 || elems[static_cast<std::size_t>(i)] !=
-                        elems[static_cast<std::size_t>(i - 1)]) {
-        ++unique_elems;
-      }
-    }
-    finish_access<T>(sectors, unique_elems, is_load);
+    const auto c = accounting::access_counts(idx, active, sizeof(T),
+                                             spec_.sector_bytes);
+    finish_access<T>(c.sectors, c.unique_elems, is_load);
   }
 
   template <class T>
-  void account_contiguous(std::int64_t base, int count, LaneMask active,
-                          bool is_load) {
-    (void)active;
+  void account_contiguous(std::int64_t base, int count, bool is_load) {
     if (count <= 0) return;
     const std::int64_t first =
         base * static_cast<std::int64_t>(sizeof(T)) / spec_.sector_bytes;
@@ -442,20 +460,20 @@ class Warp {
 
   template <class T>
   void finish_access(int sectors, int active_count, bool is_load) {
-    ks_.sectors += static_cast<std::uint64_t>(sectors);
-    ks_.bytes_moved += static_cast<std::uint64_t>(sectors) *
-                       static_cast<std::uint64_t>(spec_.sector_bytes);
-    ks_.useful_bytes +=
+    acc_.sectors += static_cast<std::uint64_t>(sectors);
+    acc_.bytes_moved += static_cast<std::uint64_t>(sectors) *
+                        static_cast<std::uint64_t>(spec_.sector_bytes);
+    acc_.useful_bytes +=
         static_cast<std::uint64_t>(active_count) * sizeof(T);
     if (is_load) {
-      ks_.ld_instrs += 1;
+      acc_.ld_instrs += 1;
       ++pending_loads_;
       // Amortized MSHR pressure per load instruction (Sec. 5.1.1 effect:
       // fewer, wider loads stall less for the same bytes), reduced by the
       // kernel's declared load ILP.
       stall(spec_.ld_pipeline_stall / load_ilp_);
     } else {
-      ks_.st_instrs += 1;
+      acc_.st_instrs += 1;
     }
     issue(spec_.ld_issue_cycles);
     memq(sectors * spec_.sector_cycles);
@@ -464,29 +482,13 @@ class Warp {
   void account_atomic(const Lanes<std::int64_t>& idx, LaneMask active,
                       int word_elems, bool half_cost, int contention) {
     // Serialization depth: size of the largest group of lanes whose target
-    // indices share one 32-bit word.
-    std::array<std::int64_t, kWarpSize> words{};
-    int n = 0;
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        words[static_cast<std::size_t>(n++)] =
-            idx[static_cast<std::size_t>(l)] / word_elems;
-      }
-    }
-    std::sort(words.begin(), words.begin() + n);
-    int depth = 1, run = 1;
-    for (int i = 1; i < n; ++i) {
-      run = words[static_cast<std::size_t>(i)] ==
-                    words[static_cast<std::size_t>(i - 1)]
-                ? run + 1
-                : 1;
-      depth = std::max(depth, run);
-    }
-    if (n == 0) return;
+    // indices share one 32-bit word; groups: distinct words touched.
+    const auto c = accounting::atomic_counts(idx, active, word_elems);
+    if (c.active == 0) return;
     const double factor = half_cost ? spec_.atomic_half_penalty : 1.0;
-    ks_.atomic_instrs += 1;
-    ks_.atomic_serialized +=
-        static_cast<std::uint64_t>(depth - 1 + (contention - 1));
+    acc_.atomic_instrs += 1;
+    acc_.atomic_serialized +=
+        static_cast<std::uint64_t>(c.depth - 1 + (contention - 1));
     // The atomic itself occupies one issue slot; in-warp serialization
     // (depth) and cross-agent CAS retries (contention) serialize at the
     // memory system — a device-wide resource that concurrent CTAs cannot
@@ -494,22 +496,15 @@ class Warp {
     // bucket.
     issue(spec_.atomic_cycles);
     const double wait =
-        spec_.atomic_cycles * factor * depth * std::max(1, contention) -
+        spec_.atomic_cycles * factor * c.depth * std::max(1, contention) -
         spec_.atomic_cycles;
     memq(wait);
-    ks_.atomic_wait_cycles += wait;
+    acc_.atomic_wait_cycles += wait;
     // Atomics also move memory: one sector per distinct word group, at RMW
     // cost (count both directions).
-    int groups = 1;
-    for (int i = 1; i < n; ++i) {
-      if (words[static_cast<std::size_t>(i)] !=
-          words[static_cast<std::size_t>(i - 1)]) {
-        ++groups;
-      }
-    }
-    ks_.sectors += static_cast<std::uint64_t>(groups);
-    ks_.bytes_moved += static_cast<std::uint64_t>(groups) *
-                       static_cast<std::uint64_t>(spec_.sector_bytes);
+    acc_.sectors += static_cast<std::uint64_t>(c.groups);
+    acc_.bytes_moved += static_cast<std::uint64_t>(c.groups) *
+                        static_cast<std::uint64_t>(spec_.sector_bytes);
   }
 
   const DeviceSpec& spec_;
@@ -521,6 +516,7 @@ class Warp {
   double stall_ = 0;
   double load_ilp_ = 1.0;
   int pending_loads_ = 0;
+  WarpCounters acc_;
 };
 
 }  // namespace hg::simt

@@ -1,0 +1,258 @@
+// Property test for the sort-free warp accounting (simt/accounting.hpp).
+//
+// The fast single-pass small-set implementation must agree exactly with the
+// retained sort-and-scan reference over randomized lane patterns, and the
+// counts must satisfy the cost-model invariants the rest of the simulator
+// relies on (useful bytes never exceed moved bytes, sector counts bounded
+// by the lane geometry, atomic conflict depth bounded by the active count).
+// A final end-to-end check drives a profiled Warp with randomized
+// gather/scatter/atomic traffic and requires field-for-field KernelStats
+// equality against totals recomputed from the reference counts and the
+// DeviceSpec formulas.
+#include "simt/accounting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "simt/simt.hpp"
+#include "util/aligned.hpp"
+
+namespace hg::simt {
+namespace {
+
+using accounting::AccessCounts;
+using accounting::AtomicCounts;
+using accounting::LaneIdx;
+
+constexpr std::int64_t kIdxRange = 4096;
+
+// Randomized lane patterns biased toward the shapes real kernels produce:
+// contiguous runs, broadcasts, few-distinct gathers — plus fully random.
+LaneIdx make_pattern(std::mt19937& rng, int kind) {
+  LaneIdx idx{};
+  std::uniform_int_distribution<std::int64_t> any(0, kIdxRange - 1);
+  switch (kind % 5) {
+    case 0:  // fully random
+      for (auto& v : idx) v = any(rng);
+      break;
+    case 1: {  // contiguous run
+      const std::int64_t base = any(rng) % (kIdxRange - kWarpSize);
+      for (int l = 0; l < kWarpSize; ++l) idx[static_cast<std::size_t>(l)] = base + l;
+      break;
+    }
+    case 2: {  // broadcast
+      const std::int64_t v = any(rng);
+      idx.fill(v);
+      break;
+    }
+    case 3: {  // few distinct values
+      std::int64_t vals[4] = {any(rng), any(rng), any(rng), any(rng)};
+      for (auto& v : idx) v = vals[rng() % 4];
+      break;
+    }
+    default: {  // strided
+      const std::int64_t stride = 1 + static_cast<std::int64_t>(rng() % 8);
+      const std::int64_t base = any(rng) % (kIdxRange / 2);
+      for (int l = 0; l < kWarpSize; ++l) {
+        idx[static_cast<std::size_t>(l)] =
+            (base + stride * l) % kIdxRange;
+      }
+      break;
+    }
+  }
+  return idx;
+}
+
+std::uint32_t make_mask(std::mt19937& rng, int kind) {
+  switch (kind % 4) {
+    case 0:
+      return kFullMask;
+    case 1:
+      return prefix_mask(static_cast<int>(rng() % 33));
+    case 2:
+      return 0;
+    default:
+      return static_cast<std::uint32_t>(rng());
+  }
+}
+
+TEST(AccountingProperty, AccessFastMatchesReference) {
+  std::mt19937 rng(0xA11CE5u);
+  const std::size_t elem_sizes[] = {2, 4, 8, 16, 64};
+  constexpr int kSectorBytes = 32;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const LaneIdx idx = make_pattern(rng, trial);
+    const std::uint32_t mask = make_mask(rng, trial / 5);
+    const std::size_t es = elem_sizes[trial % 5];
+    const AccessCounts fast =
+        accounting::access_counts(idx, mask, es, kSectorBytes);
+    const AccessCounts ref =
+        accounting::access_counts_reference(idx, mask, es, kSectorBytes);
+    ASSERT_EQ(fast.active, ref.active) << "trial " << trial;
+    ASSERT_EQ(fast.sectors, ref.sectors) << "trial " << trial;
+    ASSERT_EQ(fast.unique_elems, ref.unique_elems) << "trial " << trial;
+
+    // Invariants the cost model depends on.
+    ASSERT_EQ(fast.active, std::popcount(mask));
+    ASSERT_LE(fast.unique_elems, fast.active);
+    const auto spe = es > kSectorBytes
+                         ? static_cast<std::int64_t>(es / kSectorBytes)
+                         : std::int64_t{1};
+    ASSERT_LE(fast.sectors, static_cast<std::int64_t>(fast.active) * spe);
+    if (fast.active > 0) {
+      ASSERT_GE(fast.sectors, 1);
+      ASSERT_GE(fast.unique_elems, 1);
+    } else {
+      ASSERT_EQ(fast.sectors, 0);
+      ASSERT_EQ(fast.unique_elems, 0);
+    }
+    // useful_bytes <= bytes_moved: each unique element occupies space in
+    // some counted sector (narrow types), or the per-lane wide override
+    // already covers every active lane.
+    ASSERT_LE(static_cast<std::uint64_t>(fast.unique_elems) * es,
+              static_cast<std::uint64_t>(fast.sectors) * kSectorBytes);
+  }
+}
+
+TEST(AccountingProperty, AtomicFastMatchesReference) {
+  std::mt19937 rng(0xBEEFu);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const LaneIdx idx = make_pattern(rng, trial);
+    const std::uint32_t mask = make_mask(rng, trial / 3);
+    const int word_elems = (trial % 2) ? 2 : 1;
+    const AtomicCounts fast =
+        accounting::atomic_counts(idx, mask, word_elems);
+    const AtomicCounts ref =
+        accounting::atomic_counts_reference(idx, mask, word_elems);
+    ASSERT_EQ(fast.active, ref.active) << "trial " << trial;
+    ASSERT_EQ(fast.depth, ref.depth) << "trial " << trial;
+    ASSERT_EQ(fast.groups, ref.groups) << "trial " << trial;
+
+    // Invariants: depth is the largest same-word group, so it is bounded by
+    // the active count and leaves room for the other groups.
+    ASSERT_EQ(fast.active, std::popcount(mask));
+    ASSERT_GE(fast.depth, 1);
+    ASSERT_LE(fast.groups, fast.active);
+    if (fast.active > 0) {
+      ASSERT_GE(fast.groups, 1);
+      ASSERT_LE(fast.depth, fast.active - fast.groups + 1);
+    } else {
+      ASSERT_EQ(fast.groups, 0);
+      ASSERT_EQ(fast.depth, 1);
+    }
+  }
+}
+
+// End-to-end: a profiled warp fed randomized traffic must produce exactly
+// the KernelStats predicted by the reference counts + DeviceSpec formulas.
+// All charge values are multiples of 0.5, so double sums are exact and the
+// comparison is == even on cycle fields.
+TEST(AccountingProperty, KernelStatsMatchReferenceModel) {
+  const DeviceSpec spec{};
+  std::mt19937 rng(0xC0FFEEu);
+
+  struct Op {
+    int kind;  // 0 gather f32, 1 scatter f16, 2 atomic f32, 3 atomic f16
+    LaneIdx idx;
+    std::uint32_t mask;
+  };
+  std::vector<Op> ops;
+  for (int i = 0; i < 64; ++i) {
+    ops.push_back(Op{static_cast<int>(rng() % 4), make_pattern(rng, i),
+                     make_mask(rng, i)});
+  }
+
+  // Expected totals from the reference implementation.
+  KernelStats exp;
+  int gathers = 0;
+  for (const Op& op : ops) {
+    if (op.kind <= 1) {
+      const std::size_t es = op.kind == 0 ? sizeof(float) : sizeof(half_t);
+      const AccessCounts c = accounting::access_counts_reference(
+          op.idx, op.mask, es, spec.sector_bytes);
+      exp.sectors += static_cast<std::uint64_t>(c.sectors);
+      exp.bytes_moved += static_cast<std::uint64_t>(c.sectors) *
+                         static_cast<std::uint64_t>(spec.sector_bytes);
+      exp.useful_bytes += static_cast<std::uint64_t>(c.unique_elems) * es;
+      if (op.kind == 0) {
+        exp.ld_instrs += 1;
+        exp.stall_cycles += spec.ld_pipeline_stall;
+        ++gathers;
+      } else {
+        exp.st_instrs += 1;
+      }
+      exp.issue_cycles += spec.ld_issue_cycles;
+      exp.mem_cycles += c.sectors * spec.sector_cycles;
+    } else {
+      const int word_elems = op.kind == 2 ? 1 : 2;
+      const AtomicCounts c =
+          accounting::atomic_counts_reference(op.idx, op.mask, word_elems);
+      if (c.active == 0) continue;
+      const double factor = op.kind == 3 ? spec.atomic_half_penalty : 1.0;
+      exp.atomic_instrs += 1;
+      exp.atomic_serialized += static_cast<std::uint64_t>(c.depth - 1);
+      exp.issue_cycles += spec.atomic_cycles;
+      const double wait = spec.atomic_cycles * factor * c.depth -
+                          spec.atomic_cycles;
+      exp.mem_cycles += wait;
+      exp.atomic_wait_cycles += wait;
+      exp.sectors += static_cast<std::uint64_t>(c.groups);
+      exp.bytes_moved += static_cast<std::uint64_t>(c.groups) *
+                         static_cast<std::uint64_t>(spec.sector_bytes);
+    }
+  }
+  if (gathers > 0) exp.stall_cycles += spec.load_latency;
+
+  // Actual: drive one profiled warp through the same ops.
+  AlignedVec<float> fmem(static_cast<std::size_t>(kIdxRange), 0.0f);
+  AlignedVec<half_t> hmem(static_cast<std::size_t>(kIdxRange));
+  Device dev(spec);
+  Stream stream(dev);
+  const KernelStats ks = stream.launch<true>(
+      LaunchDesc{"accounting_prop", 1, 1}, [&](Cta<true>& cta) {
+        cta.for_each_warp([&](Warp<true>& w) {
+          for (const Op& op : ops) {
+            switch (op.kind) {
+              case 0: {
+                Lanes<float> v{};
+                w.gather<float>(fmem, op.idx, op.mask, v);
+                break;
+              }
+              case 1: {
+                Lanes<half_t> v{};
+                w.scatter<half_t>(hmem, op.idx, op.mask, v);
+                break;
+              }
+              case 2: {
+                Lanes<float> v{};
+                w.atomic_add(std::span<float>(fmem), op.idx, op.mask, v);
+                break;
+              }
+              default: {
+                Lanes<half_t> v{};
+                w.atomic_add(std::span<half_t>(hmem), op.idx, op.mask, v);
+                break;
+              }
+            }
+          }
+        });
+      });
+
+  EXPECT_EQ(ks.bytes_moved, exp.bytes_moved);
+  EXPECT_EQ(ks.useful_bytes, exp.useful_bytes);
+  EXPECT_EQ(ks.ld_instrs, exp.ld_instrs);
+  EXPECT_EQ(ks.st_instrs, exp.st_instrs);
+  EXPECT_EQ(ks.sectors, exp.sectors);
+  EXPECT_EQ(ks.atomic_instrs, exp.atomic_instrs);
+  EXPECT_EQ(ks.atomic_serialized, exp.atomic_serialized);
+  EXPECT_EQ(ks.issue_cycles, exp.issue_cycles);
+  EXPECT_EQ(ks.mem_cycles, exp.mem_cycles);
+  EXPECT_EQ(ks.stall_cycles, exp.stall_cycles);
+  EXPECT_EQ(ks.atomic_wait_cycles, exp.atomic_wait_cycles);
+  EXPECT_EQ(ks.warp_busy_cycles, exp.issue_cycles + exp.mem_cycles);
+}
+
+}  // namespace
+}  // namespace hg::simt
