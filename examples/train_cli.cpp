@@ -3,6 +3,9 @@
 //   usage: train_cli [--dataset 1..16] [--model gcn|gat|gin]
 //                    [--mode float|half|halfgnn] [--epochs N] [--lr F]
 //                    [--hidden N] [--seed N] [--profile] [--verbose]
+//                    [--guard] [--guard-retry N] [--guard-interval N]
+//                    [--guard-ring N] [--guard-nan-streak N]
+//                    [--guard-overflow-streak N]
 //
 //   e.g.   ./build/examples/train_cli --dataset 15 --model gcn
 //              --mode halfgnn --epochs 60 --profile
@@ -10,6 +13,11 @@
 //   Observability: HALFGNN_TRACE=<path> exports a Chrome trace of the run
 //   on the modeled timeline; HALFGNN_METRICS=<path> dumps the metrics
 //   registry (both optional; see DESIGN.md "Observability").
+//
+//   Chaos: HALFGNN_FAULTS=<spec> (simt/fault.hpp grammar) injects
+//   deterministic faults into every kernel launch; --guard turns on the
+//   TrainGuard retry/rollback/fallback machinery (DESIGN.md Sec. 9), e.g.
+//     HALFGNN_FAULTS='bitflip:rate=1e-4,seed=7' ./train_cli --guard
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,7 +34,10 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--dataset 1..16] [--model gcn|gat|gin]\n"
       "          [--mode float|half|halfgnn] [--epochs N] [--lr F]\n"
-      "          [--hidden N] [--seed N] [--profile] [--verbose]\n",
+      "          [--hidden N] [--seed N] [--profile] [--verbose]\n"
+      "          [--guard] [--guard-retry N] [--guard-interval N]\n"
+      "          [--guard-ring N] [--guard-nan-streak N]\n"
+      "          [--guard-overflow-streak N]\n",
       argv0);
   return 2;
 }
@@ -111,6 +122,28 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       cfg.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--guard") {
+      cfg.guard.enabled = true;
+    } else if (a == "--guard-retry") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.guard.retry_budget = std::atoi(v);
+    } else if (a == "--guard-interval") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.guard.checkpoint_interval = std::atoi(v);
+    } else if (a == "--guard-ring") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.guard.checkpoint_ring = std::atoi(v);
+    } else if (a == "--guard-nan-streak") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.guard.nan_streak = std::atoi(v);
+    } else if (a == "--guard-overflow-streak") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.guard.overflow_streak = std::atoi(v);
     } else if (a == "--profile") {
       cfg.profile_first_epoch = true;
     } else if (a == "--verbose") {
@@ -142,6 +175,13 @@ int main(int argc, char** argv) {
               res.nan_loss_epochs, res.scaler_skipped);
   std::printf("memory (modeled)   : %.1f MB\n",
               static_cast<double>(res.memory.total()) / (1024 * 1024));
+  if (cfg.guard.enabled) {
+    std::printf(
+        "guard              : %d retries, %d rollbacks, %d fallbacks "
+        "(%d checkpoints)\n",
+        res.guard_retries, res.guard_rollbacks, res.guard_fallbacks,
+        res.guard_checkpoints);
+  }
   if (cfg.profile_first_epoch) {
     std::printf(
         "epoch time (modeled): %.3f ms = sparse %.3f + dense %.3f + "

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "tensor/tensor.hpp"
@@ -32,34 +33,50 @@ bool shadow_half_available(std::string_view op);
 
 class GradScaler {
  public:
+  // Defaults match torch.cuda.amp's growth policy with this repo's
+  // historical clamps: scale floor 1.0 (torch itself allows lower — pass a
+  // smaller min_scale to match), cap 65536.
   explicit GradScaler(float init_scale = 1024.0f, float growth = 2.0f,
-                      float backoff = 0.5f, int growth_interval = 200)
+                      float backoff = 0.5f, int growth_interval = 200,
+                      float min_scale = 1.0f, float max_scale = 65536.0f)
       : scale_(init_scale),
         growth_(growth),
         backoff_(backoff),
-        growth_interval_(growth_interval) {}
+        growth_interval_(growth_interval),
+        min_scale_(min_scale),
+        max_scale_(max_scale) {}
 
   float scale() const noexcept { return scale_; }
+  float min_scale() const noexcept { return min_scale_; }
+  float max_scale() const noexcept { return max_scale_; }
+
+  // Force the scale (clamped to [min_scale, max_scale]) without touching
+  // the clean-step streak bookkeeping — the TrainGuard rollback path.
+  void set_scale(float s) {
+    scale_ = std::min(max_scale_, std::max(min_scale_, s));
+    clean_steps_ = 0;
+  }
 
   // Call with whether any unscaled master gradient was non-finite.
   // Returns true if the optimizer step should proceed.
   bool update(bool found_nonfinite) {
     bool step = true;
     if (found_nonfinite) {
-      scale_ = std::max(1.0f, scale_ * backoff_);
+      scale_ = std::max(min_scale_, scale_ * backoff_);
       clean_steps_ = 0;
       ++skipped_;
       step = false;
     } else {
       if (++clean_steps_ >= growth_interval_) {
-        scale_ = std::min(65536.0f, scale_ * growth_);
+        scale_ = std::min(max_scale_, scale_ * growth_);
         clean_steps_ = 0;
       }
       ++stepped_;
     }
+    history_.push_back(scale_);
     // Loss-scale trajectory and skip count into the metrics registry (the
-    // Fig. 1 diagnostic: a scale pinned at 1 with a climbing skip counter
-    // is the signature of unrecoverable forward overflow).
+    // Fig. 1 diagnostic: a scale pinned at the floor with a climbing skip
+    // counter is the signature of unrecoverable forward overflow).
     if (obs::registry().enabled()) {
       obs::registry().set_gauge("amp.loss_scale",
                                 static_cast<double>(scale_));
@@ -71,14 +88,23 @@ class GradScaler {
   int skipped_steps() const noexcept { return skipped_; }
   int taken_steps() const noexcept { return stepped_; }
 
+  // Post-update scale per step, in order — the trajectory the per-epoch
+  // amp.loss_scale gauge snapshots, available without the registry.
+  const std::vector<float>& scale_history() const noexcept {
+    return history_;
+  }
+
  private:
   float scale_;
   float growth_;
   float backoff_;
   int growth_interval_;
+  float min_scale_;
+  float max_scale_;
   int clean_steps_ = 0;
   int skipped_ = 0;
   int stepped_ = 0;
+  std::vector<float> history_;
 };
 
 }  // namespace hg::amp

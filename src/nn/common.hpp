@@ -86,6 +86,8 @@ class GraphCtx {
   mutable std::vector<eid_t> perm_;
 };
 
+class TrainGuard;  // nn/guard.hpp
+
 // Everything a layer call needs to know about *how* to execute.
 struct SparseCtx {
   simt::Stream* stream = &simt::default_stream();
@@ -93,6 +95,10 @@ struct SparseCtx {
   bool profiled = false;       // run kernels under the cost model
   CostLedger* ledger = nullptr;
   MemoryMeter* meter = nullptr;  // non-null: meter state tensors this pass
+  // Non-null: sparse ops retry injected LaunchFaults and may dispatch down
+  // a per-site fallback chain after persistent non-finite outputs
+  // (nn/guard.hpp; nullptr = exactly the historical dispatch).
+  TrainGuard* guard = nullptr;
 };
 
 }  // namespace hg::nn

@@ -1,0 +1,121 @@
+#include "nn/guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hg::nn {
+
+TrainGuard::TrainGuard(GuardConfig cfg) : cfg_(cfg) {}
+
+void TrainGuard::count_retry(const std::string& site) {
+  ++retries_;
+  if (obs::registry().enabled()) {
+    obs::registry().add_counter("guard.retries");
+    obs::registry().add_counter("guard.retries." + site);
+  }
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("guard:retry", "guard", {{"site", site}});
+  }
+}
+
+int TrainGuard::level(const std::string& site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.level;
+}
+
+void TrainGuard::observe_output(const std::string& site, bool nonfinite,
+                                int chain_len) {
+  Site& s = sites_[site];
+  if (!nonfinite) {
+    s.streak = 0;
+    return;
+  }
+  if (++s.streak < std::max(1, cfg_.overflow_streak)) return;
+  s.streak = 0;
+  if (s.level >= chain_len - 1) return;  // already at the end of the chain
+  ++s.level;
+  ++fallbacks_;
+  if (obs::registry().enabled()) {
+    obs::registry().add_counter("guard.fallbacks");
+    obs::registry().set_gauge("guard.level." + site, s.level);
+  }
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("guard:fallback", "guard",
+                          {{"site", site}, {"level", s.level}});
+  }
+}
+
+void TrainGuard::maybe_checkpoint(int epoch,
+                                  const std::vector<Param*>& params,
+                                  const amp::GradScaler& scaler, int adam_t) {
+  if (cfg_.checkpoint_interval <= 0 ||
+      epoch % cfg_.checkpoint_interval != 0) {
+    return;
+  }
+  if (!last_loss_finite_) return;  // a collapsing state is not worth keeping
+  Checkpoint cp;
+  cp.epoch = epoch;
+  cp.adam_t = adam_t;
+  cp.scale = scaler.scale();
+  cp.master.reserve(params.size());
+  cp.m.reserve(params.size());
+  cp.v.reserve(params.size());
+  for (Param* p : params) {
+    const auto w = p->master().f();
+    const auto m = p->adam_m().f();
+    const auto v = p->adam_v().f();
+    cp.master.emplace_back(w.begin(), w.end());
+    cp.m.emplace_back(m.begin(), m.end());
+    cp.v.emplace_back(v.begin(), v.end());
+  }
+  ring_.push_back(std::move(cp));
+  while (static_cast<int>(ring_.size()) > std::max(1, cfg_.checkpoint_ring)) {
+    ring_.pop_front();
+  }
+  ++checkpoints_;
+}
+
+bool TrainGuard::note_loss(double loss) {
+  const bool finite = std::isfinite(loss);
+  last_loss_finite_ = finite;
+  if (finite) {
+    nan_streak_ = 0;
+    return false;
+  }
+  if (++nan_streak_ < std::max(1, cfg_.nan_streak)) return false;
+  nan_streak_ = 0;
+  return !ring_.empty();
+}
+
+void TrainGuard::rollback(const std::vector<Param*>& params,
+                          amp::GradScaler& scaler, int& adam_t) {
+  if (ring_.empty()) return;
+  const Checkpoint& cp = ring_.back();
+  for (std::size_t i = 0; i < params.size() && i < cp.master.size(); ++i) {
+    Param* p = params[i];
+    std::copy(cp.master[i].begin(), cp.master[i].end(),
+              p->master().f().begin());
+    std::copy(cp.m[i].begin(), cp.m[i].end(), p->adam_m().f().begin());
+    std::copy(cp.v[i].begin(), cp.v[i].end(), p->adam_v().f().begin());
+    p->zero_grad();
+    p->invalidate_working();  // half working copies are polluted too
+  }
+  adam_t = cp.adam_t;
+  scaler.set_scale(cp.scale * cfg_.rollback_scale_backoff);
+  ++rollbacks_;
+  if (obs::registry().enabled()) {
+    obs::registry().add_counter("guard.rollbacks");
+    obs::registry().set_gauge("guard.restored_epoch", cp.epoch);
+  }
+  if (obs::tracer().enabled()) {
+    obs::tracer().instant("guard:rollback", "guard",
+                          {{"restored_epoch", cp.epoch},
+                           {"adam_t", cp.adam_t},
+                           {"scale", static_cast<double>(scaler.scale())}});
+  }
+}
+
+}  // namespace hg::nn

@@ -25,6 +25,9 @@ class Param {
   MTensor& master() { return master_; }
   const MTensor& master() const { return master_; }
   MTensor& grad() { return grad_; }
+  // Adam moment tensors, exposed for TrainGuard checkpoint/rollback.
+  MTensor& adam_m() { return m_; }
+  MTensor& adam_v() { return v_; }
 
   // Working-precision view for forward/backward compute.
   const MTensor& working(SystemMode mode, CostLedger* ledger) {

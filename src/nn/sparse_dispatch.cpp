@@ -1,11 +1,15 @@
 #include "nn/sparse_dispatch.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
-#include "obs/trace.hpp"
+#include "kernels/reference.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm_cusparse_like.hpp"
 #include "kernels/spmm_halfgnn.hpp"
+#include "nn/guard.hpp"
+#include "obs/trace.hpp"
+#include "simt/fault.hpp"
 #include "tensor/dense_ops.hpp"
 
 namespace hg::nn {
@@ -34,48 +38,180 @@ MTensor promoted(const SparseCtx& ctx, const MTensor& in, F32Op&& op) {
   return to_dtype(out_f, Dtype::kF16, ctx.ledger);
 }
 
+// Retries the op body on injected simt::LaunchFault, up to the guard's
+// budget of attempts per call (the injector's launch ordinal advances on
+// every attempt, so a transient failure clears on retry). Bodies allocate
+// their outputs inside the lambda, so a fault that interrupts a multi-launch
+// op leaves no partial state behind for the retry. Without a guard the
+// fault propagates to the caller untouched.
+template <class F>
+MTensor guarded(const SparseCtx& ctx, const char* op, F&& body) {
+  const int budget =
+      ctx.guard != nullptr ? std::max(1, ctx.guard->retry_budget()) : 1;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return body();
+    } catch (const simt::LaunchFault&) {
+      if (attempt >= budget) throw;
+      ctx.guard->count_retry(op);
+    }
+  }
+}
+
+std::vector<float> to_f32_copy(const MTensor& t) {
+  std::vector<float> out(t.numel());
+  if (t.dtype() == Dtype::kF32) {
+    const auto s = t.f();
+    std::copy(s.begin(), s.end(), out.begin());
+  } else {
+    const auto s = t.h();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = s[i].to_float();
+  }
+  return out;
+}
+
+void write_back(MTensor& y, const std::vector<double>& ref) {
+  if (y.dtype() == Dtype::kF32) {
+    auto o = y.f();
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      o[i] = static_cast<float>(ref[i]);
+    }
+  } else {
+    auto o = y.h();
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      o[i] = half_t(static_cast<float>(ref[i]));
+    }
+  }
+}
+
+// Last link of every TrainGuard fallback chain: the serial host reference
+// (double accumulation). It never touches the SIMT substrate, so injected
+// faults cannot reach it; it also charges nothing to the cost model — the
+// guard has given up on the modeled kernel for this site.
+MTensor spmm_reference(const GraphCtx& g, const MTensor* edge_w,
+                       const MTensor& x, kernels::Reduce reduce) {
+  const int feat = static_cast<int>(x.cols());
+  const std::vector<float> xf = to_f32_copy(x);
+  std::vector<float> wf;
+  if (edge_w != nullptr) wf = to_f32_copy(*edge_w);
+  const auto ref = kernels::reference_spmm(g.csr(), wf, xf, feat, reduce);
+  MTensor y = MTensor::zeros(x.dtype(), g.n(), feat);
+  write_back(y, ref);
+  return y;
+}
+
+MTensor sddmm_reference(const GraphCtx& g, const MTensor& a,
+                        const MTensor& b) {
+  const int feat = static_cast<int>(a.cols());
+  const std::vector<float> af = to_f32_copy(a);
+  const std::vector<float> bf = to_f32_copy(b);
+  const auto ref = kernels::reference_sddmm(*g.view().coo, af, bf, feat);
+  MTensor out = MTensor::zeros(a.dtype(), g.m(), 1);
+  write_back(out, ref);
+  return out;
+}
+
+// Guard fallback chain for spmm, per mode (level 0 = native kernel):
+//   kHalfGnn:  spmm_halfgnn -> spmm_cusparse_f16 -> host reference
+//   kDglHalf:  spmm_cusparse_f16 -> f32 promotion -> host reference
+//   kDglFloat: spmm_cusparse_f32 -> host reference
+int spmm_chain_len(SystemMode mode) {
+  return mode == SystemMode::kDglFloat ? 2 : 3;
+}
+
+enum class SpmmKernel { kNative, kDemotedF16, kPromotedF32, kReference };
+
+SpmmKernel spmm_pick(SystemMode mode, int level) {
+  if (level == 0) return SpmmKernel::kNative;
+  if (level >= spmm_chain_len(mode) - 1) return SpmmKernel::kReference;
+  return mode == SystemMode::kHalfGnn ? SpmmKernel::kDemotedF16
+                                      : SpmmKernel::kPromotedF32;
+}
+
 }  // namespace
 
 MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
              const MTensor& x, kernels::Reduce reduce) {
   const std::int64_t feat = x.cols();
-  MTensor y = MTensor::zeros(x.dtype(), g.n(), feat);
-  switch (ctx.mode) {
-    case SystemMode::kDglFloat: {
-      decided("spmm", "spmm_cusparse_f32",
-              "mode=DGL-float: row-parallel f32 cuSPARSE-like path");
-      charge(ctx, kernels::spmm_cusparse_f32(
-                      *ctx.stream, ctx.profiled, g.view(),
-                      edge_w != nullptr ? edge_w->f()
-                                        : std::span<const float>{},
-                      x.f(), y.f(), static_cast<int>(feat), reduce));
-      break;
+  const int chain_len = spmm_chain_len(ctx.mode);
+  const int level =
+      ctx.guard != nullptr
+          ? std::min(ctx.guard->level("spmm"), chain_len - 1)
+          : 0;
+  const SpmmKernel pick = spmm_pick(ctx.mode, level);
+
+  MTensor y = guarded(ctx, "spmm", [&]() -> MTensor {
+    if (pick == SpmmKernel::kReference) {
+      decided("spmm", "spmm_reference",
+              "guard fallback: host fp64 reference (outside the fault "
+              "domain)");
+      return spmm_reference(g, edge_w, x, reduce);
     }
-    case SystemMode::kDglHalf: {
+    if (pick == SpmmKernel::kPromotedF32) {
+      // DGL-half escalation: the half kernel keeps overflowing, so pay the
+      // full AMP promotion — f32 inputs, f32 kernel, demote the result.
+      decided("spmm", "spmm_cusparse_f32",
+              "guard fallback: f32 promotion of the overflowing half SpMM");
+      MTensor w_f;
+      if (edge_w != nullptr) w_f = to_dtype(*edge_w, Dtype::kF32, ctx.ledger);
+      return promoted(ctx, x, [&](const MTensor& x_f) {
+        MTensor y_f = MTensor::f32(g.n(), feat);
+        charge(ctx, kernels::spmm_cusparse_f32(
+                        *ctx.stream, ctx.profiled, g.view(),
+                        edge_w != nullptr ? w_f.f()
+                                          : std::span<const float>{},
+                        x_f.f(), y_f.f(), static_cast<int>(feat), reduce));
+        return y_f;
+      });
+    }
+    MTensor out = MTensor::zeros(x.dtype(), g.n(), feat);
+    if (pick == SpmmKernel::kDemotedF16 ||
+        ctx.mode == SystemMode::kDglHalf) {
       decided("spmm", "spmm_cusparse_f16",
-              "mode=DGL-half: scalar-load half path with atomic-half "
-              "accumulation (Fig. 3a arithmetic)");
+              pick == SpmmKernel::kDemotedF16
+                  ? "guard fallback: row-parallel half path replacing the "
+                    "faulted halfgnn kernel"
+                  : "mode=DGL-half: scalar-load half path with atomic-half "
+                    "accumulation (Fig. 3a arithmetic)");
       charge(ctx, kernels::spmm_cusparse_f16(
                       *ctx.stream, ctx.profiled, g.view(),
                       edge_w != nullptr ? edge_w->h()
                                         : std::span<const half_t>{},
-                      x.h(), y.h(), static_cast<int>(feat), reduce));
-      break;
+                      x.h(), out.h(), static_cast<int>(feat), reduce));
+      return out;
     }
-    case SystemMode::kHalfGnn: {
-      kernels::HalfgnnSpmmOpts opts;
-      opts.reduce = reduce;
-      opts.scale = kernels::ScaleMode::kDiscretized;
-      decided("spmm", "spmm_halfgnn",
-              "mode=HalfGNN: edge-parallel half2 with discretized scaling "
-              "(overflow-protected reduction)");
-      charge(ctx, kernels::spmm_halfgnn(
-                      *ctx.stream, ctx.profiled, g.view(),
-                      edge_w != nullptr ? edge_w->h()
-                                        : std::span<const half_t>{},
-                      x.h(), y.h(), static_cast<int>(feat), opts));
-      break;
+    switch (ctx.mode) {
+      case SystemMode::kDglFloat: {
+        decided("spmm", "spmm_cusparse_f32",
+                "mode=DGL-float: row-parallel f32 cuSPARSE-like path");
+        charge(ctx, kernels::spmm_cusparse_f32(
+                        *ctx.stream, ctx.profiled, g.view(),
+                        edge_w != nullptr ? edge_w->f()
+                                          : std::span<const float>{},
+                        x.f(), out.f(), static_cast<int>(feat), reduce));
+        break;
+      }
+      case SystemMode::kDglHalf:
+        break;  // handled above
+      case SystemMode::kHalfGnn: {
+        kernels::HalfgnnSpmmOpts opts;
+        opts.reduce = reduce;
+        opts.scale = kernels::ScaleMode::kDiscretized;
+        decided("spmm", "spmm_halfgnn",
+                "mode=HalfGNN: edge-parallel half2 with discretized scaling "
+                "(overflow-protected reduction)");
+        charge(ctx, kernels::spmm_halfgnn(
+                        *ctx.stream, ctx.profiled, g.view(),
+                        edge_w != nullptr ? edge_w->h()
+                                          : std::span<const half_t>{},
+                        x.h(), out.h(), static_cast<int>(feat), opts));
+        break;
+      }
     }
+    return out;
+  });
+  if (ctx.guard != nullptr) {
+    ctx.guard->observe_output("spmm", y.has_nonfinite(), chain_len);
   }
   return y;
 }
@@ -96,198 +232,235 @@ MTensor sddmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor& a,
     throw std::invalid_argument("sddmm: feature width mismatch");
   }
   const int feat = static_cast<int>(a.cols());
-  MTensor out = MTensor::zeros(a.dtype(), g.m(), 1);
-  switch (ctx.mode) {
-    case SystemMode::kDglFloat:
-      decided("sddmm", "sddmm_dgl_f32",
-              "mode=DGL-float: scalar f32 dot per edge");
-      charge(ctx, kernels::sddmm_dgl_f32(*ctx.stream, ctx.profiled, g.view(),
-                                         a.f(), b.f(), out.f(), feat));
-      break;
-    case SystemMode::kDglHalf:
-      decided("sddmm", "sddmm_dgl_f16",
-              "mode=DGL-half: scalar half loads (no vectorization)");
-      charge(ctx, kernels::sddmm_dgl_f16(*ctx.stream, ctx.profiled, g.view(),
-                                         a.h(), b.h(), out.h(), feat));
-      break;
-    case SystemMode::kHalfGnn:
-      decided("sddmm", "sddmm_halfgnn",
-              "mode=HalfGNN: half8 vectorized loads (4x fewer sectors)");
-      charge(ctx, kernels::sddmm_halfgnn(*ctx.stream, ctx.profiled, g.view(),
-                                         a.h(), b.h(), out.h(), feat,
-                                         kernels::SddmmVec::kHalf8));
-      break;
+  // Guard fallback chain: mode kernel -> host reference.
+  const int chain_len = 2;
+  const int level =
+      ctx.guard != nullptr
+          ? std::min(ctx.guard->level("sddmm"), chain_len - 1)
+          : 0;
+  MTensor out = guarded(ctx, "sddmm", [&]() -> MTensor {
+    if (level >= 1) {
+      decided("sddmm", "sddmm_reference",
+              "guard fallback: host fp64 reference (outside the fault "
+              "domain)");
+      return sddmm_reference(g, a, b);
+    }
+    MTensor o = MTensor::zeros(a.dtype(), g.m(), 1);
+    switch (ctx.mode) {
+      case SystemMode::kDglFloat:
+        decided("sddmm", "sddmm_dgl_f32",
+                "mode=DGL-float: scalar f32 dot per edge");
+        charge(ctx, kernels::sddmm_dgl_f32(*ctx.stream, ctx.profiled,
+                                           g.view(), a.f(), b.f(), o.f(),
+                                           feat));
+        break;
+      case SystemMode::kDglHalf:
+        decided("sddmm", "sddmm_dgl_f16",
+                "mode=DGL-half: scalar half loads (no vectorization)");
+        charge(ctx, kernels::sddmm_dgl_f16(*ctx.stream, ctx.profiled,
+                                           g.view(), a.h(), b.h(), o.h(),
+                                           feat));
+        break;
+      case SystemMode::kHalfGnn:
+        decided("sddmm", "sddmm_halfgnn",
+                "mode=HalfGNN: half8 vectorized loads (4x fewer sectors)");
+        charge(ctx, kernels::sddmm_halfgnn(*ctx.stream, ctx.profiled,
+                                           g.view(), a.h(), b.h(), o.h(),
+                                           feat, kernels::SddmmVec::kHalf8));
+        break;
+    }
+    return o;
+  });
+  if (ctx.guard != nullptr) {
+    ctx.guard->observe_output("sddmm", out.has_nonfinite(), chain_len);
   }
   return out;
 }
 
 MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
                    const MTensor& edge_vals, kernels::SegReduce reduce) {
-  if (ctx.mode == SystemMode::kDglFloat) {
-    MTensor out = MTensor::f32(g.n(), 1);
-    decided("seg_reduce", "edge_segment_reduce_f32", "mode=DGL-float");
-    charge(ctx, kernels::edge_segment_reduce_f32(*ctx.stream, ctx.profiled,
-                                                 g.view(), edge_vals.f(),
-                                                 out.f(), reduce));
-    return out;
-  }
-  if (ctx.mode == SystemMode::kDglHalf &&
-      reduce == kernels::SegReduce::kSum) {
-    // AMP: 'sum' is float-promoted.
-    decided("seg_reduce", "edge_segment_reduce_f32",
-            "mode=DGL-half: AMP promotes 'sum' to float "
-            "(half->f32->half round trip)");
-    return promoted(ctx, edge_vals, [&](const MTensor& in_f) {
+  return guarded(ctx, "seg_reduce", [&]() -> MTensor {
+    if (ctx.mode == SystemMode::kDglFloat) {
       MTensor out = MTensor::f32(g.n(), 1);
+      decided("seg_reduce", "edge_segment_reduce_f32", "mode=DGL-float");
       charge(ctx, kernels::edge_segment_reduce_f32(*ctx.stream, ctx.profiled,
-                                                   g.view(), in_f.f(),
+                                                   g.view(), edge_vals.f(),
                                                    out.f(), reduce));
       return out;
-    });
-  }
-  MTensor out = MTensor::f16(g.n(), 1);
-  decided("seg_reduce", "edge_segment_reduce_f16",
-          ctx.mode == SystemMode::kHalfGnn
-              ? "mode=HalfGNN: shadow half reduction (range-safe)"
-              : "mode=DGL-half: max/min stay half under AMP");
-  charge(ctx, kernels::edge_segment_reduce_f16(*ctx.stream, ctx.profiled,
-                                               g.view(), edge_vals.h(),
-                                               out.h(), reduce));
-  return out;
+    }
+    if (ctx.mode == SystemMode::kDglHalf &&
+        reduce == kernels::SegReduce::kSum) {
+      // AMP: 'sum' is float-promoted.
+      decided("seg_reduce", "edge_segment_reduce_f32",
+              "mode=DGL-half: AMP promotes 'sum' to float "
+              "(half->f32->half round trip)");
+      return promoted(ctx, edge_vals, [&](const MTensor& in_f) {
+        MTensor out = MTensor::f32(g.n(), 1);
+        charge(ctx, kernels::edge_segment_reduce_f32(
+                        *ctx.stream, ctx.profiled, g.view(), in_f.f(),
+                        out.f(), reduce));
+        return out;
+      });
+    }
+    MTensor out = MTensor::f16(g.n(), 1);
+    decided("seg_reduce", "edge_segment_reduce_f16",
+            ctx.mode == SystemMode::kHalfGnn
+                ? "mode=HalfGNN: shadow half reduction (range-safe)"
+                : "mode=DGL-half: max/min stay half under AMP");
+    charge(ctx, kernels::edge_segment_reduce_f16(*ctx.stream, ctx.profiled,
+                                                 g.view(), edge_vals.h(),
+                                                 out.h(), reduce));
+    return out;
+  });
 }
 
 MTensor edge_add_scalars(const SparseCtx& ctx, const GraphCtx& g,
                          const MTensor& el, const MTensor& er, float slope) {
-  if (ctx.mode == SystemMode::kDglFloat) {
-    MTensor out = MTensor::f32(g.m(), 1);
-    charge(ctx, kernels::edge_add_scalars_f32(*ctx.stream, ctx.profiled,
-                                              g.view(), el.f(), er.f(),
-                                              out.f(), slope));
+  return guarded(ctx, "edge_add_scalars", [&]() -> MTensor {
+    if (ctx.mode == SystemMode::kDglFloat) {
+      MTensor out = MTensor::f32(g.m(), 1);
+      charge(ctx, kernels::edge_add_scalars_f32(*ctx.stream, ctx.profiled,
+                                                g.view(), el.f(), er.f(),
+                                                out.f(), slope));
+      return out;
+    }
+    MTensor out = MTensor::f16(g.m(), 1);
+    charge(ctx,
+           kernels::edge_add_scalars_f16(*ctx.stream, ctx.profiled, g.view(),
+                                         el.h(), er.h(), out.h(), slope));
     return out;
-  }
-  MTensor out = MTensor::f16(g.m(), 1);
-  charge(ctx,
-         kernels::edge_add_scalars_f16(*ctx.stream, ctx.profiled, g.view(),
-                                       el.h(), er.h(), out.h(), slope));
-  return out;
+  });
 }
 
 MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
                          const MTensor& vals, const MTensor& rowv) {
-  switch (ctx.mode) {
-    case SystemMode::kDglFloat: {
-      MTensor out = MTensor::f32(g.m(), 1);
-      decided("edge_exp", "edge_exp_sub_row_f32", "mode=DGL-float");
-      charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.stream, ctx.profiled,
-                                                g.view(), vals.f(),
-                                                rowv.f(), out.f()));
-      return out;
-    }
-    case SystemMode::kDglHalf: {
-      // AMP promotes exp: both operands ride to float, the result rides
-      // back (the exact churn Sec. 3.1.2 dissects).
-      decided("edge_exp", "edge_exp_sub_row_f32",
-              "mode=DGL-half: autocast promotes exp to f32 "
-              "(conversion churn both ways)");
-      MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
-      return promoted(ctx, vals, [&](const MTensor& vals_f) {
+  return guarded(ctx, "edge_exp", [&]() -> MTensor {
+    switch (ctx.mode) {
+      case SystemMode::kDglFloat: {
         MTensor out = MTensor::f32(g.m(), 1);
+        decided("edge_exp", "edge_exp_sub_row_f32", "mode=DGL-float");
         charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.stream, ctx.profiled,
-                                                  g.view(), vals_f.f(),
-                                                  rowv_f.f(), out.f()));
+                                                  g.view(), vals.f(),
+                                                  rowv.f(), out.f()));
         return out;
-      });
+      }
+      case SystemMode::kDglHalf: {
+        // AMP promotes exp: both operands ride to float, the result rides
+        // back (the exact churn Sec. 3.1.2 dissects).
+        decided("edge_exp", "edge_exp_sub_row_f32",
+                "mode=DGL-half: autocast promotes exp to f32 "
+                "(conversion churn both ways)");
+        MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
+        return promoted(ctx, vals, [&](const MTensor& vals_f) {
+          MTensor out = MTensor::f32(g.m(), 1);
+          charge(ctx, kernels::edge_exp_sub_row_f32(
+                          *ctx.stream, ctx.profiled, g.view(), vals_f.f(),
+                          rowv_f.f(), out.f()));
+          return out;
+        });
+      }
+      case SystemMode::kHalfGnn: {
+        // Shadow exp (Sec. 5.3): vals - rowmax <= 0, so half is safe.
+        decided("edge_exp", "edge_exp_sub_row_f16",
+                "mode=HalfGNN: shadow half exp (e - max <= 0, in range)");
+        MTensor out = MTensor::f16(g.m(), 1);
+        charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.stream, ctx.profiled,
+                                                  g.view(), vals.h(),
+                                                  rowv.h(), out.h()));
+        return out;
+      }
     }
-    case SystemMode::kHalfGnn: {
-      // Shadow exp (Sec. 5.3): vals - rowmax <= 0, so half is safe.
-      decided("edge_exp", "edge_exp_sub_row_f16",
-              "mode=HalfGNN: shadow half exp (e - max <= 0, in range)");
-      MTensor out = MTensor::f16(g.m(), 1);
-      charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.stream, ctx.profiled,
-                                                g.view(), vals.h(),
-                                                rowv.h(), out.h()));
-      return out;
-    }
-  }
-  throw std::logic_error("unreachable");
+    throw std::logic_error("unreachable");
+  });
 }
 
 MTensor edge_div_row(const SparseCtx& ctx, const GraphCtx& g,
                      const MTensor& vals, const MTensor& rowv) {
-  if (ctx.mode == SystemMode::kDglFloat) {
-    MTensor out = MTensor::f32(g.m(), 1);
-    charge(ctx, kernels::edge_div_row_f32(*ctx.stream, ctx.profiled, g.view(),
-                                          vals.f(), rowv.f(), out.f()));
+  return guarded(ctx, "edge_div_row", [&]() -> MTensor {
+    if (ctx.mode == SystemMode::kDglFloat) {
+      MTensor out = MTensor::f32(g.m(), 1);
+      charge(ctx, kernels::edge_div_row_f32(*ctx.stream, ctx.profiled,
+                                            g.view(), vals.f(), rowv.f(),
+                                            out.f()));
+      return out;
+    }
+    // Inputs may arrive in float (post-promotion); bring them home to half
+    // first — DGL does exactly this to invoke its half kernels (Sec. 3.1.2).
+    const MTensor vh = vals.dtype() == Dtype::kF16
+                           ? to_dtype(vals, Dtype::kF16, nullptr)
+                           : to_dtype(vals, Dtype::kF16, ctx.ledger);
+    const MTensor rh = rowv.dtype() == Dtype::kF16
+                           ? to_dtype(rowv, Dtype::kF16, nullptr)
+                           : to_dtype(rowv, Dtype::kF16, ctx.ledger);
+    MTensor out = MTensor::f16(g.m(), 1);
+    charge(ctx, kernels::edge_div_row_f16(*ctx.stream, ctx.profiled, g.view(),
+                                          vh.h(), rh.h(), out.h()));
     return out;
-  }
-  // Inputs may arrive in float (post-promotion); bring them home to half
-  // first — DGL does exactly this to invoke its half kernels (Sec. 3.1.2).
-  const MTensor vh = vals.dtype() == Dtype::kF16
-                         ? to_dtype(vals, Dtype::kF16, nullptr)
-                         : to_dtype(vals, Dtype::kF16, ctx.ledger);
-  const MTensor rh = rowv.dtype() == Dtype::kF16
-                         ? to_dtype(rowv, Dtype::kF16, nullptr)
-                         : to_dtype(rowv, Dtype::kF16, ctx.ledger);
-  MTensor out = MTensor::f16(g.m(), 1);
-  charge(ctx, kernels::edge_div_row_f16(*ctx.stream, ctx.profiled, g.view(),
-                                        vh.h(), rh.h(), out.h()));
-  return out;
+  });
 }
 
 MTensor edge_mul(const SparseCtx& ctx, const MTensor& a, const MTensor& b) {
-  MTensor out = MTensor::zeros(a.dtype(), a.rows(), a.cols());
-  if (a.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_mul_f32(*ctx.stream, ctx.profiled, a.f(), b.f(),
-                                      out.f()));
-  } else {
-    charge(ctx, kernels::edge_mul_f16(*ctx.stream, ctx.profiled, a.h(), b.h(),
-                                      out.h()));
-  }
-  return out;
+  return guarded(ctx, "edge_mul", [&]() -> MTensor {
+    MTensor out = MTensor::zeros(a.dtype(), a.rows(), a.cols());
+    if (a.dtype() == Dtype::kF32) {
+      charge(ctx, kernels::edge_mul_f32(*ctx.stream, ctx.profiled, a.f(),
+                                        b.f(), out.f()));
+    } else {
+      charge(ctx, kernels::edge_mul_f16(*ctx.stream, ctx.profiled, a.h(),
+                                        b.h(), out.h()));
+    }
+    return out;
+  });
 }
 
 MTensor edge_softmax_backward(const SparseCtx& ctx, const GraphCtx& g,
                               const MTensor& alpha, const MTensor& dalpha,
                               const MTensor& c) {
-  MTensor out = MTensor::zeros(alpha.dtype(), alpha.rows(), 1);
-  if (alpha.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_softmax_backward_f32(
-                    *ctx.stream, ctx.profiled, g.view(), alpha.f(),
-                    dalpha.f(), c.f(), out.f()));
-  } else {
-    charge(ctx, kernels::edge_softmax_backward_f16(
-                    *ctx.stream, ctx.profiled, g.view(), alpha.h(),
-                    dalpha.h(), c.h(), out.h()));
-  }
-  return out;
+  return guarded(ctx, "edge_softmax_backward", [&]() -> MTensor {
+    MTensor out = MTensor::zeros(alpha.dtype(), alpha.rows(), 1);
+    if (alpha.dtype() == Dtype::kF32) {
+      charge(ctx, kernels::edge_softmax_backward_f32(
+                      *ctx.stream, ctx.profiled, g.view(), alpha.f(),
+                      dalpha.f(), c.f(), out.f()));
+    } else {
+      charge(ctx, kernels::edge_softmax_backward_f16(
+                      *ctx.stream, ctx.profiled, g.view(), alpha.h(),
+                      dalpha.h(), c.h(), out.h()));
+    }
+    return out;
+  });
 }
 
 MTensor edge_leaky_backward(const SparseCtx& ctx, const MTensor& pre,
                             const MTensor& grad, float slope) {
-  MTensor out = MTensor::zeros(grad.dtype(), grad.rows(), 1);
-  if (grad.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_leaky_backward_f32(*ctx.stream, ctx.profiled,
-                                                 pre.f(), grad.f(), out.f(),
-                                                 slope));
-  } else {
-    charge(ctx, kernels::edge_leaky_backward_f16(*ctx.stream, ctx.profiled,
-                                                 pre.h(), grad.h(), out.h(),
-                                                 slope));
-  }
-  return out;
+  return guarded(ctx, "edge_leaky_backward", [&]() -> MTensor {
+    MTensor out = MTensor::zeros(grad.dtype(), grad.rows(), 1);
+    if (grad.dtype() == Dtype::kF32) {
+      charge(ctx, kernels::edge_leaky_backward_f32(*ctx.stream, ctx.profiled,
+                                                   pre.f(), grad.f(),
+                                                   out.f(), slope));
+    } else {
+      charge(ctx, kernels::edge_leaky_backward_f16(*ctx.stream, ctx.profiled,
+                                                   pre.h(), grad.h(),
+                                                   out.h(), slope));
+    }
+    return out;
+  });
 }
 
 MTensor edge_permute(const SparseCtx& ctx, const MTensor& in,
                      std::span<const eid_t> perm) {
-  MTensor out = MTensor::zeros(in.dtype(), in.rows(), in.cols());
-  if (in.dtype() == Dtype::kF32) {
-    charge(ctx, kernels::edge_permute_f32(*ctx.stream, ctx.profiled, in.f(),
-                                          perm, out.f()));
-  } else {
-    charge(ctx, kernels::edge_permute_f16(*ctx.stream, ctx.profiled, in.h(),
-                                          perm, out.h()));
-  }
-  return out;
+  return guarded(ctx, "edge_permute", [&]() -> MTensor {
+    MTensor out = MTensor::zeros(in.dtype(), in.rows(), in.cols());
+    if (in.dtype() == Dtype::kF32) {
+      charge(ctx, kernels::edge_permute_f32(*ctx.stream, ctx.profiled, in.f(),
+                                            perm, out.f()));
+    } else {
+      charge(ctx, kernels::edge_permute_f16(*ctx.stream, ctx.profiled, in.h(),
+                                            perm, out.h()));
+    }
+    return out;
+  });
 }
 
 }  // namespace hg::nn

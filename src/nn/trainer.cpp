@@ -76,6 +76,8 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   amp::GradScaler scaler;
   TrainResult res;
   int adam_t = 0;
+  TrainGuard guard(cfg.guard);
+  const bool use_guard = cfg.guard.enabled;
 
   obs::Span run_span(std::string("train:") + model_name(kind) + "/" +
                          mode_name(mode),
@@ -97,6 +99,8 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     // the epoch_ledger contract (one representative epoch).
     CostLedger scratch_ledger;
     SparseCtx ctx;
+    ctx.stream = cfg.stream != nullptr ? cfg.stream : &simt::default_stream();
+    ctx.guard = use_guard ? &guard : nullptr;
     ctx.mode = mode;
     ctx.profiled = (cfg.profile_first_epoch && epoch == 0) || cfg.trace;
     ctx.ledger = cfg.profile_first_epoch && epoch == 0 ? &res.epoch_ledger
@@ -108,6 +112,10 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
       // (GNNBench) vs HalfGNN's leaner integrated path.
       ctx.ledger->dispatch_us_per_kernel =
           mode == SystemMode::kHalfGnn ? 10.0 : 25.0;
+    }
+
+    if (use_guard) {
+      guard.maybe_checkpoint(epoch, model->params(), scaler, adam_t);
     }
 
     for (auto* p : model->params()) p->zero_grad();
@@ -146,7 +154,15 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     opt_span.arg("loss_scale", static_cast<double>(gscale));
 
     res.losses.push_back(lr.loss);
-    if (std::isnan(lr.loss)) ++res.nan_loss_epochs;
+    if (std::isnan(lr.loss)) {
+      if (res.first_nan_epoch < 0) res.first_nan_epoch = epoch;
+      ++res.nan_loss_epochs;
+    }
+    if (use_guard && guard.note_loss(lr.loss)) {
+      // The NaN streak hit the trigger: restore the last good checkpoint
+      // instead of training on from polluted state.
+      guard.rollback(model->params(), scaler, adam_t);
+    }
     const double acc =
         masked_accuracy(logits, d.labels, d.train_mask, 0, classes);
     res.test_accs.push_back(acc);
@@ -176,8 +192,19 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   }
   res.final_test_acc = res.test_accs.empty() ? 0.0 : res.test_accs.back();
   res.scaler_skipped = scaler.skipped_steps();
+  res.guard_retries = guard.retries();
+  res.guard_rollbacks = guard.rollbacks();
+  res.guard_fallbacks = guard.fallbacks();
+  res.guard_checkpoints = guard.checkpoints();
   run_span.arg("final_test_acc", res.final_test_acc);
   run_span.arg("scaler_skipped", static_cast<std::int64_t>(res.scaler_skipped));
+  if (use_guard) {
+    run_span.arg("guard_retries", static_cast<std::int64_t>(res.guard_retries));
+    run_span.arg("guard_rollbacks",
+                 static_cast<std::int64_t>(res.guard_rollbacks));
+    run_span.arg("guard_fallbacks",
+                 static_cast<std::int64_t>(res.guard_fallbacks));
+  }
 
   // Parameter + input memory.
   for (auto* p : model->params()) {

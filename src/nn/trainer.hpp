@@ -5,6 +5,7 @@
 #pragma once
 
 #include "amp/amp.hpp"
+#include "nn/guard.hpp"
 #include "nn/models.hpp"
 
 namespace hg::nn {
@@ -14,6 +15,12 @@ struct TrainConfig {
   float lr = 0.01f;
   int hidden = 64;  // the paper's intermediate feature length
   std::uint64_t seed = 42;
+  // Kernel stream; nullptr = simt::default_stream(). Benches and tests use
+  // this to train against a Device with its own fault configuration.
+  simt::Stream* stream = nullptr;
+  // Self-healing (nn/guard.hpp); guard.enabled=false is the historical
+  // loop, bit for bit.
+  GuardConfig guard;
   // Run epoch 0 under the SIMT cost model to obtain the per-epoch modeled
   // time (identical numerics; the model is shape-deterministic so one
   // epoch's cost represents them all).
@@ -36,6 +43,12 @@ struct TrainResult {
   std::vector<double> test_accs;
   int scaler_skipped = 0;   // optimizer steps skipped on non-finite grads
   int nan_loss_epochs = 0;  // epochs whose loss was NaN (Fig. 1c mechanism)
+  int first_nan_epoch = -1;  // epoch index of the first NaN loss; -1 = none
+  // TrainGuard activity (all zero when cfg.guard.enabled is false).
+  int guard_retries = 0;
+  int guard_rollbacks = 0;
+  int guard_fallbacks = 0;
+  int guard_checkpoints = 0;
   CostLedger epoch_ledger;  // one epoch's modeled cost, if profiled
   MemoryMeter memory;
 };

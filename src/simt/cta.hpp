@@ -96,7 +96,8 @@ class Cta {
   // A100 shared memory: up to 164 KB per SM; we give each CTA the full
   // carveout and enforce the capacity like the hardware would.
   Cta(const DeviceSpec& spec, KernelStats& ks, int cta_id, int num_warps,
-      std::size_t smem_bytes = 164 * 1024, CtaArena* arena = nullptr)
+      std::size_t smem_bytes = 164 * 1024, CtaArena* arena = nullptr,
+      detail::LaunchFaultState* faults = nullptr)
       : spec_(spec), cta_id_(cta_id), arena_(arena),
         num_warps_(num_warps), smem_bytes_(smem_bytes) {
     if (arena_ != nullptr) {
@@ -115,7 +116,7 @@ class Cta {
       warps_ = reinterpret_cast<W*>(owned_warps_.get());
     }
     for (int w = 0; w < num_warps; ++w) {
-      new (warps_ + w) W(spec, ks, w, cta_id);
+      new (warps_ + w) W(spec, ks, w, cta_id, faults);
     }
     if constexpr (Profiled) ks_ = &ks;
   }

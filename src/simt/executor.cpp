@@ -60,7 +60,8 @@ void finalize(KernelStats& ks, const DeviceSpec& spec,
 Device::Device(const DeviceSpec& spec, int threads)
     : spec_(spec),
       threads_(std::max(1, threads)),
-      scratch_(static_cast<std::size_t>(detail::kConflictShards)) {
+      scratch_(static_cast<std::size_t>(detail::kConflictShards)),
+      injector_(FaultConfig::from_env()) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int t = 0; t < threads_ - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -80,6 +81,17 @@ std::span<std::byte> Device::scratch(int slot, std::size_t bytes) {
   auto& buf = scratch_[static_cast<std::size_t>(slot)];
   if (buf.size() < bytes) buf.resize(bytes);
   return {buf.data(), bytes};
+}
+
+void Device::set_faults(FaultConfig cfg) {
+  std::lock_guard<std::mutex> guard(launch_mu_);
+  injector_ = FaultInjector(std::move(cfg));
+}
+
+detail::LaunchFaultState* Device::arm_faults(const std::string& kernel) {
+  if (!injector_.active()) return nullptr;
+  injector_.arm(kernel, fault_state_);  // throws LaunchFault on launchfail
+  return fault_state_.data_faults() ? &fault_state_ : nullptr;
 }
 
 bool Device::claim(std::uint64_t gen, int jobs, int& idx) {

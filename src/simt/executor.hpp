@@ -49,6 +49,7 @@
 
 #include "half/vec.hpp"
 #include "simt/cta.hpp"
+#include "simt/fault.hpp"
 
 namespace hg::simt {
 
@@ -178,8 +179,21 @@ class Device {
   // repeated conflict launches do not re-fault pages).
   std::span<std::byte> scratch(int slot, std::size_t bytes);
 
+  // Replaces the device's fault configuration (the default is
+  // HALFGNN_FAULTS, read at construction). Takes the launch mutex, so it
+  // must not be called from inside a kernel body.
+  void set_faults(FaultConfig cfg);
+  // The device's injector; read its totals only between launches.
+  const FaultInjector& faults() const noexcept { return injector_; }
+
  private:
   friend class Stream;
+
+  // Arms the reusable per-launch fault state for `kernel`, or returns
+  // nullptr when no data-corrupting fault applies to it (an inactive
+  // injector costs one branch). Throws LaunchFault when a launchfail
+  // clause fires. The caller must hold launch_mu_.
+  detail::LaunchFaultState* arm_faults(const std::string& kernel);
 
   void worker_loop();
   bool claim(std::uint64_t gen, int jobs, int& idx);
@@ -209,6 +223,9 @@ class Device {
   std::vector<std::vector<std::byte>> scratch_;
   // Reused launch workspace; guarded by launch_mu_.
   detail::LaunchScratch launch_scratch_;
+  // Fault injection (simt/fault.hpp); both guarded by launch_mu_.
+  FaultInjector injector_;
+  detail::LaunchFaultState fault_state_;
 };
 
 // The launch API. Kernels hold a Stream& and call launch(); SparseCtx
@@ -226,8 +243,9 @@ class Stream {
   KernelStats launch(LaunchDesc desc, Body&& body) {
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
-    KernelStats ks = run_ctas<Profiled>(desc, body);
-    return finish_launch<Profiled>(ks, t0);
+    detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
+    KernelStats ks = run_ctas<Profiled>(desc, body, flt);
+    return finish_launch<Profiled>(ks, t0, flt);
   }
 
   // Conflict launch: body(Cta<Profiled>&, std::span<T> out) writes every
@@ -238,6 +256,7 @@ class Stream {
   KernelStats launch(LaunchDesc desc, StagedOutput<T> staged, Body&& body) {
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
+    detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
 
     const int ctas = desc.ctas;
     const int shards = std::min(detail::kConflictShards, std::max(1, ctas));
@@ -277,7 +296,7 @@ class Stream {
       }
       for (int c = c0; c < c1; ++c) {
         Cta<Profiled> cta(dev_->spec(), part[su].ks, c, desc.warps_per_cta,
-                          164 * 1024, &CtaArena::local());
+                          164 * 1024, &CtaArena::local(), flt);
         body(cta, stage[su]);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[su].push_back(cc);
@@ -331,12 +350,13 @@ class Stream {
       }
       detail::finalize(ks, dev_->spec(), cta_cost);
     }
-    return finish_launch<Profiled>(ks, t0);
+    return finish_launch<Profiled>(ks, t0, flt);
   }
 
  private:
   template <bool Profiled, class Body>
-  KernelStats run_ctas(const LaunchDesc& desc, Body& body) {
+  KernelStats run_ctas(const LaunchDesc& desc, Body& body,
+                       detail::LaunchFaultState* flt) {
     const int ctas = desc.ctas;
     const int chunks =
         (ctas + detail::kCtasPerChunk - 1) / detail::kCtasPerChunk;
@@ -353,7 +373,7 @@ class Stream {
       }
       for (int c = c0; c < c1; ++c) {
         Cta<Profiled> cta(dev_->spec(), part[cu].ks, c, desc.warps_per_cta,
-                          164 * 1024, &CtaArena::local());
+                          164 * 1024, &CtaArena::local(), flt);
         body(cta);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[cu].push_back(cc);
@@ -381,10 +401,14 @@ class Stream {
 
   template <bool Profiled>
   KernelStats finish_launch(KernelStats& ks,
-                            std::chrono::steady_clock::time_point t0) {
+                            std::chrono::steady_clock::time_point t0,
+                            detail::LaunchFaultState* flt = nullptr) {
     ks.host_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
+    // Fault accounting first (injector totals + fault.* counters), then the
+    // profile — both once per launch, from this thread, in program order.
+    if (flt != nullptr) dev_->injector_.publish(ks.name, *flt);
     if constexpr (Profiled) {
       // One publish per launch, from the merged stats, on this thread.
       publish_profile(ks);

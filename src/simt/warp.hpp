@@ -40,6 +40,7 @@
 #include "half/half.hpp"
 #include "half/vec.hpp"
 #include "simt/accounting.hpp"
+#include "simt/fault.hpp"
 #include "simt/spec.hpp"
 #include "simt/stats.hpp"
 
@@ -82,9 +83,13 @@ struct WarpCounters {
 template <bool Profiled>
 class Warp {
  public:
-  Warp(const DeviceSpec& spec, KernelStats& ks, int warp_in_cta,
-       int cta_id) noexcept
-      : spec_(spec), ks_(ks), warp_in_cta_(warp_in_cta), cta_id_(cta_id) {}
+  Warp(const DeviceSpec& spec, KernelStats& ks, int warp_in_cta, int cta_id,
+       detail::LaunchFaultState* faults = nullptr) noexcept
+      : spec_(spec),
+        ks_(ks),
+        warp_in_cta_(warp_in_cta),
+        cta_id_(cta_id),
+        faults_(faults) {}
 
   Warp(const Warp&) = delete;
   Warp& operator=(const Warp&) = delete;
@@ -114,6 +119,7 @@ class Warp {
             mem[static_cast<std::size_t>(idx[l])];
       }
     }
+    if (faults_ != nullptr) fault_loaded(out, active);
     if constexpr (Profiled) account_access<T>(idx, active, /*is_load=*/true);
   }
 
@@ -131,6 +137,7 @@ class Warp {
       out[static_cast<std::size_t>(l)] =
           mem[static_cast<std::size_t>(base + l)];
     }
+    if (faults_ != nullptr) fault_loaded(out, prefix_mask(count));
     if constexpr (Profiled) {
       account_contiguous<T>(base, count, /*is_load=*/true);
     }
@@ -148,6 +155,7 @@ class Warp {
             vals[static_cast<std::size_t>(l)];
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) account_access<T>(idx, active, /*is_load=*/false);
   }
 
@@ -163,6 +171,7 @@ class Warp {
       mem[static_cast<std::size_t>(base + l)] =
           vals[static_cast<std::size_t>(l)];
     }
+    if (faults_ != nullptr) fault_stored_contiguous(mem, base, count);
     if constexpr (Profiled) {
       account_contiguous<T>(base, count, /*is_load=*/false);
     }
@@ -185,6 +194,7 @@ class Warp {
             vals[static_cast<std::size_t>(l)];
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/false,
                      contention);
@@ -203,6 +213,7 @@ class Warp {
         slot = slot + vals[static_cast<std::size_t>(l)];
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/2, /*half_cost=*/true,
                      contention);
@@ -219,6 +230,7 @@ class Warp {
         slot = h2add(slot, vals[static_cast<std::size_t>(l)]);
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/true,
                      contention);
@@ -236,6 +248,7 @@ class Warp {
         slot = std::max(slot, vals[static_cast<std::size_t>(l)]);
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/false,
                      contention);
@@ -251,6 +264,7 @@ class Warp {
         slot = hmax(slot, vals[static_cast<std::size_t>(l)]);
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/2, /*half_cost=*/true,
                      contention);
@@ -266,6 +280,7 @@ class Warp {
         slot = h2max(slot, vals[static_cast<std::size_t>(l)]);
       }
     }
+    if (faults_ != nullptr) fault_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/true,
                      contention);
@@ -402,6 +417,7 @@ class Warp {
   void finish() {
     sync();
     if constexpr (Profiled) flush();
+    if (faults_ != nullptr) flush_faults();
   }
 
  private:
@@ -437,6 +453,121 @@ class Warp {
     ks_.atomic_wait_cycles += acc_.atomic_wait_cycles;
     ks_.warp_busy_cycles += acc_.issue_cycles + acc_.mem_cycles;
     acc_ = WarpCounters{};
+  }
+
+  // ----- fault injection (see simt/fault.hpp) ------------------------------
+  // Reached only behind the `faults_ != nullptr` check at each access site,
+  // so a fault-free launch pays one pointer compare per access. Decisions
+  // hash (launch seed, cta, warp, per-warp access ordinal, lane) — nothing
+  // schedule-dependent — and counts stay warp-local until one atomic flush
+  // in finish(), preserving the executor's bit-reproducibility contract at
+  // every thread count.
+
+  std::uint64_t fault_access_key() noexcept {
+    return detail::fault_mix(faults_->flip_seed ^
+                             (static_cast<std::uint64_t>(cta_id_) << 40) ^
+                             (static_cast<std::uint64_t>(warp_in_cta_) << 32) ^
+                             fault_ctr_++);
+  }
+
+  template <class T>
+  void fault_loaded(Lanes<T>& vals, LaneMask active) {
+    if constexpr (detail::fault_flippable_v<T>) {
+      if (faults_->flip_threshold == 0) return;
+      const std::uint64_t key = fault_access_key();
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!(active >> l & 1)) continue;
+        const std::uint64_t h =
+            detail::fault_mix(key ^ static_cast<std::uint64_t>(l));
+        if (h < faults_->flip_threshold) {
+          detail::fault_flip(vals[static_cast<std::size_t>(l)],
+                             detail::fault_mix(h));
+          ++fault_flips_;
+        }
+      }
+    } else {
+      (void)vals;
+      (void)active;
+    }
+  }
+
+  template <class T>
+  void fault_stored(std::span<T> mem, const Lanes<std::int64_t>& idx,
+                    LaneMask active) {
+    if constexpr (detail::fault_flippable_v<T>) {
+      if (fault_overflow_here()) {
+        // Forced saturation dominates any bit flip on the same element.
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (active >> l & 1) {
+            detail::fault_saturate(mem[static_cast<std::size_t>(idx[l])]);
+            ++fault_overflows_;
+          }
+        }
+        return;
+      }
+      if (faults_->flip_threshold == 0) return;
+      const std::uint64_t key = fault_access_key();
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!(active >> l & 1)) continue;
+        const std::uint64_t h =
+            detail::fault_mix(key ^ static_cast<std::uint64_t>(l));
+        if (h < faults_->flip_threshold) {
+          detail::fault_flip(mem[static_cast<std::size_t>(idx[l])],
+                             detail::fault_mix(h));
+          ++fault_flips_;
+        }
+      }
+    } else {
+      (void)mem;
+      (void)idx;
+      (void)active;
+    }
+  }
+
+  template <class T>
+  void fault_stored_contiguous(std::span<T> mem, std::int64_t base,
+                               int count) {
+    if constexpr (detail::fault_flippable_v<T>) {
+      if (fault_overflow_here()) {
+        for (int l = 0; l < count; ++l) {
+          detail::fault_saturate(mem[static_cast<std::size_t>(base + l)]);
+          ++fault_overflows_;
+        }
+        return;
+      }
+      if (faults_->flip_threshold == 0 || count <= 0) return;
+      const std::uint64_t key = fault_access_key();
+      for (int l = 0; l < count; ++l) {
+        const std::uint64_t h =
+            detail::fault_mix(key ^ static_cast<std::uint64_t>(l));
+        if (h < faults_->flip_threshold) {
+          detail::fault_flip(mem[static_cast<std::size_t>(base + l)],
+                             detail::fault_mix(h));
+          ++fault_flips_;
+        }
+      }
+    } else {
+      (void)mem;
+      (void)base;
+      (void)count;
+    }
+  }
+
+  bool fault_overflow_here() const noexcept {
+    return faults_->overflow &&
+           (faults_->overflow_cta < 0 || faults_->overflow_cta == cta_id_);
+  }
+
+  void flush_faults() noexcept {
+    if (fault_flips_ != 0) {
+      faults_->flips.fetch_add(fault_flips_, std::memory_order_relaxed);
+      fault_flips_ = 0;
+    }
+    if (fault_overflows_ != 0) {
+      faults_->overflows.fetch_add(fault_overflows_,
+                                   std::memory_order_relaxed);
+      fault_overflows_ = 0;
+    }
   }
 
   template <class T>
@@ -516,6 +647,10 @@ class Warp {
   double stall_ = 0;
   double load_ilp_ = 1.0;
   int pending_loads_ = 0;
+  detail::LaunchFaultState* faults_ = nullptr;
+  std::uint64_t fault_ctr_ = 0;
+  std::uint64_t fault_flips_ = 0;
+  std::uint64_t fault_overflows_ = 0;
   WarpCounters acc_;
 };
 

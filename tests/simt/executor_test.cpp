@@ -147,6 +147,43 @@ TEST(ExecutorPool, RunJobsPropagatesWorkerExceptions) {
   EXPECT_EQ(sum, 1);
 }
 
+TEST(ExecutorPool, StreamSurvivesKernelBodyExceptions) {
+  // A kernel body that throws must not poison the device: the next launch
+  // on the same stream has to produce bits identical to a fresh device's.
+  const auto work = [](Stream& stream, std::vector<float>& out) {
+    stream.launch<false>(
+        LaunchDesc{"after_throw", 4, 1}, [&](Cta<false>& cta) {
+          const std::int64_t base = cta.cta_id() * kWarpSize;
+          cta.for_each_warp([&](Warp<false>& w) {
+            Lanes<float> v{};
+            w.load_contiguous<float>(out, base, kWarpSize, v);
+            for (int l = 0; l < kWarpSize; ++l) {
+              v[static_cast<std::size_t>(l)] += static_cast<float>(l) * 0.5f;
+            }
+            w.store_contiguous<float>(out, base, kWarpSize, v);
+          });
+        });
+  };
+  std::vector<float> fresh(4 * kWarpSize, 1.0f);
+  {
+    Device dev(DeviceSpec{}, 4);
+    Stream stream(dev);
+    work(stream, fresh);
+  }
+
+  Device dev(DeviceSpec{}, 4);
+  Stream stream(dev);
+  EXPECT_THROW(
+      stream.launch<false>(LaunchDesc{"boom", 8, 1},
+                           [&](Cta<false>&) {
+                             throw std::runtime_error("kernel body failure");
+                           }),
+      std::runtime_error);
+  std::vector<float> after(4 * kWarpSize, 1.0f);
+  work(stream, after);
+  EXPECT_EQ(after, fresh);
+}
+
 // --- determinism across thread counts ---------------------------------------
 
 struct SweepResult {

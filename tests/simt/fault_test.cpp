@@ -1,0 +1,287 @@
+// Tests for the deterministic fault injector (simt/fault.hpp): the
+// HALFGNN_FAULTS grammar, the zero-cost null-spec guarantee, cross-thread
+// bit-reproducibility of injected faults, typed launch failures, and the
+// kernel/CTA filters.
+#include "simt/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "kernels/spmm_cusparse_like.hpp"
+#include "obs/metrics.hpp"
+#include "simt/simt.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace hg::simt {
+namespace {
+
+// --- spec grammar -----------------------------------------------------------
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const FaultConfig cfg = FaultConfig::parse(
+      "bitflip:rate=1e-6,seed=7,kernel=spmm;"
+      "launchfail:every=500,kernel=spmm;"
+      "overflow:kernel=spmm,cta=12");
+  EXPECT_TRUE(cfg.active());
+  ASSERT_EQ(cfg.bitflips.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.bitflips[0].rate, 1e-6);
+  EXPECT_EQ(cfg.bitflips[0].seed, 7u);
+  EXPECT_EQ(cfg.bitflips[0].kernel, "spmm");
+  EXPECT_GT(cfg.bitflips[0].threshold, 0u);
+  ASSERT_EQ(cfg.launchfails.size(), 1u);
+  EXPECT_EQ(cfg.launchfails[0].every, 500u);
+  EXPECT_EQ(cfg.launchfails[0].kernel, "spmm");
+  ASSERT_EQ(cfg.overflows.size(), 1u);
+  EXPECT_EQ(cfg.overflows[0].kernel, "spmm");
+  EXPECT_EQ(cfg.overflows[0].cta, 12);
+}
+
+TEST(FaultSpec, EmptyAndWhitespaceSpecsAreInactive) {
+  EXPECT_FALSE(FaultConfig::parse("").active());
+  EXPECT_FALSE(FaultConfig::parse("  ").active());
+  EXPECT_FALSE(FaultConfig::parse(" ; ; ").active());
+}
+
+TEST(FaultSpec, RateOneSaturatesTheHashThreshold) {
+  const FaultConfig cfg = FaultConfig::parse("bitflip:rate=1,seed=3");
+  ASSERT_EQ(cfg.bitflips.size(), 1u);
+  EXPECT_EQ(cfg.bitflips[0].threshold,
+            std::numeric_limits<std::uint64_t>::max());
+  // rate=0 is legal but can never fire.
+  EXPECT_EQ(FaultConfig::parse("bitflip:rate=0").bitflips[0].threshold, 0u);
+}
+
+TEST(FaultSpec, RejectsMalformedClauses) {
+  EXPECT_THROW(FaultConfig::parse("frobnicate:rate=1"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("bitflip"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("bitflip:seed=3"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("bitflip:rate=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("bitflip:rate=-1"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("bitflip:rate=1,bogus=2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("launchfail:kernel=x"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("launchfail:every=0"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("overflow:cta=notanumber"),
+               std::invalid_argument);
+}
+
+TEST(FaultSpec, FromEnvReadsHalfgnnFaults) {
+  setenv("HALFGNN_FAULTS", "bitflip:rate=0.25,seed=9", 1);
+  const FaultConfig cfg = FaultConfig::from_env();
+  ASSERT_EQ(cfg.bitflips.size(), 1u);
+  EXPECT_DOUBLE_EQ(cfg.bitflips[0].rate, 0.25);
+  unsetenv("HALFGNN_FAULTS");
+  EXPECT_FALSE(FaultConfig::from_env().active());
+}
+
+// --- a minimal copy kernel for targeted injection ---------------------------
+
+constexpr int kCopyCtas = 4;
+constexpr int kCopyElems = kCopyCtas * kWarpSize;
+
+// Each CTA copies its 32-element segment: one contiguous load + store per
+// warp, the exact Warp hooks the injector intercepts.
+std::vector<half_t> run_copy(Device& dev, const char* name = "copytest") {
+  Stream stream(dev);
+  AlignedVec<half_t> in(kCopyElems);
+  for (int i = 0; i < kCopyElems; ++i) {
+    in[static_cast<std::size_t>(i)] =
+        half_t(0.5f + 0.001f * static_cast<float>(i));
+  }
+  AlignedVec<half_t> out(kCopyElems);
+  stream.launch<false>(
+      LaunchDesc{name, kCopyCtas, 1}, [&](Cta<false>& cta) {
+        const std::int64_t base = cta.cta_id() * kWarpSize;
+        cta.for_each_warp([&](Warp<false>& w) {
+          Lanes<half_t> v{};
+          w.load_contiguous<half_t>(in, base, kWarpSize, v);
+          w.store_contiguous<half_t>(out, base, kWarpSize, v);
+        });
+      });
+  return {out.begin(), out.end()};
+}
+
+TEST(Fault, NullAndZeroRateSpecsAreByteIdentical) {
+  Device clean(DeviceSpec{}, 2);
+  const auto base = run_copy(clean);
+
+  Device null_spec(DeviceSpec{}, 2);
+  null_spec.set_faults(FaultConfig::parse(""));
+  EXPECT_EQ(run_copy(null_spec), base);
+  EXPECT_EQ(null_spec.faults().launches_seen(), 0u);
+
+  // A zero-rate clause arms every launch but can never flip a bit.
+  Device zero_rate(DeviceSpec{}, 2);
+  zero_rate.set_faults(FaultConfig::parse("bitflip:rate=0,seed=5"));
+  EXPECT_EQ(run_copy(zero_rate), base);
+  EXPECT_EQ(zero_rate.faults().launches_seen(), 1u);
+  EXPECT_EQ(zero_rate.faults().total_bitflips(), 0u);
+}
+
+TEST(Fault, BitflipsCorruptDataAndAreCounted) {
+  Device clean(DeviceSpec{}, 2);
+  const auto base = run_copy(clean);
+
+  Device faulted(DeviceSpec{}, 2);
+  faulted.set_faults(FaultConfig::parse("bitflip:rate=0.05,seed=11"));
+  const auto hit = run_copy(faulted);
+  EXPECT_NE(hit, base);
+  EXPECT_GT(faulted.faults().total_bitflips(), 0u);
+  // A flip changes exactly one bit: every corrupted element differs from
+  // the clean value in a power-of-two XOR of its bit pattern, unless the
+  // same element was hit twice (load + store are independent draws).
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].bits() != hit[i].bits()) ++diffs;
+  }
+  EXPECT_GT(diffs, 0u);
+  EXPECT_LE(diffs, faulted.faults().total_bitflips());
+}
+
+TEST(Fault, SameSeedReproducesSameCorruption) {
+  Device a(DeviceSpec{}, 2);
+  a.set_faults(FaultConfig::parse("bitflip:rate=0.05,seed=11"));
+  Device b(DeviceSpec{}, 2);
+  b.set_faults(FaultConfig::parse("bitflip:rate=0.05,seed=11"));
+  EXPECT_EQ(run_copy(a), run_copy(b));
+
+  Device c(DeviceSpec{}, 2);
+  c.set_faults(FaultConfig::parse("bitflip:rate=0.05,seed=12"));
+  EXPECT_NE(run_copy(a), run_copy(c));  // seed is load-bearing
+}
+
+TEST(Fault, KernelFilterRestrictsInjection) {
+  Device clean(DeviceSpec{}, 2);
+  const auto base = run_copy(clean);
+
+  Device miss(DeviceSpec{}, 2);
+  miss.set_faults(FaultConfig::parse("bitflip:rate=1,kernel=spmm"));
+  EXPECT_EQ(run_copy(miss), base);
+  EXPECT_EQ(miss.faults().total_bitflips(), 0u);
+
+  Device match(DeviceSpec{}, 2);
+  match.set_faults(FaultConfig::parse("bitflip:rate=1,kernel=copy"));
+  EXPECT_NE(run_copy(match), base);
+  EXPECT_GT(match.faults().total_bitflips(), 0u);
+}
+
+TEST(Fault, OverflowSaturatesStoresToInf) {
+  Device dev(DeviceSpec{}, 2);
+  dev.set_faults(FaultConfig::parse("overflow:kernel=copytest"));
+  const auto out = run_copy(dev);
+  for (const auto v : out) {
+    EXPECT_TRUE(std::isinf(v.to_float())) << v.to_float();
+  }
+  EXPECT_EQ(dev.faults().total_overflows(),
+            static_cast<std::uint64_t>(kCopyElems));
+}
+
+TEST(Fault, OverflowCtaFilterTargetsOneCta) {
+  Device dev(DeviceSpec{}, 2);
+  dev.set_faults(FaultConfig::parse("overflow:kernel=copytest,cta=2"));
+  const auto out = run_copy(dev);
+  for (int i = 0; i < kCopyElems; ++i) {
+    const bool in_cta2 = i / kWarpSize == 2;
+    EXPECT_EQ(std::isinf(out[static_cast<std::size_t>(i)].to_float()),
+              in_cta2)
+        << "elem " << i;
+  }
+  EXPECT_EQ(dev.faults().total_overflows(),
+            static_cast<std::uint64_t>(kWarpSize));
+}
+
+TEST(Fault, LaunchfailThrowsTypedFaultAndStreamSurvives) {
+  Device dev(DeviceSpec{}, 2);
+  dev.set_faults(FaultConfig::parse("launchfail:every=3,kernel=copytest"));
+  Device clean(DeviceSpec{}, 2);
+  const auto base = run_copy(clean);
+
+  EXPECT_EQ(run_copy(dev), base);  // launch 1
+  EXPECT_EQ(run_copy(dev), base);  // launch 2
+  try {
+    run_copy(dev);  // launch 3: fails before any output byte is written
+    FAIL() << "expected LaunchFault";
+  } catch (const LaunchFault& f) {
+    EXPECT_EQ(f.kernel(), "copytest");
+    EXPECT_EQ(f.ordinal(), 2u);  // zero-based launch ordinal
+  }
+  EXPECT_EQ(dev.faults().total_launchfails(), 1u);
+  // The device stays usable and the retry (launch 4) succeeds.
+  EXPECT_EQ(run_copy(dev), base);
+  EXPECT_EQ(dev.faults().launches_seen(), 4u);
+}
+
+TEST(Fault, RegistryCountersRecordInjections) {
+  auto& reg = obs::registry();
+  reg.reset();
+  reg.set_enabled(true);
+  Device dev(DeviceSpec{}, 2);
+  dev.set_faults(FaultConfig::parse(
+      "bitflip:rate=0.05,seed=11;overflow:kernel=copytest,cta=0"));
+  run_copy(dev);
+  const std::string json = reg.to_json().dump();
+  reg.set_enabled(false);
+  reg.reset();
+  EXPECT_NE(json.find("fault.bitflip"), std::string::npos);
+  EXPECT_NE(json.find("fault.bitflip.copytest"), std::string::npos);
+  EXPECT_NE(json.find("fault.overflow"), std::string::npos);
+}
+
+// --- cross-thread determinism on a real kernel -------------------------------
+
+// The executor's determinism contract extends to injected faults: a fixed
+// spec + seed must be bit-reproducible at every HALFGNN_THREADS, including
+// through the staged (conflict-shard) SpMM path.
+std::vector<std::uint16_t> run_faulted_spmm(int threads, const char* spec) {
+  Rng rng(4321);
+  Coo raw = erdos_renyi(400, 6000, rng);
+  plant_hubs(raw, 2, 150, rng);
+  const Csr csr = coo_to_csr(raw);
+  const Coo coo = csr_to_coo(csr);
+  const auto g = kernels::view(csr, coo);
+  const auto n = static_cast<std::size_t>(csr.num_vertices);
+  const auto m = static_cast<std::size_t>(csr.num_edges());
+  const int feat = 32;
+  const auto f = static_cast<std::size_t>(feat);
+
+  AlignedVec<half_t> xh(n * f);
+  for (auto& v : xh) v = half_t(rng.next_float() * 2 - 1);
+  AlignedVec<half_t> wh(m);
+  for (auto& v : wh) v = half_t(rng.next_float() * 2 - 1);
+
+  Device dev(a100_spec(), threads);
+  dev.set_faults(FaultConfig::parse(spec));
+  Stream stream(dev);
+  AlignedVec<half_t> yh(n * f);
+  kernels::spmm_cusparse_f16(stream, true, g, wh, xh, yh, feat,
+                             kernels::Reduce::kSum);
+
+  std::vector<std::uint16_t> bits;
+  bits.reserve(yh.size());
+  for (const auto v : yh) bits.push_back(v.bits());
+  return bits;
+}
+
+TEST(FaultDeterminism, InjectedRunBitIdenticalAcrossThreadCounts) {
+  const char* spec = "bitflip:rate=2e-4,seed=17";
+  const auto base = run_faulted_spmm(1, spec);
+  const auto clean = run_faulted_spmm(1, "");
+  ASSERT_NE(base, clean);  // the spec actually injected something
+  for (const int threads : {2, 7, 16}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run_faulted_spmm(threads, spec), base);
+  }
+}
+
+}  // namespace
+}  // namespace hg::simt
