@@ -46,11 +46,11 @@ Geometry make_geometry(int feat, int edges_per_warp) {
 // Per-CTA shared-memory views (paper Fig. 4).
 template <bool P>
 struct Smem {
-  std::span<vid_t> rows;    // cached NZE row ids
-  std::span<vid_t> cols;    // cached NZE col ids
-  std::span<half2> w2;      // mirrored edge features, one half2 per edge
-  std::span<vid_t> brow;    // boundary-partial row ids (-1 = empty)
-  std::span<half2> bval;    // boundary-partial feature vectors
+  simt::SmemSpan<vid_t> rows;  // cached NZE row ids
+  simt::SmemSpan<vid_t> cols;  // cached NZE col ids
+  simt::SmemSpan<half2> w2;    // mirrored edge features, one half2 per edge
+  simt::SmemSpan<vid_t> brow;  // boundary-partial row ids (-1 = empty)
+  simt::SmemSpan<half2> bval;  // boundary-partial feature vectors
 
   static Smem alloc(Cta<P>& cta, const Geometry& geo, int warps, bool has_w) {
     Smem s;
@@ -133,7 +133,7 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
         const eid_t cta_e0 = static_cast<eid_t>(cta.cta_id()) * edges_per_cta;
         const eid_t cta_e1 = std::min<eid_t>(m, cta_e0 + edges_per_cta);
         Smem<P> sm = Smem<P>::alloc(cta, geo, kWarpsPerCta, has_w);
-        for (auto& r : sm.brow) r = -1;
+        sm.brow.fill(-1);
 
         // ---- Phase 1: explicit NZE + edge-feature load (Sec. 4.1.1) ----
         cta.for_each_warp([&](Warp<P>& w) {

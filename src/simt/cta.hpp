@@ -19,9 +19,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -93,11 +95,13 @@ class Cta {
                 "inline warp storage skips destructor calls");
 
  public:
-  // A100 shared memory: up to 164 KB per SM; we give each CTA the full
-  // carveout and enforce the capacity like the hardware would.
+  // Shared-memory capacity defaults to DeviceSpec::smem_bytes (A100: up to
+  // 164 KB per SM); we give each CTA the full carveout and enforce the
+  // capacity like the hardware would.
   Cta(const DeviceSpec& spec, KernelStats& ks, int cta_id, int num_warps,
-      std::size_t smem_bytes = 164 * 1024, CtaArena* arena = nullptr,
-      detail::LaunchFaultState* faults = nullptr)
+      std::size_t smem_bytes, CtaArena* arena = nullptr,
+      detail::LaunchFaultState* faults = nullptr,
+      detail::LaunchSanState* san = nullptr)
       : spec_(spec), cta_id_(cta_id), arena_(arena),
         num_warps_(num_warps), smem_bytes_(smem_bytes) {
     if (arena_ != nullptr) {
@@ -106,6 +110,10 @@ class Cta {
     } else {
       owned_smem_.resize(smem_bytes);
       smem_data_ = owned_smem_.data();
+    }
+    if (san != nullptr) {
+      san_ = &detail::CtaSan::local();
+      san_->begin(*san, cta_id);
     }
     using W = Warp<Profiled>;
     if (num_warps <= kInlineWarps) {
@@ -116,10 +124,13 @@ class Cta {
       warps_ = reinterpret_cast<W*>(owned_warps_.get());
     }
     for (int w = 0; w < num_warps; ++w) {
-      new (warps_ + w) W(spec, ks, w, cta_id, faults);
+      new (warps_ + w) W(spec, ks, w, cta_id, faults, san_);
     }
     if constexpr (Profiled) ks_ = &ks;
   }
+
+  Cta(const DeviceSpec& spec, KernelStats& ks, int cta_id, int num_warps)
+      : Cta(spec, ks, cta_id, num_warps, spec.smem_bytes) {}
 
   Cta(const Cta&) = delete;
   Cta& operator=(const Cta&) = delete;
@@ -132,7 +143,7 @@ class Cta {
   // contents persist for the CTA's lifetime (across phases), like real
   // __shared__ declarations.
   template <class T>
-  std::span<T> shared(std::size_t n) {
+  SmemSpan<T> shared(std::size_t n) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "shared memory holds PODs only");
     const std::size_t align = alignof(T) < 8 ? 8 : alignof(T);
@@ -140,12 +151,21 @@ class Cta {
     const std::size_t bytes = n * sizeof(T);
     if (smem_used_ + bytes > smem_bytes_) {
       throw std::runtime_error(
-          "Cta::shared: shared-memory capacity exceeded (164 KB)");
+          "Cta::shared: shared-memory capacity exceeded: requested " +
+          std::to_string(bytes) + " B with " + std::to_string(smem_used_) +
+          " B already allocated of " + std::to_string(smem_bytes_) +
+          " B capacity");
     }
-    T* p = reinterpret_cast<T*>(smem_data_ + smem_used_);
+    const std::size_t off = smem_used_;
+    T* p = reinterpret_cast<T*>(smem_data_ + off);
     smem_used_ += bytes;
     for (std::size_t i = 0; i < n; ++i) new (p + i) T{};
-    return {p, n};
+    if (san_ != nullptr) {
+      san_->on_shared_alloc(static_cast<std::uint32_t>(off),
+                            static_cast<std::uint32_t>(bytes));
+      return SmemSpan<T>(p, n, san_, static_cast<std::uint32_t>(off));
+    }
+    return SmemSpan<T>(p, n, nullptr, 0);
   }
 
   // Kernel workspace with CTA lifetime but no shared-memory capacity
@@ -173,12 +193,18 @@ class Cta {
   // Run `f(Warp&)` for every warp of the CTA (one barrier-free phase).
   template <class F>
   void for_each_warp(F&& f) {
-    for (int w = 0; w < num_warps_; ++w) f(warps_[w]);
+    if (san_ != nullptr) san_->begin_phase();
+    for (int w = 0; w < num_warps_; ++w) {
+      if (san_ != nullptr) san_->set_warp(w);
+      f(warps_[w]);
+    }
+    if (san_ != nullptr) san_->end_phase();
   }
 
   // __syncthreads(): all warps advance to the slowest warp, plus the
   // barrier cost; pending load latency is exposed.
   void barrier() {
+    if (san_ != nullptr) san_->on_barrier();
     for (int w = 0; w < num_warps_; ++w) warps_[w].sync();
     if constexpr (Profiled) {
       double mi = 0, mm = 0, ms = 0;
@@ -224,6 +250,7 @@ class Cta {
   std::vector<std::byte> owned_smem_;
   std::vector<std::unique_ptr<std::byte[]>> owned_scratch_;
   KernelStats* ks_ = nullptr;
+  detail::CtaSan* san_ = nullptr;
 };
 
 }  // namespace hg::simt

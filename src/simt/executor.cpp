@@ -61,7 +61,8 @@ Device::Device(const DeviceSpec& spec, int threads)
     : spec_(spec),
       threads_(std::max(1, threads)),
       scratch_(static_cast<std::size_t>(detail::kConflictShards)),
-      injector_(FaultConfig::from_env()) {
+      injector_(FaultConfig::from_env()),
+      sanitizer_(SanitizerConfig::from_env()) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int t = 0; t < threads_ - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -92,6 +93,17 @@ detail::LaunchFaultState* Device::arm_faults(const std::string& kernel) {
   if (!injector_.active()) return nullptr;
   injector_.arm(kernel, fault_state_);  // throws LaunchFault on launchfail
   return fault_state_.data_faults() ? &fault_state_ : nullptr;
+}
+
+void Device::set_sanitizer(SanitizerConfig cfg) {
+  std::lock_guard<std::mutex> guard(launch_mu_);
+  sanitizer_ = Sanitizer(cfg);
+}
+
+detail::LaunchSanState* Device::arm_sanitizer(const std::string& kernel,
+                                              int ctas) {
+  if (!sanitizer_.active()) return nullptr;
+  return sanitizer_.arm(kernel, ctas);
 }
 
 bool Device::claim(std::uint64_t gen, int jobs, int& idx) {

@@ -50,6 +50,7 @@
 #include "half/vec.hpp"
 #include "simt/cta.hpp"
 #include "simt/fault.hpp"
+#include "simt/sanitizer.hpp"
 
 namespace hg::simt {
 
@@ -186,6 +187,16 @@ class Device {
   // The device's injector; read its totals only between launches.
   const FaultInjector& faults() const noexcept { return injector_; }
 
+  // Replaces the device's sanitizer (the default configuration is
+  // HALFGNN_SANITIZE, read at construction). Takes the launch mutex, so it
+  // must not be called from inside a kernel body. Resets collected
+  // violations and the launch ordinal.
+  void set_sanitizer(SanitizerConfig cfg);
+  // The device's hazard collector; read its violations only between
+  // launches.
+  const Sanitizer& sanitizer() const noexcept { return sanitizer_; }
+  Sanitizer& sanitizer() noexcept { return sanitizer_; }
+
  private:
   friend class Stream;
 
@@ -194,6 +205,12 @@ class Device {
   // injector costs one branch). Throws LaunchFault when a launchfail
   // clause fires. The caller must hold launch_mu_.
   detail::LaunchFaultState* arm_faults(const std::string& kernel);
+
+  // Arms the reusable per-launch sanitizer state, or returns nullptr when
+  // the sanitizer is inactive (the common case costs one branch here and
+  // one null-check per instrumented access). The caller must hold
+  // launch_mu_.
+  detail::LaunchSanState* arm_sanitizer(const std::string& kernel, int ctas);
 
   void worker_loop();
   bool claim(std::uint64_t gen, int jobs, int& idx);
@@ -226,6 +243,8 @@ class Device {
   // Fault injection (simt/fault.hpp); both guarded by launch_mu_.
   FaultInjector injector_;
   detail::LaunchFaultState fault_state_;
+  // Hazard analysis (simt/sanitizer.hpp); guarded by launch_mu_.
+  Sanitizer sanitizer_;
 };
 
 // The launch API. Kernels hold a Stream& and call launch(); SparseCtx
@@ -244,8 +263,9 @@ class Stream {
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
     detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
-    KernelStats ks = run_ctas<Profiled>(desc, body, flt);
-    return finish_launch<Profiled>(ks, t0, flt);
+    detail::LaunchSanState* san = dev_->arm_sanitizer(desc.name, desc.ctas);
+    KernelStats ks = run_ctas<Profiled>(desc, body, flt, san);
+    return finish_launch<Profiled>(ks, t0, flt, san);
   }
 
   // Conflict launch: body(Cta<Profiled>&, std::span<T> out) writes every
@@ -257,6 +277,7 @@ class Stream {
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
     detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
+    detail::LaunchSanState* san = dev_->arm_sanitizer(desc.name, desc.ctas);
 
     const int ctas = desc.ctas;
     const int shards = std::min(detail::kConflictShards, std::max(1, ctas));
@@ -281,6 +302,25 @@ class Stream {
       stage[su] = {reinterpret_cast<T*>(bytes.data()), staged.dst.size()};
     }
 
+    // Declare the staged layout to the conflict checker: per-shard staging
+    // address ranges (to translate plain stores back to logical offsets),
+    // the declared windows in bytes, and each shard's CTA range.
+    if (san != nullptr) {
+      san->policy = static_cast<int>(staged.policy);
+      san->elem_bytes = sizeof(T);
+      san->shards.resize(static_cast<std::size_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        const auto su = static_cast<std::size_t>(s);
+        detail::SanShardInfo& sh = san->shards[su];
+        sh.stage_lo = reinterpret_cast<std::uint64_t>(stage[su].data());
+        sh.stage_hi = sh.stage_lo + stage[su].size() * sizeof(T);
+        sh.win_lo = win[su].first * sizeof(T);
+        sh.win_hi = win[su].second * sizeof(T);
+        sh.cta_begin = shard_begin(s);
+        sh.cta_end = shard_begin(s + 1);
+      }
+    }
+
     const T identity = detail::staged_identity<T>(staged.policy);
     auto& part = ls.part;
     auto& cost = ls.cost;
@@ -296,7 +336,8 @@ class Stream {
       }
       for (int c = c0; c < c1; ++c) {
         Cta<Profiled> cta(dev_->spec(), part[su].ks, c, desc.warps_per_cta,
-                          164 * 1024, &CtaArena::local(), flt);
+                          dev_->spec().smem_bytes, &CtaArena::local(), flt,
+                          san);
         body(cta, stage[su]);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[su].push_back(cc);
@@ -350,13 +391,14 @@ class Stream {
       }
       detail::finalize(ks, dev_->spec(), cta_cost);
     }
-    return finish_launch<Profiled>(ks, t0, flt);
+    return finish_launch<Profiled>(ks, t0, flt, san);
   }
 
  private:
   template <bool Profiled, class Body>
   KernelStats run_ctas(const LaunchDesc& desc, Body& body,
-                       detail::LaunchFaultState* flt) {
+                       detail::LaunchFaultState* flt,
+                       detail::LaunchSanState* san) {
     const int ctas = desc.ctas;
     const int chunks =
         (ctas + detail::kCtasPerChunk - 1) / detail::kCtasPerChunk;
@@ -373,7 +415,8 @@ class Stream {
       }
       for (int c = c0; c < c1; ++c) {
         Cta<Profiled> cta(dev_->spec(), part[cu].ks, c, desc.warps_per_cta,
-                          164 * 1024, &CtaArena::local(), flt);
+                          dev_->spec().smem_bytes, &CtaArena::local(), flt,
+                          san);
         body(cta);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[cu].push_back(cc);
@@ -402,13 +445,16 @@ class Stream {
   template <bool Profiled>
   KernelStats finish_launch(KernelStats& ks,
                             std::chrono::steady_clock::time_point t0,
-                            detail::LaunchFaultState* flt = nullptr) {
+                            detail::LaunchFaultState* flt = nullptr,
+                            detail::LaunchSanState* san = nullptr) {
     ks.host_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
     // Fault accounting first (injector totals + fault.* counters), then the
-    // profile — both once per launch, from this thread, in program order.
+    // sanitizer merge, then the profile — each once per launch, from this
+    // thread, in program order.
     if (flt != nullptr) dev_->injector_.publish(ks.name, *flt);
+    if (san != nullptr) dev_->sanitizer_.finish_launch(*san);
     if constexpr (Profiled) {
       // One publish per launch, from the merged stats, on this thread.
       publish_profile(ks);

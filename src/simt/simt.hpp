@@ -1,11 +1,12 @@
 // Umbrella header for the SIMT execution simulator.
 #pragma once
 
-#include "simt/cta.hpp"       // IWYU pragma: export
-#include "simt/executor.hpp"  // IWYU pragma: export
-#include "simt/spec.hpp"      // IWYU pragma: export
-#include "simt/stats.hpp"   // IWYU pragma: export
-#include "simt/warp.hpp"    // IWYU pragma: export
+#include "simt/cta.hpp"        // IWYU pragma: export
+#include "simt/executor.hpp"   // IWYU pragma: export
+#include "simt/sanitizer.hpp"  // IWYU pragma: export
+#include "simt/spec.hpp"       // IWYU pragma: export
+#include "simt/stats.hpp"      // IWYU pragma: export
+#include "simt/warp.hpp"       // IWYU pragma: export
 
 namespace hg::simt {
 

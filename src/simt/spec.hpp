@@ -11,6 +11,7 @@
 //     CAS-loop penalty the paper measures (Sec. 3.1.1, 6.3.2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace hg::simt {
@@ -38,6 +39,9 @@ struct DeviceSpec {
   double peak_bw_gbps = 1555.0;
   int sector_bytes = 32;                // DRAM transaction granularity
   int max_sectors_per_instr = 16;       // one 512B half8 warp load
+  // Shared-memory carveout per CTA (A100: up to 164 KB of an SM's unified
+  // cache); Cta::shared enforces it like the hardware would.
+  std::size_t smem_bytes = 164 * 1024;
 
   // Memory-system costs (cycles, per warp).
   double ld_issue_cycles = 4.0;    // fixed cost of one load/store instruction

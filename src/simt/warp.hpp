@@ -41,10 +41,24 @@
 #include "half/vec.hpp"
 #include "simt/accounting.hpp"
 #include "simt/fault.hpp"
+#include "simt/sanitizer.hpp"
 #include "simt/spec.hpp"
 #include "simt/stats.hpp"
 
 namespace hg::simt {
+
+namespace detail {
+
+// Natural alignment the memcheck checker enforces for packed vector types
+// (the as_vec contract of paper Sec. 5.1.2); 0 = no requirement.
+template <class T>
+inline constexpr std::size_t san_align_v =
+    std::is_same_v<T, half2> || std::is_same_v<T, half4> ||
+            std::is_same_v<T, half8>
+        ? sizeof(T)
+        : 0;
+
+}  // namespace detail
 
 using LaneMask = std::uint32_t;
 inline constexpr LaneMask kFullMask = 0xFFFFFFFFu;
@@ -84,12 +98,14 @@ template <bool Profiled>
 class Warp {
  public:
   Warp(const DeviceSpec& spec, KernelStats& ks, int warp_in_cta, int cta_id,
-       detail::LaunchFaultState* faults = nullptr) noexcept
+       detail::LaunchFaultState* faults = nullptr,
+       detail::CtaSan* san = nullptr) noexcept
       : spec_(spec),
         ks_(ks),
         warp_in_cta_(warp_in_cta),
         cta_id_(cta_id),
-        faults_(faults) {}
+        faults_(faults),
+        san_(san) {}
 
   Warp(const Warp&) = delete;
   Warp& operator=(const Warp&) = delete;
@@ -111,6 +127,10 @@ class Warp {
   template <class T>
   void gather(std::span<const T> mem, const Lanes<std::int64_t>& idx,
               LaneMask active, Lanes<T>& out) {
+    if (san_ != nullptr) {
+      active = san_check_lanes<T>(mem.data(), mem.size(), idx, active,
+                                  /*is_load=*/true);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         assert(idx[l] >= 0 &&
@@ -128,6 +148,10 @@ class Warp {
   template <class T>
   void load_contiguous(std::span<const T> mem, std::int64_t base, int count,
                        Lanes<T>& out) {
+    if (san_ != nullptr) {
+      count = san_check_range<T>(mem.data(), mem.size(), base, count,
+                                 /*is_load=*/true);
+    }
     assert(count >= 0 && count <= kWarpSize);
     assert(count == 0 ||
            (base >= 0 && static_cast<std::size_t>(base) +
@@ -147,6 +171,11 @@ class Warp {
   template <class T>
   void scatter(std::span<T> mem, const Lanes<std::int64_t>& idx,
                LaneMask active, const Lanes<T>& vals) {
+    if (san_ != nullptr) {
+      active = san_check_lanes<T>(mem.data(), mem.size(), idx, active,
+                                  /*is_load=*/false);
+      san_note_scatter<T>(mem.data(), idx, active);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         assert(idx[l] >= 0 &&
@@ -162,6 +191,11 @@ class Warp {
   template <class T>
   void store_contiguous(std::span<T> mem, std::int64_t base, int count,
                         const Lanes<T>& vals) {
+    if (san_ != nullptr) {
+      count = san_check_range<T>(mem.data(), mem.size(), base, count,
+                                 /*is_load=*/false);
+      san_note_store_range<T>(mem.data(), base, count);
+    }
     assert(count >= 0 && count <= kWarpSize);
     assert(count == 0 ||
            (base >= 0 && static_cast<std::size_t>(base) +
@@ -188,6 +222,12 @@ class Warp {
   void atomic_add(std::span<float> mem, const Lanes<std::int64_t>& idx,
                   LaneMask active, const Lanes<float>& vals,
                   int contention = 1) {
+    if (san_ != nullptr) {
+      // Atomics are race-free RMWs on hardware: bounds-checked, never
+      // recorded as plain-store conflicts.
+      active = san_check_lanes<typename decltype(mem)::element_type>(
+          mem.data(), mem.size(), idx, active, /*is_load=*/false);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         mem[static_cast<std::size_t>(idx[l])] +=
@@ -207,6 +247,12 @@ class Warp {
   void atomic_add(std::span<half_t> mem, const Lanes<std::int64_t>& idx,
                   LaneMask active, const Lanes<half_t>& vals,
                   int contention = 1) {
+    if (san_ != nullptr) {
+      // Atomics are race-free RMWs on hardware: bounds-checked, never
+      // recorded as plain-store conflicts.
+      active = san_check_lanes<typename decltype(mem)::element_type>(
+          mem.data(), mem.size(), idx, active, /*is_load=*/false);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         half_t& slot = mem[static_cast<std::size_t>(idx[l])];
@@ -224,6 +270,12 @@ class Warp {
   void atomic_add(std::span<half2> mem, const Lanes<std::int64_t>& idx,
                   LaneMask active, const Lanes<half2>& vals,
                   int contention = 1) {
+    if (san_ != nullptr) {
+      // Atomics are race-free RMWs on hardware: bounds-checked, never
+      // recorded as plain-store conflicts.
+      active = san_check_lanes<typename decltype(mem)::element_type>(
+          mem.data(), mem.size(), idx, active, /*is_load=*/false);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         half2& slot = mem[static_cast<std::size_t>(idx[l])];
@@ -242,6 +294,12 @@ class Warp {
   void atomic_max(std::span<float> mem, const Lanes<std::int64_t>& idx,
                   LaneMask active, const Lanes<float>& vals,
                   int contention = 1) {
+    if (san_ != nullptr) {
+      // Atomics are race-free RMWs on hardware: bounds-checked, never
+      // recorded as plain-store conflicts.
+      active = san_check_lanes<typename decltype(mem)::element_type>(
+          mem.data(), mem.size(), idx, active, /*is_load=*/false);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         float& slot = mem[static_cast<std::size_t>(idx[l])];
@@ -258,6 +316,12 @@ class Warp {
   void atomic_max(std::span<half_t> mem, const Lanes<std::int64_t>& idx,
                   LaneMask active, const Lanes<half_t>& vals,
                   int contention = 1) {
+    if (san_ != nullptr) {
+      // Atomics are race-free RMWs on hardware: bounds-checked, never
+      // recorded as plain-store conflicts.
+      active = san_check_lanes<typename decltype(mem)::element_type>(
+          mem.data(), mem.size(), idx, active, /*is_load=*/false);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         half_t& slot = mem[static_cast<std::size_t>(idx[l])];
@@ -274,6 +338,12 @@ class Warp {
   void atomic_max(std::span<half2> mem, const Lanes<std::int64_t>& idx,
                   LaneMask active, const Lanes<half2>& vals,
                   int contention = 1) {
+    if (san_ != nullptr) {
+      // Atomics are race-free RMWs on hardware: bounds-checked, never
+      // recorded as plain-store conflicts.
+      active = san_check_lanes<typename decltype(mem)::element_type>(
+          mem.data(), mem.size(), idx, active, /*is_load=*/false);
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active >> l & 1) {
         half2& slot = mem[static_cast<std::size_t>(idx[l])];
@@ -570,6 +640,103 @@ class Warp {
     }
   }
 
+  // ----- sanitizer hooks (see simt/sanitizer.hpp) --------------------------
+  // Reached only behind the `san_ != nullptr` check at each access site, so
+  // a launch without a sanitizer pays one pointer compare per access.
+  // Memcheck masks faulty lanes out (the access is skipped, like
+  // compute-sanitizer's error-and-continue), so a planted bug cannot turn
+  // into host UB; racecheck records plain-store byte intervals the
+  // calling thread analyzes after the launch.
+
+  template <class T>
+  LaneMask san_check_lanes(const void* base, std::size_t elems,
+                           const Lanes<std::int64_t>& idx, LaneMask active,
+                           bool is_load) {
+    if (!san_->armed(kSanMem)) return active;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!(active >> l & 1)) continue;
+      const std::int64_t i = idx[static_cast<std::size_t>(l)];
+      if (i < 0 || static_cast<std::size_t>(i) >= elems) {
+        san_->oob(base, elems, sizeof(T), i, l, is_load);
+        active &= ~(LaneMask{1} << l);
+      } else if constexpr (detail::san_align_v<T> != 0) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(
+            static_cast<const T*>(base) + i);
+        if (addr % detail::san_align_v<T> != 0) {
+          san_->misaligned(static_cast<const T*>(base) + i, sizeof(T), l,
+                           is_load);
+          active &= ~(LaneMask{1} << l);
+        }
+      }
+    }
+    return active;
+  }
+
+  template <class T>
+  int san_check_range(const void* base, std::size_t elems, std::int64_t first,
+                      int count, bool is_load) {
+    if (!san_->armed(kSanMem) || count <= 0) return count;
+    if (first < 0) {
+      san_->oob(base, elems, sizeof(T), first, 0, is_load);
+      return 0;
+    }
+    if (static_cast<std::size_t>(first) + static_cast<std::size_t>(count) >
+        elems) {
+      const auto ok = static_cast<std::size_t>(first) < elems
+                          ? static_cast<int>(elems -
+                                             static_cast<std::size_t>(first))
+                          : 0;
+      san_->oob(base, elems, sizeof(T), first + ok, ok, is_load);
+      count = ok;
+    }
+    if constexpr (detail::san_align_v<T> != 0) {
+      const auto addr = reinterpret_cast<std::uintptr_t>(
+          static_cast<const T*>(base) + first);
+      if (count > 0 && addr % detail::san_align_v<T> != 0) {
+        san_->misaligned(static_cast<const T*>(base) + first, sizeof(T), 0,
+                         is_load);
+        return 0;
+      }
+    }
+    return count;
+  }
+
+  template <class T>
+  void san_note_scatter(const void* base, const Lanes<std::int64_t>& idx,
+                        LaneMask active) {
+    if (!san_->armed(kSanRace)) return;
+    const auto b = reinterpret_cast<std::uint64_t>(base);
+    int l = 0;
+    while (l < kWarpSize) {
+      if (!(active >> l & 1)) {
+        ++l;
+        continue;
+      }
+      const std::int64_t first = idx[static_cast<std::size_t>(l)];
+      std::int64_t last = first;
+      int r = l + 1;
+      while (r < kWarpSize && (active >> r & 1) &&
+             idx[static_cast<std::size_t>(r)] == last + 1) {
+        last = idx[static_cast<std::size_t>(r)];
+        ++r;
+      }
+      san_->plain_store(b + static_cast<std::uint64_t>(first) * sizeof(T),
+                        b + static_cast<std::uint64_t>(last + 1) * sizeof(T));
+      l = r;
+    }
+  }
+
+  template <class T>
+  void san_note_store_range(const void* base, std::int64_t first, int count) {
+    if (!san_->armed(kSanRace) || count <= 0) return;
+    const auto b = reinterpret_cast<std::uint64_t>(base);
+    san_->plain_store(
+        b + static_cast<std::uint64_t>(first) * sizeof(T),
+        b + (static_cast<std::uint64_t>(first) +
+             static_cast<std::uint64_t>(count)) *
+                sizeof(T));
+  }
+
   template <class T>
   void account_access(const Lanes<std::int64_t>& idx, LaneMask active,
                       bool is_load) {
@@ -648,6 +815,7 @@ class Warp {
   double load_ilp_ = 1.0;
   int pending_loads_ = 0;
   detail::LaunchFaultState* faults_ = nullptr;
+  detail::CtaSan* san_ = nullptr;
   std::uint64_t fault_ctr_ = 0;
   std::uint64_t fault_flips_ = 0;
   std::uint64_t fault_overflows_ = 0;
