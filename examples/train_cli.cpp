@@ -2,7 +2,8 @@
 //
 //   usage: train_cli [--dataset 1..16] [--model gcn|gat|gin]
 //                    [--mode float|half|halfgnn] [--epochs N] [--lr F]
-//                    [--hidden N] [--seed N] [--profile] [--verbose]
+//                    [--hidden N] [--seed N] [--profile[=<analyzers>]]
+//                    [--verbose]
 //                    [--guard] [--guard-retry N] [--guard-interval N]
 //                    [--guard-ring N] [--guard-nan-streak N]
 //                    [--guard-overflow-streak N]
@@ -12,19 +13,29 @@
 //
 //   Observability: HALFGNN_TRACE=<path> exports a Chrome trace of the run
 //   on the modeled timeline; HALFGNN_METRICS=<path> dumps the metrics
-//   registry (both optional; see DESIGN.md "Observability").
+//   registry; HALFGNN_FLAME=<path> writes collapsed flamegraph stacks
+//   (all optional; see DESIGN.md "Observability").
+//
+//   hgprof: --profile=roofline,numerics (or =all) arms the device profiler
+//   — equivalent to HALFGNN_PROF=<list> — and HALFGNN_PROF_OUT=<path>
+//   writes its halfgnn-prof-v1 report at exit. Bare --profile keeps its
+//   original meaning (cost-ledger breakdown of the first epoch).
 //
 //   Chaos: HALFGNN_FAULTS=<spec> (simt/fault.hpp grammar) injects
 //   deterministic faults into every kernel launch; --guard turns on the
 //   TrainGuard retry/rollback/fallback machinery (DESIGN.md Sec. 9), e.g.
 //     HALFGNN_FAULTS='bitflip:rate=1e-4,seed=7' ./train_cli --guard
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "graph/datasets.hpp"
 #include "nn/trainer.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
+#include "simt/executor.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -34,7 +45,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--dataset 1..16] [--model gcn|gat|gin]\n"
       "          [--mode float|half|halfgnn] [--epochs N] [--lr F]\n"
-      "          [--hidden N] [--seed N] [--profile] [--verbose]\n"
+      "          [--hidden N] [--seed N]\n"
+      "          [--profile[=roofline|numerics|all]] [--verbose]\n"
       "          [--guard] [--guard-retry N] [--guard-interval N]\n"
       "          [--guard-ring N] [--guard-nan-streak N]\n"
       "          [--guard-overflow-streak N]\n",
@@ -146,6 +158,17 @@ int main(int argc, char** argv) {
       cfg.guard.overflow_streak = std::atoi(v);
     } else if (a == "--profile") {
       cfg.profile_first_epoch = true;
+    } else if (a.rfind("--profile=", 0) == 0) {
+      // --profile=<analyzers> arms hgprof on top of the ledger breakdown,
+      // same grammar as HALFGNN_PROF.
+      cfg.profile_first_epoch = true;
+      try {
+        simt::default_device().set_profiler(
+            obs::prof::ProfConfig::parse(a.substr(std::strlen("--profile="))));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return usage(argv[0]);
+      }
     } else if (a == "--verbose") {
       cfg.verbose = true;
     } else {
@@ -208,5 +231,23 @@ int main(int argc, char** argv) {
                    obs_cfg.metrics_path.c_str());
     }
   }
-  return (obs_st.trace_ok && obs_st.metrics_ok) ? 0 : 1;
+  bool prof_ok = true;
+  const obs::prof::Profiler& prof = simt::default_device().profiler();
+  if (prof.active()) {
+    std::printf("hgprof              : %llu launches profiled\n",
+                static_cast<unsigned long long>(prof.launches_seen()));
+    if (const char* out = std::getenv("HALFGNN_PROF_OUT");
+        out != nullptr && *out) {
+      prof_ok = prof.write_report(out);
+      if (prof_ok) {
+        std::printf("prof report written : %s\n", out);
+      } else {
+        std::fprintf(stderr, "error: could not write prof report to %s\n",
+                     out);
+      }
+    }
+  }
+  return (obs_st.trace_ok && obs_st.metrics_ok && obs_st.flame_ok && prof_ok)
+             ? 0
+             : 1;
 }

@@ -19,6 +19,11 @@ void TrainGuard::count_retry(const std::string& site) {
   if (obs::tracer().enabled()) {
     obs::tracer().instant("guard:retry", "guard", {{"site", site}});
   }
+  if (prof_ != nullptr) {
+    prof_->audit("retry", site,
+                 "simt::LaunchFault on attempt (budget " +
+                     std::to_string(cfg_.retry_budget) + ")");
+  }
 }
 
 int TrainGuard::level(const std::string& site) const {
@@ -45,6 +50,12 @@ void TrainGuard::observe_output(const std::string& site, bool nonfinite,
   if (obs::tracer().enabled()) {
     obs::tracer().instant("guard:fallback", "guard",
                           {{"site", site}, {"level", s.level}});
+  }
+  if (prof_ != nullptr) {
+    prof_->audit("fallback", site,
+                 "non-finite output streak reached " +
+                     std::to_string(std::max(1, cfg_.overflow_streak)) +
+                     "; escalated to chain level " + std::to_string(s.level));
   }
 }
 
@@ -115,6 +126,15 @@ void TrainGuard::rollback(const std::vector<Param*>& params,
                           {{"restored_epoch", cp.epoch},
                            {"adam_t", cp.adam_t},
                            {"scale", static_cast<double>(scaler.scale())}});
+  }
+  if (prof_ != nullptr) {
+    prof_->audit("rollback", "loss",
+                 "NaN-loss streak reached " +
+                     std::to_string(std::max(1, cfg_.nan_streak)) +
+                     "; restored epoch " + std::to_string(cp.epoch) +
+                     ", scale backed off to " +
+                     obs::Json::number_to_string(
+                         static_cast<double>(scaler.scale())));
   }
 }
 

@@ -31,6 +31,7 @@
 
 #include "amp/amp.hpp"
 #include "nn/param.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace hg::nn {
 
@@ -52,6 +53,12 @@ class TrainGuard {
   explicit TrainGuard(GuardConfig cfg = {});
 
   const GuardConfig& config() const noexcept { return cfg_; }
+
+  // Optional hgprof hookup: every retry/fallback/rollback decision emits an
+  // audit record naming the signal that triggered it (no-op when the
+  // profiler's numerics analyzer is off). The profiler must outlive the
+  // guard's use of it; pass nullptr to detach.
+  void set_profiler(obs::prof::Profiler* prof) noexcept { prof_ = prof; }
 
   // --- LaunchFault retry ----------------------------------------------------
   int retry_budget() const noexcept { return cfg_.retry_budget; }
@@ -97,6 +104,7 @@ class TrainGuard {
   };
 
   GuardConfig cfg_;
+  obs::prof::Profiler* prof_ = nullptr;
   std::map<std::string, Site> sites_;
   std::deque<Checkpoint> ring_;
   int nan_streak_ = 0;

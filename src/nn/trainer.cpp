@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "simt/executor.hpp"
 #include "tensor/dense_ops.hpp"
 
 namespace hg::nn {
@@ -90,7 +91,24 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   run_span.arg("epochs", static_cast<std::int64_t>(cfg.epochs));
   const bool snapshot_metrics = obs::registry().enabled();
 
+  // hgprof numerics telemetry: the profiler lives on the stream's device and
+  // samples activations/gradients read-only, so arming it never perturbs the
+  // run. Every guard decision below also lands in its audit log.
+  simt::Stream& stream =
+      cfg.stream != nullptr ? *cfg.stream : simt::default_stream();
+  obs::prof::Profiler& prof = stream.device().profiler();
+  const bool prof_numerics = prof.active() && prof.config().numerics();
+  if (use_guard) guard.set_profiler(&prof);
+  const auto prof_sample = [&prof](const std::string& name, const MTensor& t) {
+    if (t.dtype() == Dtype::kF16) {
+      prof.sample_tensor(name, t.h());
+    } else {
+      prof.sample_tensor(name, t.f());
+    }
+  };
+
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    prof.begin_epoch(epoch);
     obs::Span epoch_span("epoch", "epoch");
     epoch_span.arg("epoch", static_cast<std::int64_t>(epoch));
 
@@ -136,6 +154,16 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
       HG_TRACE_SCOPE("backward", "phase");
       model->backward(ctx, g, dlogits);
     }
+    if (prof_numerics) {
+      prof_sample("act.logits", logits);
+      prof_sample("grad.logits", dlogits);
+      int pi = 0;
+      for (auto* p : model->params()) {
+        // Gradients accumulate in f32 regardless of mode; sampled still
+        // carrying the loss scale, which is what the kernels actually saw.
+        prof.sample_tensor("grad.param" + std::to_string(pi++), p->grad().f());
+      }
+    }
 
     obs::Span opt_span("optimizer", "phase");
     const float inv_scale = 1.0f / gscale;
@@ -152,6 +180,7 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     }
     opt_span.arg("stepped", do_step ? "yes" : "skipped");
     opt_span.arg("loss_scale", static_cast<double>(gscale));
+    prof.note_loss_scale(half ? scaler.scale() : 1.0f);
 
     res.losses.push_back(lr.loss);
     if (std::isnan(lr.loss)) {

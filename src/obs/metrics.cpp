@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 
 namespace hg::obs {
 
@@ -79,6 +81,49 @@ double Registry::gauge_value(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+double Registry::quantile_of(const Histogram& h, double q) {
+  if (h.count == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q <= 0.0) return h.min;
+  if (q >= 1.0) return h.max;
+  // Rank the q-th value would have in the sorted sample, then locate the
+  // bucket containing it.
+  const double rank = q * static_cast<double>(h.count);
+  double before = 0;
+  for (int b = 0; b <= Histogram::kBuckets; ++b) {
+    const auto n = static_cast<double>(h.bucket[b]);
+    if (n == 0) continue;
+    if (before + n < rank) {
+      before += n;
+      continue;
+    }
+    // Bucket b spans (bound(b-1), bound(b)]; the edge buckets borrow their
+    // open ends from the observed extremes.
+    double lo = b > 0 ? bucket_bound(b - 1) : h.min;
+    double hi = b < Histogram::kBuckets ? bucket_bound(b) : h.max;
+    lo = std::clamp(lo, h.min, h.max);
+    hi = std::clamp(hi, h.min, h.max);
+    const double frac = (rank - before) / n;
+    double v;
+    if (lo > 0 && hi > 0) {
+      // Decade buckets are geometric: interpolate in log space.
+      v = std::exp(std::log(lo) + frac * (std::log(hi) - std::log(lo)));
+    } else {
+      v = lo + frac * (hi - lo);
+    }
+    return std::clamp(v, h.min, h.max);
+  }
+  return h.max;
+}
+
+double Registry::histogram_quantile(const std::string& name, double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return quantile_of(it->second, q);
+}
+
 std::map<std::string, Registry::KernelEntry> Registry::kernels() const {
   std::lock_guard<std::mutex> lk(mu_);
   return kernels_;
@@ -115,6 +160,9 @@ Json Registry::to_json() const {
     jh.set("sum", h.sum);
     jh.set("min", h.min);
     jh.set("max", h.max);
+    jh.set("p50", quantile_of(h, 0.50));
+    jh.set("p95", quantile_of(h, 0.95));
+    jh.set("p99", quantile_of(h, 0.99));
     Json buckets = Json::array();
     for (int b = 0; b <= Histogram::kBuckets; ++b) {
       if (h.bucket[b] == 0) continue;

@@ -46,6 +46,11 @@ class Registry {
 
   double counter_value(const std::string& name) const;
   double gauge_value(const std::string& name) const;
+  // Interpolated quantile estimate (q in [0,1]) from the decade buckets:
+  // log-interpolated inside the bucket holding the target rank, clamped to
+  // the observed [min, max]. NaN for an unknown/empty histogram. The JSON
+  // export carries p50/p95/p99 computed the same way.
+  double histogram_quantile(const std::string& name, double q) const;
 
   // --- per-kernel counter aggregation --------------------------------------
   // Accumulates named counters for one kernel launch (launch count +1).
@@ -78,6 +83,7 @@ class Registry {
     static constexpr int kBuckets = 16;
     std::uint64_t bucket[kBuckets + 1] = {};
   };
+  static double quantile_of(const Histogram& h, double q);
   struct Snapshot {
     int epoch = 0;
     std::map<std::string, double> counters;

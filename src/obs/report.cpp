@@ -12,7 +12,9 @@ void PerfReport::add_row(const std::string& id,
   row.set("id", id);
   Json jc = Json::object();
   for (std::size_t i = 0; i < cells.size() && i < columns_.size(); ++i) {
-    if (std::isnan(cells[i])) {
+    // NaN and ±Inf cells both mean "not measured / not meaningful here";
+    // emit null so consumers never see a sentinel number.
+    if (!std::isfinite(cells[i])) {
       jc.set(columns_[i], Json());
     } else {
       jc.set(columns_[i], cells[i]);

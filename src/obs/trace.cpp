@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
 
 namespace hg::obs {
 
@@ -165,6 +166,19 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+std::string Tracer::collapsed_stacks() const {
+  // The export sort already places parents before children, so the folded
+  // view is derived from the Chrome trace rather than re-walking state.
+  return prof::collapsed_stacks_from_trace(chrome_trace_json());
+}
+
+bool Tracer::write_collapsed(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << collapsed_stacks();
+  return static_cast<bool>(f);
+}
+
 void trace_complete(std::string name, std::string cat, double dur_ms,
                     std::initializer_list<TraceArg> args) {
   Tracer& t = tracer();
@@ -196,6 +210,10 @@ EnvConfig init_from_env() {
     cfg.metrics_path = p;
     registry().set_enabled(true);
   }
+  if (const char* p = std::getenv("HALFGNN_FLAME"); p != nullptr && *p) {
+    cfg.flame_path = p;
+    tracer().set_enabled(true);  // folded stacks are derived from spans
+  }
   return cfg;
 }
 
@@ -206,6 +224,9 @@ WriteStatus write_configured_outputs(const EnvConfig& cfg) {
   }
   if (!cfg.metrics_path.empty()) {
     st.metrics_ok = registry().write_json(cfg.metrics_path);
+  }
+  if (!cfg.flame_path.empty()) {
+    st.flame_ok = tracer().write_collapsed(cfg.flame_path);
   }
   return st;
 }

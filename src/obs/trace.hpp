@@ -81,6 +81,12 @@ class Tracer {
   Json chrome_trace_json() const;
   // Writes chrome_trace_json() to `path`; false on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
+  // perf-style folded stacks ("run;epoch;kernel <self-us>", one line per
+  // path, deterministic order) over the same spans — feed to any standard
+  // flamegraph renderer. Self time is modeled microseconds.
+  std::string collapsed_stacks() const;
+  // Writes collapsed_stacks() to `path`; false on I/O failure.
+  bool write_collapsed(const std::string& path) const;
 
  private:
   struct Event {
@@ -156,18 +162,21 @@ void trace_complete(std::string name, std::string cat, double dur_ms,
 void dispatch_decision(const std::string& op, const std::string& kernel,
                        const std::string& why);
 
-// Reads HALFGNN_TRACE / HALFGNN_METRICS and enables the tracer/registry
-// accordingly; returns the configured output paths (empty when unset).
-// Call write_configured_outputs() at exit to flush them.
+// Reads HALFGNN_TRACE / HALFGNN_METRICS / HALFGNN_FLAME and enables the
+// tracer/registry accordingly (a flamegraph needs spans, so HALFGNN_FLAME
+// also enables the tracer); returns the configured output paths (empty when
+// unset). Call write_configured_outputs() at exit to flush them.
 struct EnvConfig {
   std::string trace_path;
   std::string metrics_path;
+  std::string flame_path;
 };
 EnvConfig init_from_env();
 // Per-output success flags: an unset path counts as ok (nothing to write).
 struct WriteStatus {
   bool trace_ok = true;
   bool metrics_ok = true;
+  bool flame_ok = true;
 };
 WriteStatus write_configured_outputs(const EnvConfig& cfg);
 

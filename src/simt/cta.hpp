@@ -101,7 +101,8 @@ class Cta {
   Cta(const DeviceSpec& spec, KernelStats& ks, int cta_id, int num_warps,
       std::size_t smem_bytes, CtaArena* arena = nullptr,
       detail::LaunchFaultState* faults = nullptr,
-      detail::LaunchSanState* san = nullptr)
+      detail::LaunchSanState* san = nullptr,
+      obs::prof::detail::LaunchProfState* prof = nullptr)
       : spec_(spec), cta_id_(cta_id), arena_(arena),
         num_warps_(num_warps), smem_bytes_(smem_bytes) {
     if (arena_ != nullptr) {
@@ -124,7 +125,7 @@ class Cta {
       warps_ = reinterpret_cast<W*>(owned_warps_.get());
     }
     for (int w = 0; w < num_warps; ++w) {
-      new (warps_ + w) W(spec, ks, w, cta_id, faults, san_);
+      new (warps_ + w) W(spec, ks, w, cta_id, faults, san_, prof);
     }
     if constexpr (Profiled) ks_ = &ks;
   }

@@ -62,7 +62,8 @@ Device::Device(const DeviceSpec& spec, int threads)
       threads_(std::max(1, threads)),
       scratch_(static_cast<std::size_t>(detail::kConflictShards)),
       injector_(FaultConfig::from_env()),
-      sanitizer_(SanitizerConfig::from_env()) {
+      sanitizer_(SanitizerConfig::from_env()),
+      profiler_(obs::prof::ProfConfig::from_env()) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int t = 0; t < threads_ - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -104,6 +105,17 @@ detail::LaunchSanState* Device::arm_sanitizer(const std::string& kernel,
                                               int ctas) {
   if (!sanitizer_.active()) return nullptr;
   return sanitizer_.arm(kernel, ctas);
+}
+
+void Device::set_profiler(obs::prof::ProfConfig cfg) {
+  std::lock_guard<std::mutex> guard(launch_mu_);
+  profiler_ = obs::prof::Profiler(cfg);
+}
+
+obs::prof::detail::LaunchProfState* Device::arm_profiler(
+    const std::string& kernel) {
+  if (!profiler_.active()) return nullptr;
+  return profiler_.arm(kernel);
 }
 
 bool Device::claim(std::uint64_t gen, int jobs, int& idx) {

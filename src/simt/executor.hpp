@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "half/vec.hpp"
+#include "obs/prof/prof.hpp"
 #include "simt/cta.hpp"
 #include "simt/fault.hpp"
 #include "simt/sanitizer.hpp"
@@ -197,6 +198,15 @@ class Device {
   const Sanitizer& sanitizer() const noexcept { return sanitizer_; }
   Sanitizer& sanitizer() noexcept { return sanitizer_; }
 
+  // Replaces the device's profiler (hgprof; the default configuration is
+  // HALFGNN_PROF, read at construction). Takes the launch mutex, so it must
+  // not be called from inside a kernel body. Drops collected data.
+  void set_profiler(obs::prof::ProfConfig cfg);
+  // The device's profiler; read reports / feed trainer telemetry only
+  // between launches.
+  const obs::prof::Profiler& profiler() const noexcept { return profiler_; }
+  obs::prof::Profiler& profiler() noexcept { return profiler_; }
+
  private:
   friend class Stream;
 
@@ -211,6 +221,11 @@ class Device {
   // one null-check per instrumented access). The caller must hold
   // launch_mu_.
   detail::LaunchSanState* arm_sanitizer(const std::string& kernel, int ctas);
+
+  // Arms the reusable per-launch hgprof state, or returns nullptr when the
+  // profiler is inactive (same cost profile as the other two). The caller
+  // must hold launch_mu_.
+  obs::prof::detail::LaunchProfState* arm_profiler(const std::string& kernel);
 
   void worker_loop();
   bool claim(std::uint64_t gen, int jobs, int& idx);
@@ -245,6 +260,8 @@ class Device {
   detail::LaunchFaultState fault_state_;
   // Hazard analysis (simt/sanitizer.hpp); guarded by launch_mu_.
   Sanitizer sanitizer_;
+  // hgprof (obs/prof/prof.hpp); launch path guarded by launch_mu_.
+  obs::prof::Profiler profiler_;
 };
 
 // The launch API. Kernels hold a Stream& and call launch(); SparseCtx
@@ -264,8 +281,9 @@ class Stream {
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
     detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
     detail::LaunchSanState* san = dev_->arm_sanitizer(desc.name, desc.ctas);
-    KernelStats ks = run_ctas<Profiled>(desc, body, flt, san);
-    return finish_launch<Profiled>(ks, t0, flt, san);
+    obs::prof::detail::LaunchProfState* prf = dev_->arm_profiler(desc.name);
+    KernelStats ks = run_ctas<Profiled>(desc, body, flt, san, prf);
+    return finish_launch<Profiled>(ks, t0, flt, san, prf);
   }
 
   // Conflict launch: body(Cta<Profiled>&, std::span<T> out) writes every
@@ -278,6 +296,11 @@ class Stream {
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
     detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
     detail::LaunchSanState* san = dev_->arm_sanitizer(desc.name, desc.ctas);
+    obs::prof::detail::LaunchProfState* prf = dev_->arm_profiler(desc.name);
+    // Warps only sample stores when the numerics analyzer is armed; a
+    // roofline-only profiler stays entirely out of the CTA path.
+    obs::prof::detail::LaunchProfState* prfw =
+        (prf != nullptr && prf->numerics()) ? prf : nullptr;
 
     const int ctas = desc.ctas;
     const int shards = std::min(detail::kConflictShards, std::max(1, ctas));
@@ -337,7 +360,7 @@ class Stream {
       for (int c = c0; c < c1; ++c) {
         Cta<Profiled> cta(dev_->spec(), part[su].ks, c, desc.warps_per_cta,
                           dev_->spec().smem_bytes, &CtaArena::local(), flt,
-                          san);
+                          san, prfw);
         body(cta, stage[su]);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[su].push_back(cc);
@@ -391,14 +414,17 @@ class Stream {
       }
       detail::finalize(ks, dev_->spec(), cta_cost);
     }
-    return finish_launch<Profiled>(ks, t0, flt, san);
+    return finish_launch<Profiled>(ks, t0, flt, san, prf);
   }
 
  private:
   template <bool Profiled, class Body>
   KernelStats run_ctas(const LaunchDesc& desc, Body& body,
                        detail::LaunchFaultState* flt,
-                       detail::LaunchSanState* san) {
+                       detail::LaunchSanState* san,
+                       obs::prof::detail::LaunchProfState* prf) {
+    obs::prof::detail::LaunchProfState* prfw =
+        (prf != nullptr && prf->numerics()) ? prf : nullptr;
     const int ctas = desc.ctas;
     const int chunks =
         (ctas + detail::kCtasPerChunk - 1) / detail::kCtasPerChunk;
@@ -416,7 +442,7 @@ class Stream {
       for (int c = c0; c < c1; ++c) {
         Cta<Profiled> cta(dev_->spec(), part[cu].ks, c, desc.warps_per_cta,
                           dev_->spec().smem_bytes, &CtaArena::local(), flt,
-                          san);
+                          san, prfw);
         body(cta);
         auto cc = cta.finish();
         if constexpr (Profiled) cost[cu].push_back(cc);
@@ -446,15 +472,20 @@ class Stream {
   KernelStats finish_launch(KernelStats& ks,
                             std::chrono::steady_clock::time_point t0,
                             detail::LaunchFaultState* flt = nullptr,
-                            detail::LaunchSanState* san = nullptr) {
+                            detail::LaunchSanState* san = nullptr,
+                            obs::prof::detail::LaunchProfState* prf = nullptr) {
     ks.host_ms = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
     // Fault accounting first (injector totals + fault.* counters), then the
-    // sanitizer merge, then the profile — each once per launch, from this
-    // thread, in program order.
+    // sanitizer merge, then hgprof — each once per launch, from this
+    // thread, in program order. The profiler sees the merged (already
+    // thread-invariant) stats, so its aggregates inherit determinism.
     if (flt != nullptr) dev_->injector_.publish(ks.name, *flt);
     if (san != nullptr) dev_->sanitizer_.finish_launch(*san);
+    if (prf != nullptr) {
+      dev_->profiler_.finish_launch(*prf, ks, dev_->spec(), Profiled);
+    }
     if constexpr (Profiled) {
       // One publish per launch, from the merged stats, on this thread.
       publish_profile(ks);

@@ -39,6 +39,7 @@
 
 #include "half/half.hpp"
 #include "half/vec.hpp"
+#include "obs/prof/prof.hpp"
 #include "simt/accounting.hpp"
 #include "simt/fault.hpp"
 #include "simt/sanitizer.hpp"
@@ -99,13 +100,15 @@ class Warp {
  public:
   Warp(const DeviceSpec& spec, KernelStats& ks, int warp_in_cta, int cta_id,
        detail::LaunchFaultState* faults = nullptr,
-       detail::CtaSan* san = nullptr) noexcept
+       detail::CtaSan* san = nullptr,
+       obs::prof::detail::LaunchProfState* prof = nullptr) noexcept
       : spec_(spec),
         ks_(ks),
         warp_in_cta_(warp_in_cta),
         cta_id_(cta_id),
         faults_(faults),
-        san_(san) {}
+        san_(san),
+        prof_(prof) {}
 
   Warp(const Warp&) = delete;
   Warp& operator=(const Warp&) = delete;
@@ -185,6 +188,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored<T>(mem, idx, active);
     if constexpr (Profiled) account_access<T>(idx, active, /*is_load=*/false);
   }
 
@@ -206,6 +210,7 @@ class Warp {
           vals[static_cast<std::size_t>(l)];
     }
     if (faults_ != nullptr) fault_stored_contiguous(mem, base, count);
+    if (prof_ != nullptr) prof_stored_contiguous<T>(mem, base, count);
     if constexpr (Profiled) {
       account_contiguous<T>(base, count, /*is_load=*/false);
     }
@@ -235,6 +240,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/false,
                      contention);
@@ -260,6 +266,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/2, /*half_cost=*/true,
                      contention);
@@ -283,6 +290,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/true,
                      contention);
@@ -307,6 +315,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/false,
                      contention);
@@ -329,6 +338,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/2, /*half_cost=*/true,
                      contention);
@@ -351,6 +361,7 @@ class Warp {
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
+    if (prof_ != nullptr) prof_stored(mem, idx, active);
     if constexpr (Profiled) {
       account_atomic(idx, active, /*word_elems=*/1, /*half_cost=*/true,
                      contention);
@@ -488,6 +499,7 @@ class Warp {
     sync();
     if constexpr (Profiled) flush();
     if (faults_ != nullptr) flush_faults();
+    if (prof_ != nullptr) wprof_.flush(*prof_);
   }
 
  private:
@@ -737,6 +749,32 @@ class Warp {
                 sizeof(T));
   }
 
+  // ----- hgprof store sampling (see obs/prof/prof.hpp) --------------------
+  // Reached only behind the `prof_ != nullptr` check at each store site, and
+  // only armed when the numerics analyzer is on. Samples what actually
+  // landed in memory — after the functional write and any injected fault —
+  // into a warp-local histogram: an overflow observed here is the paper's
+  // Fig. 1c event at the instruction that produced it. Read-only, so armed
+  // outputs stay byte-identical to disarmed ones.
+
+  template <class T>
+  void prof_stored(std::span<T> mem, const Lanes<std::int64_t>& idx,
+                   LaneMask active) noexcept {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active >> l & 1) {
+        wprof_.note(mem[static_cast<std::size_t>(idx[l])]);
+      }
+    }
+  }
+
+  template <class T>
+  void prof_stored_contiguous(std::span<T> mem, std::int64_t base,
+                              int count) noexcept {
+    for (int l = 0; l < count; ++l) {
+      wprof_.note(mem[static_cast<std::size_t>(base + l)]);
+    }
+  }
+
   template <class T>
   void account_access(const Lanes<std::int64_t>& idx, LaneMask active,
                       bool is_load) {
@@ -816,6 +854,10 @@ class Warp {
   int pending_loads_ = 0;
   detail::LaunchFaultState* faults_ = nullptr;
   detail::CtaSan* san_ = nullptr;
+  obs::prof::detail::LaunchProfState* prof_ = nullptr;
+  // Warp-local store sampler; flushed once in finish(). Trivially
+  // destructible, preserving the inline-warp-storage contract.
+  obs::prof::WarpProf wprof_;
   std::uint64_t fault_ctr_ = 0;
   std::uint64_t fault_flips_ = 0;
   std::uint64_t fault_overflows_ = 0;

@@ -4,6 +4,7 @@
 // spans nest (child.ts + child.dur <= parent.ts + parent.dur).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "graph/generators.hpp"
@@ -210,6 +211,64 @@ TEST_F(ObsTest, PerfReportRoundTripsAndValidates) {
   const Json* rows = doc.find("rows");
   ASSERT_NE(rows, nullptr);
   EXPECT_TRUE(rows->items()[1].find("cells")->find("b")->is_null());
+}
+
+TEST_F(ObsTest, InfinityCellsSerializeAsNull) {
+  // ±Inf means the same thing as NaN in a report cell ("not measured"):
+  // both must land as null, never as a sentinel number like 1e999.
+  PerfReport r("unit");
+  r.set_columns({"a", "b"});
+  r.add_row("row0", {std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()});
+  const std::string text = r.to_json().dump(1);
+  EXPECT_EQ(text.find("1e999"), std::string::npos) << text;
+  const Json doc = Json::parse(text);
+  EXPECT_TRUE(validate_bench_report(doc).empty())
+      << validate_bench_report(doc);
+  const Json* cells = doc.find("rows")->items()[0].find("cells");
+  EXPECT_TRUE(cells->find("a")->is_null());
+  EXPECT_TRUE(cells->find("b")->is_null());
+}
+
+TEST_F(ObsTest, HistogramQuantilesInterpolateKnownDistributions) {
+  Registry& reg = registry();
+  reg.set_enabled(true);
+
+  // 100 uniform samples 1..100: p50 ≈ 50, p99 ≈ 99 (log-interpolated
+  // within decade buckets, so tolerances are loose but order must hold).
+  for (int i = 1; i <= 100; ++i) {
+    reg.observe("uniform", static_cast<double>(i));
+  }
+  const double p50 = reg.histogram_quantile("uniform", 0.50);
+  const double p95 = reg.histogram_quantile("uniform", 0.95);
+  const double p99 = reg.histogram_quantile("uniform", 0.99);
+  EXPECT_NEAR(p50, 50.0, 25.0);
+  EXPECT_NEAR(p95, 95.0, 15.0);
+  EXPECT_NEAR(p99, 99.0, 10.0);
+  EXPECT_LT(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Edge quantiles pin to the observed extremes; estimates stay in range.
+  EXPECT_EQ(reg.histogram_quantile("uniform", 0.0), 1.0);
+  EXPECT_EQ(reg.histogram_quantile("uniform", 1.0), 100.0);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 100.0);
+
+  // A point mass: every quantile is the value itself (bucket interpolation
+  // must clamp to [min, max]).
+  for (int i = 0; i < 10; ++i) reg.observe("const", 7.0);
+  EXPECT_EQ(reg.histogram_quantile("const", 0.50), 7.0);
+  EXPECT_EQ(reg.histogram_quantile("const", 0.99), 7.0);
+
+  // Unknown / empty histogram: NaN.
+  EXPECT_TRUE(std::isnan(reg.histogram_quantile("nope", 0.5)));
+
+  // The JSON export carries the same estimates.
+  const Json doc = reg.to_json();
+  const Json* h = doc.find("histograms")->find("const");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("p50")->as_double(), 7.0);
+  EXPECT_EQ(h->find("p95")->as_double(), 7.0);
+  EXPECT_EQ(h->find("p99")->as_double(), 7.0);
 }
 
 }  // namespace
