@@ -15,6 +15,7 @@
 
 #include "bench/bench_common.hpp"
 #include "half/bf16.hpp"
+#include "kernels/bf16_ops.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/spmm_halfgnn.hpp"
 
@@ -80,28 +81,14 @@ void run() {
   score("fp16 + discretized (HalfGNN)",
         [&](std::size_t i) { return y[i].to_float(); });
 
-  // bf16 with post-scaling: emulate the same reduction order serially
-  // (bf16 kernels are not part of the paper's system; this is the
-  // counterfactual datatype study).
-  std::vector<bf16_t> yb(n * 64, bf16_t(0.0f));
-  for (vid_t v = 0; v < d.csr.num_vertices; ++v) {
-    for (eid_t e = d.csr.offsets[v]; e < d.csr.offsets[v + 1]; ++e) {
-      const auto u = static_cast<std::size_t>(
-          d.csr.cols[static_cast<std::size_t>(e)]);
-      for (int j = 0; j < 64; ++j) {
-        auto& slot =
-            yb[static_cast<std::size_t>(v) * 64 + static_cast<std::size_t>(j)];
-        slot += bf16_t(xf[u * 64 + static_cast<std::size_t>(j)]);
-      }
-    }
-    const bf16_t inv(1.0f /
-                     static_cast<float>(std::max<vid_t>(1, d.csr.degree(v))));
-    for (int j = 0; j < 64; ++j) {
-      auto& slot =
-          yb[static_cast<std::size_t>(v) * 64 + static_cast<std::size_t>(j)];
-      slot = slot * inv;
-    }
-  }
+  // bf16 with post-scaling: the lattice's real trainable-bf16 SpMM kernel
+  // (kernels/bf16_ops.hpp), the exact code path `--dtype bf16` dispatches —
+  // warp-per-row register accumulation, mean divide in the epilogue.
+  AlignedVec<bf16_t> xb(n * 64);
+  for (std::size_t i = 0; i < n * 64; ++i) xb[i] = bf16_t(xf[i]);
+  AlignedVec<bf16_t> yb(n * 64);
+  kernels::spmm_bf16(simt::default_stream(), false, g, {}, xb, yb, feat,
+                     kernels::Reduce::kMean);
   score("bf16 + post-scaling", [&](std::size_t i) { return yb[i].to_float(); });
 
   Table t({"design", "non-finite outputs", "mean rel. error vs f64"});

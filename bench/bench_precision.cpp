@@ -1,0 +1,160 @@
+// bench_precision: the precision-lattice frontier sweep.
+//
+// Trains GCN / GAT / GIN on G1:Cora under every lattice dtype
+// (f32, f16, bf16, i8, b1) in HalfGNN mode with the dtype override engaged,
+// and reports the accuracy / modeled-epoch-time / memory frontier per cell.
+// f16 engages the GradScaler; bf16 trains unscaled end to end; i8 and b1
+// train in f32 and report the post-training-quantized eval accuracy in
+// final_acc (DESIGN.md Sec. 12).
+//
+// Headline properties (validated here, non-zero exit if either fails):
+//   - bf16 best accuracy within 1 point of f32 on every model, with the
+//     GradScaler never engaged (no skipped steps — bf16 keeps the f32
+//     exponent, so loss scaling has nothing to do);
+//   - every cell trains NaN-free.
+//
+// Writes BENCH_precision.json (halfgnn-bench-v1) and re-validates the file.
+// The modeled_ms column comes off the simulated timeline and is bit-stable,
+// so the perf gate (perf_diff) tracks it against the committed baseline.
+// Quick mode (HALFGNN_QUICK=1) keeps the full 5x3 grid and cuts epochs.
+//
+// Usage: bench_precision [output.json]  (default: BENCH_precision.json)
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "nn/trainer.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/table.hpp"
+
+namespace hg::bench {
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "bench_precision: FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+struct Cell {
+  std::string id;
+  nn::ModelKind kind = nn::ModelKind::kGcn;
+  Dtype dtype = Dtype::kF32;
+  nn::TrainResult res;
+};
+
+int run(const std::string& path) {
+  Dataset d = make_dataset(DatasetId::kCora);
+  ensure_features(d);
+  const int epochs = epochs_override(quick_mode() ? 30 : 60);
+
+  const std::vector<nn::ModelKind> kinds{
+      nn::ModelKind::kGcn, nn::ModelKind::kGat, nn::ModelKind::kGin};
+  const std::vector<Dtype> dtypes{Dtype::kF32, Dtype::kF16, Dtype::kBf16,
+                                  Dtype::kI8, Dtype::kB1};
+
+  obs::PerfReport r("precision");
+  r.meta("dataset", short_name(d));
+  r.meta("vertices", static_cast<std::int64_t>(d.num_vertices()));
+  r.meta("edges", static_cast<std::int64_t>(d.num_edges()));
+  r.meta("epochs", static_cast<std::int64_t>(epochs));
+  if (quick_mode()) r.meta("quick", true);
+  r.set_columns({"best_acc", "final_acc", "modeled_ms", "mem_mb",
+                 "scaler_skipped", "nan_epochs"});
+
+  Table table({"run", "best_acc", "final_acc", "modeled_ms", "mem_mb",
+               "skipped", "nan_ep"});
+  std::vector<Cell> cells;
+  for (const auto kind : kinds) {
+    for (const Dtype dt : dtypes) {
+      nn::TrainConfig cfg = nn::default_config(kind);
+      cfg.epochs = epochs;
+      cfg.dtype = dt;
+      cfg.profile_first_epoch = true;  // modeled epoch time (bit-stable)
+
+      Cell c;
+      c.kind = kind;
+      c.dtype = dt;
+      c.id = std::string(nn::model_name(kind)) + " " +
+             std::string(dtype_name(dt));
+      c.res = nn::train(kind, nn::SystemMode::kHalfGnn, d, cfg);
+
+      const double mem_mb =
+          static_cast<double>(c.res.memory.total()) / (1024.0 * 1024.0);
+      r.add_row(c.id,
+                {c.res.best_test_acc, c.res.final_test_acc,
+                 c.res.epoch_ledger.total_ms(), mem_mb,
+                 static_cast<double>(c.res.scaler_skipped),
+                 static_cast<double>(c.res.nan_loss_epochs)});
+      table.row({c.id, fmt(c.res.best_test_acc), fmt(c.res.final_test_acc),
+                 fmt(c.res.epoch_ledger.total_ms()), fmt(mem_mb),
+                 std::to_string(c.res.scaler_skipped),
+                 std::to_string(c.res.nan_loss_epochs)});
+      cells.push_back(std::move(c));
+    }
+  }
+  table.print();
+
+  // Headline checks: bf16 tracks f32 unscaled; the whole grid is NaN-free.
+  for (const auto kind : kinds) {
+    double f32_best = -1.0;
+    const Cell* bf16 = nullptr;
+    for (const Cell& c : cells) {
+      if (c.kind != kind) continue;
+      if (c.dtype == Dtype::kF32) f32_best = c.res.best_test_acc;
+      if (c.dtype == Dtype::kBf16) bf16 = &c;
+    }
+    if (f32_best < 0.0 || bf16 == nullptr) {
+      return fail(std::string("missing f32/bf16 cell for ") +
+                  std::string(nn::model_name(kind)));
+    }
+    if (bf16->res.best_test_acc < f32_best - 0.01) {
+      return fail(bf16->id + " best acc " +
+                  std::to_string(bf16->res.best_test_acc) +
+                  " more than 1 point below f32 " + std::to_string(f32_best));
+    }
+    if (bf16->res.scaler_skipped != 0) {
+      return fail(bf16->id + " engaged the GradScaler (" +
+                  std::to_string(bf16->res.scaler_skipped) +
+                  " skipped steps); bf16 must train unscaled");
+    }
+    r.summary(std::string(nn::model_name(kind)) + "_bf16_minus_f32_best",
+              bf16->res.best_test_acc - f32_best);
+  }
+  for (const Cell& c : cells) {
+    if (c.res.nan_loss_epochs != 0) {
+      return fail(c.id + " had " + std::to_string(c.res.nan_loss_epochs) +
+                  " NaN-loss epochs");
+    }
+  }
+
+  if (!r.write(path)) return fail("cannot write " + path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::Json doc;
+  try {
+    doc = obs::Json::parse(buf.str());
+  } catch (const std::exception& e) {
+    return fail(std::string("re-parse of ") + path + ": " + e.what());
+  }
+  if (auto e = obs::validate_bench_report(doc); !e.empty()) {
+    return fail("schema: " + e);
+  }
+
+  std::printf("bench_precision: OK — %zu cells (%zu dtypes x %zu models); "
+              "wrote %s\n",
+              cells.size(), dtypes.size(), kinds.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main(int argc, char** argv) {
+  return hg::bench::run(argc > 1 ? argv[1] : "BENCH_precision.json");
+}

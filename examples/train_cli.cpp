@@ -3,7 +3,7 @@
 //   usage: train_cli [--dataset 1..16] [--model gcn|gat|gin]
 //                    [--mode float|half|halfgnn] [--epochs N] [--lr F]
 //                    [--hidden N] [--seed N] [--profile[=<analyzers>]]
-//                    [--verbose]
+//                    [--dtype f32|f16|bf16|i8|b1] [--verbose]
 //                    [--guard] [--guard-retry N] [--guard-interval N]
 //                    [--guard-ring N] [--guard-nan-streak N]
 //                    [--guard-overflow-streak N]
@@ -20,6 +20,12 @@
 //   — equivalent to HALFGNN_PROF=<list> — and HALFGNN_PROF_OUT=<path>
 //   writes its halfgnn-prof-v1 report at exit. Bare --profile keeps its
 //   original meaning (cost-ledger breakdown of the first epoch).
+//
+//   Precision lattice: --dtype (or HALFGNN_DTYPE=<name>; the flag wins)
+//   overrides the mode-implied working dtype. f32/f16/bf16 train end to end
+//   in that dtype (bf16 needs no loss scaling); i8/b1 train in f32 and run
+//   a post-training quantized eval forward whose accuracy is reported.
+//   Unset keeps the historical mode-implied behavior bit for bit.
 //
 //   Chaos: HALFGNN_FAULTS=<spec> (simt/fault.hpp grammar) injects
 //   deterministic faults into every kernel launch; --guard turns on the
@@ -45,7 +51,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--dataset 1..16] [--model gcn|gat|gin]\n"
       "          [--mode float|half|halfgnn] [--epochs N] [--lr F]\n"
-      "          [--hidden N] [--seed N]\n"
+      "          [--hidden N] [--seed N] [--dtype f32|f16|bf16|i8|b1]\n"
       "          [--profile[=roofline|numerics|all]] [--verbose]\n"
       "          [--guard] [--guard-retry N] [--guard-interval N]\n"
       "          [--guard-ring N] [--guard-nan-streak N]\n"
@@ -134,6 +140,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       cfg.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--dtype") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.dtype = dtype_from_name(v);
+      if (!cfg.dtype.has_value()) {
+        std::fprintf(stderr, "error: unknown dtype '%s'\n", v);
+        return usage(argv[0]);
+      }
     } else if (a == "--guard") {
       cfg.guard.enabled = true;
     } else if (a == "--guard-retry") {
@@ -180,6 +194,17 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   if (!have_lr) cfg.lr = nn::default_config(model).lr;
+  if (!cfg.dtype.has_value()) {
+    if (const char* env = std::getenv("HALFGNN_DTYPE");
+        env != nullptr && *env) {
+      cfg.dtype = dtype_from_name(env);
+      if (!cfg.dtype.has_value()) {
+        std::fprintf(stderr, "error: HALFGNN_DTYPE has unknown dtype '%s'\n",
+                     env);
+        return usage(argv[0]);
+      }
+    }
+  }
 
   const obs::EnvConfig obs_cfg = obs::init_from_env();
   if (!obs_cfg.trace_path.empty()) cfg.trace = true;
@@ -190,6 +215,13 @@ int main(int argc, char** argv) {
               nn::model_name(model), nn::mode_name(mode), d.name.c_str(),
               d.num_vertices(), static_cast<long>(d.num_edges()), cfg.epochs,
               static_cast<double>(cfg.lr));
+  if (cfg.dtype.has_value()) {
+    std::printf("precision override : dtype=%s%s\n",
+                std::string(dtype_name(*cfg.dtype)).c_str(),
+                dtype_trainable(*cfg.dtype)
+                    ? ""
+                    : " (trains f32, quantized eval forward)");
+  }
 
   const nn::TrainResult res = nn::train(model, mode, d, cfg);
   std::printf("\nbest test accuracy : %.2f%%\n", 100 * res.best_test_acc);

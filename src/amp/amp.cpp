@@ -34,4 +34,27 @@ bool shadow_half_available(std::string_view op) {
   return false;
 }
 
+namespace {
+// bf16's promotions are about precision, not range: the softmax family
+// accumulates many same-sign terms where 8 mantissa bits visibly bite.
+constexpr std::array<std::string_view, 3> kBf16Promoted = {
+    "softmax", "log_softmax", "cross_entropy"};
+}  // namespace
+
+bool autocast_promotes(std::string_view op, Dtype dt) {
+  switch (dt) {
+    case Dtype::kF16:
+      return autocast_promotes_to_f32(op);
+    case Dtype::kBf16:
+      for (auto p : kBf16Promoted) {
+        if (p == op) return true;
+      }
+      return false;
+    default:
+      return false;  // f32 already is f32; i8/b1 dense ops run f32
+  }
+}
+
+bool needs_loss_scaling(Dtype dt) { return dtype_needs_loss_scaling(dt); }
+
 }  // namespace hg::amp

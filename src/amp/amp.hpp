@@ -31,6 +31,19 @@ bool autocast_promotes_to_f32(std::string_view op);
 // exp(e - max) with e - max <= 0.
 bool shadow_half_available(std::string_view op);
 
+// Dtype-aware autocast policy (the precision lattice's view of the same
+// tables). f16 promotes the full Sec. 3.1.2 list — out of fear of
+// *overflow*. bf16 shares f32's exponent so overflow fear vanishes; only
+// the precision-sensitive softmax/cross-entropy reductions stay promoted
+// (8 mantissa bits lose real accuracy there). f32 and the PTQ dtypes
+// (whose dense ops already run f32) promote nothing.
+bool autocast_promotes(std::string_view op, Dtype dt);
+
+// Whether training in `dt` requires dynamic loss scaling. Only f16: its
+// 5-bit exponent underflows small gradients. bf16 explicitly does NOT —
+// the trainer must leave the GradScaler disengaged (scale pinned at 1).
+bool needs_loss_scaling(Dtype dt);
+
 class GradScaler {
  public:
   // Defaults match torch.cuda.amp's growth policy with this repo's

@@ -3,8 +3,10 @@
 // The paper's whole accuracy battle exists because binary16 trades range
 // for precision (max 65504). bfloat16 makes the opposite trade: float32's
 // 8-bit exponent (range to ~3.4e38, so GNN reductions essentially cannot
-// overflow) with only 8 total bits of mantissa precision. The
-// abl_bf16_counterfactual bench uses this type to quantify what HalfGNN's
+// overflow) with only 8 total bits of mantissa precision. Since the
+// precision-lattice refactor this is a full trainable dtype (tensor
+// storage, kernels, autocast policy, no loss scaling needed); the
+// abl_bf16_counterfactual bench uses it to quantify what HalfGNN's
 // discretized scaling buys relative to simply switching data types: bf16
 // avoids the INF collapse for free but pays ~8x coarser rounding per
 // element, which matters for small-magnitude accumulations.
@@ -50,18 +52,44 @@ class bf16_t {
   friend bf16_t operator+(bf16_t a, bf16_t b) noexcept {
     return bf16_t(a.to_float() + b.to_float());
   }
+  friend bf16_t operator-(bf16_t a, bf16_t b) noexcept {
+    return bf16_t(a.to_float() - b.to_float());
+  }
   friend bf16_t operator*(bf16_t a, bf16_t b) noexcept {
     return bf16_t(a.to_float() * b.to_float());
   }
   friend bf16_t operator/(bf16_t a, bf16_t b) noexcept {
     return bf16_t(a.to_float() / b.to_float());
   }
+  bf16_t operator-() const noexcept { return bf16_t(-to_float()); }
   bf16_t& operator+=(bf16_t o) noexcept { return *this = *this + o; }
+  bf16_t& operator-=(bf16_t o) noexcept { return *this = *this - o; }
+  bf16_t& operator*=(bf16_t o) noexcept { return *this = *this * o; }
+  bf16_t& operator/=(bf16_t o) noexcept { return *this = *this / o; }
+
+  friend bool operator==(bf16_t a, bf16_t b) noexcept {
+    return a.to_float() == b.to_float();
+  }
+  friend bool operator<(bf16_t a, bf16_t b) noexcept {
+    return a.to_float() < b.to_float();
+  }
+  friend bool operator>(bf16_t a, bf16_t b) noexcept {
+    return a.to_float() > b.to_float();
+  }
 
  private:
-  std::uint16_t bits_;
+  std::uint16_t bits_ = 0;  // value-initialized: T{} is +0 in every kernel
 };
 
 static_assert(sizeof(bf16_t) == 2);
+
+// Numeric-range constants (mirrors half_limits in half.hpp).
+namespace bf16_limits {
+inline constexpr float kMax = 3.3895313892515355e+38f;  // (2 - 2^-7) * 2^127
+inline constexpr float kMinNormal = 1.1754943508222875e-38f;  // 2^-126
+inline const bf16_t kInf = bf16_t::from_bits(0x7F80u);
+inline const bf16_t kNegInf = bf16_t::from_bits(0xFF80u);
+inline const bf16_t kQuietNaN = bf16_t::from_bits(0x7FC0u);
+}  // namespace bf16_limits
 
 }  // namespace hg

@@ -1,0 +1,66 @@
+// The precision lattice: every numeric format the stack can dispatch on.
+//
+// The paper's contribution is making binary16 survive GNN reductions; the
+// lattice generalizes that story into a frontier. Each dtype carries the
+// traits the dispatch / tensor / amp layers key on: storage width, vector
+// pack width on the simulated device, whether the format can overflow a
+// GNN reduction (f16 can — Fig. 1; bf16 and f32 share an 8-bit exponent
+// and essentially cannot), whether it is trainable end-to-end or an
+// inference-only quantization (i8/b1 are PTQ: trained in f32, quantized at
+// eval), and whether training in it needs loss scaling (only f16 — bf16's
+// range makes the GradScaler a no-op, and the amp policy must express
+// that).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace hg {
+
+// Order is load-bearing: kF32/kF16 keep their pre-lattice values so every
+// serialized report, ledger charge, and dispatch decision made before the
+// refactor is unchanged byte-for-byte.
+enum class Dtype { kF32, kF16, kBf16, kI8, kB1 };
+
+struct DtypeInfo {
+  std::string_view name;    // canonical spelling ("f32", "bf16", ...)
+  std::size_t bytes;        // storage width per element
+  int pack_width;           // elements per 128-bit device vector access
+  bool can_overflow;        // can a GNN-sized reduction leave the range?
+  bool trainable;           // full fwd/bwd/optimizer support
+  bool needs_loss_scaling;  // GradScaler required during training
+};
+
+constexpr DtypeInfo kDtypeInfo[] = {
+    /* kF32  */ {"f32", 4, 4, false, true, false},
+    /* kF16  */ {"f16", 2, 8, true, true, true},
+    /* kBf16 */ {"bf16", 2, 8, false, true, false},
+    /* kI8   */ {"i8", 1, 16, true, false, false},
+    /* kB1   */ {"b1", 1, 128, false, false, false},
+};
+
+constexpr const DtypeInfo& dtype_info(Dtype d) {
+  return kDtypeInfo[static_cast<int>(d)];
+}
+
+constexpr std::string_view dtype_name(Dtype d) { return dtype_info(d).name; }
+
+constexpr std::size_t dtype_bytes(Dtype d) { return dtype_info(d).bytes; }
+
+constexpr bool dtype_trainable(Dtype d) { return dtype_info(d).trainable; }
+
+constexpr bool dtype_needs_loss_scaling(Dtype d) {
+  return dtype_info(d).needs_loss_scaling;
+}
+
+// Parses a canonical dtype spelling; nullopt on anything else (callers own
+// the error message — CLI, env var, and bench all phrase it differently).
+constexpr std::optional<Dtype> dtype_from_name(std::string_view s) {
+  for (std::size_t i = 0; i < std::size(kDtypeInfo); ++i) {
+    if (kDtypeInfo[i].name == s) return static_cast<Dtype>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hg

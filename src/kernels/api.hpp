@@ -22,6 +22,7 @@
 #include <span>
 
 #include "graph/graph.hpp"
+#include "half/bf16.hpp"
 #include "half/vec.hpp"
 #include "simt/simt.hpp"
 #include "util/aligned.hpp"

@@ -1,0 +1,120 @@
+#include "kernels/bf16_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hg::kernels {
+
+namespace {
+
+using simt::Cta;
+using simt::KernelStats;
+using simt::Lanes;
+using simt::LaunchDesc;
+using simt::Op;
+using simt::prefix_mask;
+using simt::Warp;
+
+// bf16 fma: exact f32 multiply-add, one bf16 rounding per op.
+inline bf16_t bfma(bf16_t a, bf16_t b, bf16_t c) noexcept {
+  return bf16_t(a.to_float() * b.to_float() + c.to_float());
+}
+
+template <bool P>
+KernelStats spmm_bf16_impl(simt::Stream& stream, const GraphView& g,
+                           std::span<const bf16_t> edge_w,
+                           std::span<const bf16_t> x, std::span<bf16_t> y,
+                           int feat, Reduce reduce) {
+  const vid_t n = g.n();
+  const int fchunks = (feat + 31) / 32;
+  const bool is_max = reduce == Reduce::kMax;
+  const bool has_w = !edge_w.empty();
+  std::fill(y.begin(), y.end(), bf16_t(0.0f));
+  const LaunchDesc cfg{"spmm_bf16",
+                       static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
+                      w.warp_in_cta();
+      if (r >= n) return;
+      const eid_t lo = g.csr->offsets[r];
+      const eid_t hi = g.csr->offsets[r + 1];
+      const auto acc =
+          cta.template scratch<bf16_t>(static_cast<std::size_t>(feat));
+      if (is_max) {
+        for (int f = 0; f < feat; ++f) {
+          acc[static_cast<std::size_t>(f)] = bf16_limits::kNegInf;
+        }
+      }
+      for (eid_t b = lo; b < hi; b += 32) {
+        const int cnt = static_cast<int>(std::min<eid_t>(32, hi - b));
+        Lanes<vid_t> cols{};
+        w.template load_contiguous<vid_t>(g.csr->cols, b, cnt, cols);
+        Lanes<bf16_t> wv{};
+        if (has_w) {
+          w.template load_contiguous<bf16_t>(edge_w, b, cnt, wv);
+        }
+        for (int k = 0; k < cnt; ++k) {
+          const auto col = static_cast<std::int64_t>(
+              cols[static_cast<std::size_t>(k)]);
+          const bf16_t we =
+              has_w ? wv[static_cast<std::size_t>(k)] : bf16_t(1.0f);
+          for (int fc = 0; fc < fchunks; ++fc) {
+            const int lanes = std::min(32, feat - fc * 32);
+            Lanes<std::int64_t> idx{};
+            for (int l = 0; l < lanes; ++l) {
+              idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
+            }
+            Lanes<bf16_t> xv{};
+            w.template gather<bf16_t>(x, idx, prefix_mask(lanes), xv);
+            for (int l = 0; l < lanes; ++l) {
+              auto& slot = acc[static_cast<std::size_t>(fc * 32 + l)];
+              const bf16_t v = xv[static_cast<std::size_t>(l)];
+              slot = is_max ? std::max(slot, has_w ? we * v : v)
+                            : bfma(we, v, slot);
+            }
+            w.alu(Op::kHalfIntrin, 1, lanes);
+          }
+        }
+      }
+      // Epilogue: this warp owns row r outright, so mean scaling and the
+      // empty-row max fix-up happen in registers before the single store.
+      const bool empty = lo == hi;
+      bf16_t inv_deg(1.0f);
+      if (reduce == Reduce::kMean) {
+        inv_deg = bf16_t(1.0f /
+                         static_cast<float>(std::max<eid_t>(1, hi - lo)));
+      }
+      for (int fc = 0; fc < fchunks; ++fc) {
+        const int lanes = std::min(32, feat - fc * 32);
+        Lanes<bf16_t> v{};
+        for (int l = 0; l < lanes; ++l) {
+          bf16_t out = acc[static_cast<std::size_t>(fc * 32 + l)];
+          // Max over nothing is defined as 0 (matches reference/DGL).
+          if (is_max && empty) out = bf16_t(0.0f);
+          if (reduce == Reduce::kMean) out = out * inv_deg;
+          v[static_cast<std::size_t>(l)] = out;
+        }
+        if (reduce == Reduce::kMean) w.alu(Op::kHalfIntrin, 1, lanes);
+        w.template store_contiguous<bf16_t>(
+            y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
+      }
+    });
+  });
+}
+
+}  // namespace
+
+KernelStats spmm_bf16(simt::Stream& stream, bool profiled,
+                      const GraphView& g, std::span<const bf16_t> edge_w,
+                      std::span<const bf16_t> x, std::span<bf16_t> y,
+                      int feat, Reduce reduce) {
+  assert(y.size() == static_cast<std::size_t>(g.n()) *
+                         static_cast<std::size_t>(feat));
+  return profiled
+             ? spmm_bf16_impl<true>(stream, g, edge_w, x, y, feat, reduce)
+             : spmm_bf16_impl<false>(stream, g, edge_w, x, y, feat, reduce);
+}
+
+}  // namespace hg::kernels

@@ -1,0 +1,26 @@
+// bf16 SpMM — the precision lattice's third trainable dtype.
+//
+// Structure is GE-SpMM's (warp per row, conflict-free, no atomics): bf16
+// shares float32's exponent, so the overflow hazard that forces HalfGNN's
+// discretized scaling and the cuSPARSE half path's staging simply does not
+// exist — a plain register accumulation is numerically safe. What bf16
+// pays instead is 8-bit-mantissa rounding on every accumulate, which the
+// kernel models faithfully: each fma is an exact f32 multiply-add followed
+// by one bf16 rounding, priced at the half-intrinsic ALU class.
+#pragma once
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+// y[r,:] = reduce over neighbors c of edge_w[e] * x[c,:], all in bf16.
+// edge_w may be empty (weight 1). Reduce semantics match the cuSPARSE-like
+// path: kMean divides by max(1, degree) in a per-row epilogue, kMax over an
+// empty row is defined as 0.
+simt::KernelStats spmm_bf16(simt::Stream& stream, bool profiled,
+                            const GraphView& g,
+                            std::span<const bf16_t> edge_w,
+                            std::span<const bf16_t> x, std::span<bf16_t> y,
+                            int feat, Reduce reduce);
+
+}  // namespace hg::kernels

@@ -36,9 +36,14 @@ KernelStats edge_parallel(simt::Stream& stream, const char* name,
   });
 }
 
+// Reduced 16-bit element types (half_t / bf16_t) share the paper's
+// half-intrinsic cost class and per-op rounding; float is the reference.
+template <class T>
+inline constexpr bool reduced_v = sizeof(T) == 2;
+
 template <class T>
 float as_f(T v) {
-  if constexpr (std::is_same_v<T, half_t>) {
+  if constexpr (reduced_v<T>) {
     return v.to_float();
   } else {
     return v;
@@ -46,8 +51,8 @@ float as_f(T v) {
 }
 template <class T>
 T from_f(float v) {
-  if constexpr (std::is_same_v<T, half_t>) {
-    return half_t(v);
+  if constexpr (reduced_v<T>) {
+    return T(v);
   } else {
     return v;
   }
@@ -60,7 +65,7 @@ template <bool P, class T>
 KernelStats seg_reduce_impl(simt::Stream& stream, const GraphView& g,
                             std::span<const T> vals, std::span<T> out,
                             SegReduce reduce, const char* name) {
-  constexpr bool is_half = std::is_same_v<T, half_t>;
+  constexpr bool is_half = reduced_v<T>;
   const vid_t n = g.n();
   const LaunchDesc cfg{name,
                        static_cast<int>((n + kWarpsPerCta - 1) /
@@ -123,7 +128,7 @@ KernelStats edge_rowwise_impl(simt::Stream& stream,
                               const GraphView& g, std::span<const T> va,
                               std::span<const T> vb, std::span<T> out,
                               int mode, float slope, const char* name) {
-  constexpr bool is_half = std::is_same_v<T, half_t>;
+  constexpr bool is_half = reduced_v<T>;
   return edge_parallel<P>(
       stream, name, g.m(), [&](Warp<P>& w, eid_t b, int cnt) {
         Lanes<vid_t> rows{};
@@ -169,7 +174,7 @@ KernelStats edge_rowwise_impl(simt::Stream& stream,
             // device would, then the special-function result.
             if constexpr (is_half) {
               if (mode == 1) {
-                res = std::exp(as_f(half_t(v - rv)));
+                res = std::exp(as_f(from_f<T>(v - rv)));
               }
             }
             result[static_cast<std::size_t>(l)] = from_f<T>(res);
@@ -187,7 +192,7 @@ KernelStats softmax_bwd_impl(simt::Stream& stream, const GraphView& g,
                              std::span<const T> alpha,
                              std::span<const T> dalpha, std::span<const T> c,
                              std::span<T> out, const char* name) {
-  constexpr bool is_half = std::is_same_v<T, half_t>;
+  constexpr bool is_half = reduced_v<T>;
   return edge_parallel<P>(
       stream, name, g.m(), [&](Warp<P>& w, eid_t b, int cnt) {
         Lanes<vid_t> rows{};
@@ -219,7 +224,7 @@ template <bool P, class T>
 KernelStats leaky_bwd_impl(simt::Stream& stream,
                            std::span<const T> pre, std::span<const T> grad,
                            std::span<T> out, float slope, const char* name) {
-  constexpr bool is_half = std::is_same_v<T, half_t>;
+  constexpr bool is_half = reduced_v<T>;
   return edge_parallel<P>(
       stream, name, static_cast<eid_t>(pre.size()),
       [&](Warp<P>& w, eid_t b, int cnt) {
@@ -232,7 +237,7 @@ KernelStats leaky_bwd_impl(simt::Stream& stream,
           const bool pos = as_f(vp[lu]) > 0.0f;
           r[lu] = pos ? vg[lu] : from_f<T>(as_f(vg[lu]) * slope);
           if constexpr (is_half) {
-            if (!pos) r[lu] = vg[lu] * half_t(slope);
+            if (!pos) r[lu] = vg[lu] * from_f<T>(slope);
           }
         }
         w.alu(is_half ? Op::kHalfIntrin : Op::kFloatAlu, 1, cnt);
@@ -263,7 +268,7 @@ template <bool P, class T>
 KernelStats edge_mul_impl(simt::Stream& stream,
                           std::span<const T> a, std::span<const T> b,
                           std::span<T> out, const char* name) {
-  constexpr bool is_half = std::is_same_v<T, half_t>;
+  constexpr bool is_half = reduced_v<T>;
   return edge_parallel<P>(
       stream, name, static_cast<eid_t>(a.size()),
       [&](Warp<P>& w, eid_t bb, int cnt) {
@@ -466,6 +471,97 @@ KernelStats edge_permute_f16(simt::Stream& stream, bool profiled,
                                           "edge_permute_f16")),
               (permute_impl<false, half_t>(stream, in, perm, out,
                                            "edge_permute_f16")));
+}
+
+// --- bf16 flavor (precision-lattice dtype; same impls, bf16 rounding) ----
+
+KernelStats edge_segment_reduce_bf16(simt::Stream& stream,
+                                     bool profiled, const GraphView& g,
+                                     std::span<const bf16_t> vals,
+                                     std::span<bf16_t> out,
+                                     SegReduce reduce) {
+  assert(out.size() == static_cast<std::size_t>(g.n()));
+  HG_DISPATCH(seg_reduce,
+              (seg_reduce_impl<true, bf16_t>(stream, g, vals, out, reduce,
+                                             "edge_segreduce_bf16")),
+              (seg_reduce_impl<false, bf16_t>(stream, g, vals, out, reduce,
+                                              "edge_segreduce_bf16")));
+}
+KernelStats edge_add_scalars_bf16(simt::Stream& stream, bool profiled,
+                                  const GraphView& g,
+                                  std::span<const bf16_t> el,
+                                  std::span<const bf16_t> er,
+                                  std::span<bf16_t> out, float slope) {
+  HG_DISPATCH(rowwise,
+              (edge_rowwise_impl<true, bf16_t>(stream, g, el, er, out, 0,
+                                               slope, "edge_addscalar_bf16")),
+              (edge_rowwise_impl<false, bf16_t>(stream, g, el, er, out, 0,
+                                                slope,
+                                                "edge_addscalar_bf16")));
+}
+KernelStats edge_exp_sub_row_bf16(simt::Stream& stream, bool profiled,
+                                  const GraphView& g,
+                                  std::span<const bf16_t> vals,
+                                  std::span<const bf16_t> rowv,
+                                  std::span<bf16_t> out) {
+  HG_DISPATCH(rowwise,
+              (edge_rowwise_impl<true, bf16_t>(stream, g, vals, rowv, out, 1,
+                                               0.0f, "edge_expsub_bf16")),
+              (edge_rowwise_impl<false, bf16_t>(stream, g, vals, rowv, out, 1,
+                                                0.0f, "edge_expsub_bf16")));
+}
+KernelStats edge_div_row_bf16(simt::Stream& stream, bool profiled,
+                              const GraphView& g,
+                              std::span<const bf16_t> vals,
+                              std::span<const bf16_t> rowv,
+                              std::span<bf16_t> out) {
+  HG_DISPATCH(rowwise,
+              (edge_rowwise_impl<true, bf16_t>(stream, g, vals, rowv, out, 2,
+                                               0.0f, "edge_divrow_bf16")),
+              (edge_rowwise_impl<false, bf16_t>(stream, g, vals, rowv, out, 2,
+                                                0.0f, "edge_divrow_bf16")));
+}
+KernelStats edge_mul_bf16(simt::Stream& stream, bool profiled,
+                          std::span<const bf16_t> a,
+                          std::span<const bf16_t> b, std::span<bf16_t> out) {
+  HG_DISPATCH(mul,
+              (edge_mul_impl<true, bf16_t>(stream, a, b, out,
+                                           "edge_mul_bf16")),
+              (edge_mul_impl<false, bf16_t>(stream, a, b, out,
+                                            "edge_mul_bf16")));
+}
+KernelStats edge_softmax_backward_bf16(simt::Stream& stream,
+                                       bool profiled, const GraphView& g,
+                                       std::span<const bf16_t> alpha,
+                                       std::span<const bf16_t> dalpha,
+                                       std::span<const bf16_t> c,
+                                       std::span<bf16_t> out) {
+  HG_DISPATCH(smb,
+              (softmax_bwd_impl<true, bf16_t>(stream, g, alpha, dalpha, c,
+                                              out, "edge_softmax_bwd_bf16")),
+              (softmax_bwd_impl<false, bf16_t>(stream, g, alpha, dalpha, c,
+                                               out,
+                                               "edge_softmax_bwd_bf16")));
+}
+KernelStats edge_leaky_backward_bf16(simt::Stream& stream, bool profiled,
+                                     std::span<const bf16_t> pre,
+                                     std::span<const bf16_t> grad,
+                                     std::span<bf16_t> out, float slope) {
+  HG_DISPATCH(lb,
+              (leaky_bwd_impl<true, bf16_t>(stream, pre, grad, out, slope,
+                                            "edge_leaky_bwd_bf16")),
+              (leaky_bwd_impl<false, bf16_t>(stream, pre, grad, out, slope,
+                                             "edge_leaky_bwd_bf16")));
+}
+KernelStats edge_permute_bf16(simt::Stream& stream, bool profiled,
+                              std::span<const bf16_t> in,
+                              std::span<const eid_t> perm,
+                              std::span<bf16_t> out) {
+  HG_DISPATCH(perm,
+              (permute_impl<true, bf16_t>(stream, in, perm, out,
+                                          "edge_permute_bf16")),
+              (permute_impl<false, bf16_t>(stream, in, perm, out,
+                                           "edge_permute_bf16")));
 }
 
 #undef HG_DISPATCH

@@ -115,4 +115,46 @@ simt::KernelStats edge_mul_f16(simt::Stream& stream, bool profiled,
                                std::span<const half_t> b,
                                std::span<half_t> out);
 
+// bf16 flavor of every edge op (the precision-lattice trainable dtype):
+// the shared impls instantiated with bf16_t, so each elementwise result
+// rounds in bf16 and the ALU work takes the half-intrinsic cost class.
+simt::KernelStats edge_segment_reduce_bf16(simt::Stream& stream,
+                                           bool profiled, const GraphView& g,
+                                           std::span<const bf16_t> vals,
+                                           std::span<bf16_t> out,
+                                           SegReduce reduce);
+simt::KernelStats edge_add_scalars_bf16(simt::Stream& stream,
+                                        bool profiled, const GraphView& g,
+                                        std::span<const bf16_t> el,
+                                        std::span<const bf16_t> er,
+                                        std::span<bf16_t> out, float slope);
+simt::KernelStats edge_exp_sub_row_bf16(simt::Stream& stream,
+                                        bool profiled, const GraphView& g,
+                                        std::span<const bf16_t> vals,
+                                        std::span<const bf16_t> rowv,
+                                        std::span<bf16_t> out);
+simt::KernelStats edge_div_row_bf16(simt::Stream& stream,
+                                    bool profiled, const GraphView& g,
+                                    std::span<const bf16_t> vals,
+                                    std::span<const bf16_t> rowv,
+                                    std::span<bf16_t> out);
+simt::KernelStats edge_softmax_backward_bf16(
+    simt::Stream& stream, bool profiled, const GraphView& g,
+    std::span<const bf16_t> alpha, std::span<const bf16_t> dalpha,
+    std::span<const bf16_t> c, std::span<bf16_t> out);
+simt::KernelStats edge_leaky_backward_bf16(simt::Stream& stream,
+                                           bool profiled,
+                                           std::span<const bf16_t> pre,
+                                           std::span<const bf16_t> grad,
+                                           std::span<bf16_t> out,
+                                           float slope);
+simt::KernelStats edge_permute_bf16(simt::Stream& stream, bool profiled,
+                                    std::span<const bf16_t> in,
+                                    std::span<const eid_t> perm,
+                                    std::span<bf16_t> out);
+simt::KernelStats edge_mul_bf16(simt::Stream& stream, bool profiled,
+                                std::span<const bf16_t> a,
+                                std::span<const bf16_t> b,
+                                std::span<bf16_t> out);
+
 }  // namespace hg::kernels

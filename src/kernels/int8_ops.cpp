@@ -1,0 +1,181 @@
+#include "kernels/int8_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/prof/prof.hpp"
+
+namespace hg::kernels {
+
+namespace {
+
+using simt::Cta;
+using simt::KernelStats;
+using simt::Lanes;
+using simt::LaunchDesc;
+using simt::Op;
+using simt::prefix_mask;
+using simt::Warp;
+
+inline std::int8_t quantize_one(float v, float scale) noexcept {
+  if (std::isnan(v)) return 0;
+  const float q = v / scale;
+  const float clamped = std::min(127.0f, std::max(-127.0f, q));
+  return static_cast<std::int8_t>(std::lround(clamped));
+}
+
+template <bool P>
+KernelStats quantize_int8_impl(simt::Stream& stream,
+                               std::span<const float> in,
+                               std::span<std::int8_t> out, float scale) {
+  const auto total = static_cast<eid_t>(in.size());
+  const LaunchDesc cfg{"quantize_i8", num_ctas_for_edges(total),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const eid_t gw = static_cast<eid_t>(cta.cta_id()) * kWarpsPerCta +
+                       w.warp_in_cta();
+      const eid_t e0 = gw * kEdgesPerWarp;
+      const eid_t e1 = std::min<eid_t>(total, e0 + kEdgesPerWarp);
+      for (eid_t b = e0; b < e1; b += 32) {
+        const int cnt = static_cast<int>(std::min<eid_t>(32, e1 - b));
+        Lanes<float> xv{};
+        w.template load_contiguous<float>(in, b, cnt, xv);
+        Lanes<std::int8_t> qv{};
+        for (int l = 0; l < cnt; ++l) {
+          qv[static_cast<std::size_t>(l)] =
+              quantize_one(xv[static_cast<std::size_t>(l)], scale);
+        }
+        w.alu(Op::kCvt, 1, cnt);  // scale + round + clamp, the cvt unit
+        w.template store_contiguous<std::int8_t>(out, b, cnt, qv);
+      }
+    });
+  });
+}
+
+template <bool P>
+KernelStats spmm_int8_impl(simt::Stream& stream, const GraphView& g,
+                           std::span<const std::int8_t> edge_w_q, float dq,
+                           std::span<const std::int8_t> xq, std::span<float> y,
+                           int feat, Reduce reduce) {
+  const vid_t n = g.n();
+  const int fchunks = (feat + 31) / 32;
+  const bool is_max = reduce == Reduce::kMax;
+  const bool has_w = !edge_w_q.empty();
+  std::fill(y.begin(), y.end(), 0.0f);
+  const LaunchDesc cfg{"spmm_int8",
+                       static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
+                      w.warp_in_cta();
+      if (r >= n) return;
+      const eid_t lo = g.csr->offsets[r];
+      const eid_t hi = g.csr->offsets[r + 1];
+      // int32 accumulators (scratch is zero-initialized): the DP4A model —
+      // products of two int8 operands cannot overflow 2^31 over any
+      // realistic degree (127 * 127 * deg < 2^31 for deg < 133k).
+      const auto acc =
+          cta.template scratch<std::int32_t>(static_cast<std::size_t>(feat));
+      if (is_max) {
+        for (int f = 0; f < feat; ++f) {
+          acc[static_cast<std::size_t>(f)] = INT32_MIN;
+        }
+      }
+      for (eid_t b = lo; b < hi; b += 32) {
+        const int cnt = static_cast<int>(std::min<eid_t>(32, hi - b));
+        Lanes<vid_t> cols{};
+        w.template load_contiguous<vid_t>(g.csr->cols, b, cnt, cols);
+        Lanes<std::int8_t> wv{};
+        if (has_w) {
+          w.template load_contiguous<std::int8_t>(edge_w_q, b, cnt, wv);
+        }
+        for (int k = 0; k < cnt; ++k) {
+          const auto col = static_cast<std::int64_t>(
+              cols[static_cast<std::size_t>(k)]);
+          const std::int32_t we =
+              has_w ? wv[static_cast<std::size_t>(k)] : 1;
+          for (int fc = 0; fc < fchunks; ++fc) {
+            const int lanes = std::min(32, feat - fc * 32);
+            Lanes<std::int64_t> idx{};
+            for (int l = 0; l < lanes; ++l) {
+              idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
+            }
+            Lanes<std::int8_t> xv{};
+            w.template gather<std::int8_t>(xq, idx, prefix_mask(lanes), xv);
+            for (int l = 0; l < lanes; ++l) {
+              auto& slot = acc[static_cast<std::size_t>(fc * 32 + l)];
+              const std::int32_t v = xv[static_cast<std::size_t>(l)];
+              slot = is_max ? std::max(slot, v) : slot + we * v;
+            }
+            w.alu(Op::kIntAlu, 1, lanes);
+          }
+        }
+      }
+      // f32 dequantization epilogue; the warp owns row r outright.
+      const bool empty = lo == hi;
+      const float inv_deg =
+          1.0f / static_cast<float>(std::max<eid_t>(1, hi - lo));
+      for (int fc = 0; fc < fchunks; ++fc) {
+        const int lanes = std::min(32, feat - fc * 32);
+        Lanes<float> v{};
+        for (int l = 0; l < lanes; ++l) {
+          float out = 0.0f;
+          if (!empty) {
+            out = dq *
+                  static_cast<float>(acc[static_cast<std::size_t>(fc * 32 + l)]);
+            if (reduce == Reduce::kMean) out *= inv_deg;
+          }
+          v[static_cast<std::size_t>(l)] = out;
+        }
+        w.alu(Op::kCvt, 1, lanes);  // int32 -> f32 dequant
+        w.template store_contiguous<float>(
+            y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
+      }
+    });
+  });
+}
+
+}  // namespace
+
+QuantParams calibrate_int8(std::span<const float> vals) {
+  using obs::prof::ExpHist;
+  ExpHist h;
+  for (const float v : vals) h.add_float(v);
+  QuantParams q;
+  for (int i = ExpHist::kBins - 1; i >= 0; --i) {
+    if (h.bins[i] != 0) {
+      const int e = ExpHist::kMinExp + i;
+      q.scale = std::ldexp(1.0f, e + 1) / 127.0f;
+      break;
+    }
+  }
+  return q;
+}
+
+KernelStats quantize_int8(simt::Stream& stream, bool profiled,
+                          std::span<const float> in,
+                          std::span<std::int8_t> out, QuantParams q) {
+  assert(in.size() == out.size());
+  return profiled ? quantize_int8_impl<true>(stream, in, out, q.scale)
+                  : quantize_int8_impl<false>(stream, in, out, q.scale);
+}
+
+KernelStats spmm_int8(simt::Stream& stream, bool profiled, const GraphView& g,
+                      std::span<const std::int8_t> edge_w_q, QuantParams wq,
+                      std::span<const std::int8_t> xq, QuantParams xparams,
+                      std::span<float> y, int feat, Reduce reduce) {
+  assert(y.size() == static_cast<std::size_t>(g.n()) *
+                         static_cast<std::size_t>(feat));
+  const float dq =
+      xparams.scale * (edge_w_q.empty() ? 1.0f : wq.scale);
+  return profiled
+             ? spmm_int8_impl<true>(stream, g, edge_w_q, dq, xq, y, feat,
+                                    reduce)
+             : spmm_int8_impl<false>(stream, g, edge_w_q, dq, xq, y, feat,
+                                     reduce);
+}
+
+}  // namespace hg::kernels

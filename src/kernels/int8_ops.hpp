@@ -1,0 +1,46 @@
+// int8 post-training-quantization path (the lattice's i8 dtype,
+// inference only).
+//
+// Symmetric per-tensor quantization: q = clamp(round(v / scale), -127, 127)
+// with zero_point pinned at 0. The scale is *calibrated from the prof
+// numerics exponent histogram* — the same ExpHist the hgprof numerics
+// analyzer builds per store site: the top occupied power-of-two bin e
+// bounds |v| < 2^(e+1), so scale = 2^(e+1) / 127 covers the observed range
+// with no outlier sensitivity beyond the histogram's own.
+//
+// spmm_int8 accumulates products in int32 (the DP4A idiom) and dequantizes
+// once per output element in the row epilogue. Warp-per-row, conflict-free.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+struct QuantParams {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;  // always 0 here (symmetric)
+};
+
+// ExpHist-driven calibration over the values to be quantized. All-zero /
+// empty input yields scale 1.
+QuantParams calibrate_int8(std::span<const float> vals);
+
+// out[i] = clamp(round(in[i] / q.scale), -127, 127); NaN quantizes to 0.
+simt::KernelStats quantize_int8(simt::Stream& stream, bool profiled,
+                                std::span<const float> in,
+                                std::span<std::int8_t> out, QuantParams q);
+
+// y[r,:] = dequant( reduce over neighbors c of wq[e] * xq[c,:] ), f32 out.
+// edge_w_q may be empty (weight factor exactly 1, wq.scale ignored).
+// kMean divides by degree in the f32 epilogue; kMax maxes the quantized
+// values and ignores edge weights (empty rows produce 0, as everywhere).
+simt::KernelStats spmm_int8(simt::Stream& stream, bool profiled,
+                            const GraphView& g,
+                            std::span<const std::int8_t> edge_w_q,
+                            QuantParams wq, std::span<const std::int8_t> xq,
+                            QuantParams xparams, std::span<float> y, int feat,
+                            Reduce reduce);
+
+}  // namespace hg::kernels

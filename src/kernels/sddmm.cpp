@@ -29,6 +29,11 @@ KernelStats sddmm_dgl_impl(simt::Stream& stream, const GraphView& g,
   const int fchunks = (feat + 31) / 32;
   const LaunchDesc cfg{name, num_ctas_for_edges(m), kWarpsPerCta};
   constexpr bool is_half = std::is_same_v<T, half_t>;
+  // Op pricing per dtype: f32 pays float ALU, f16 pays the through-float
+  // conversion tax (Fig. 3a), bf16 fma rounds once per op at intrinsic cost.
+  constexpr Op alu_op = std::is_same_v<T, float> ? Op::kFloatAlu
+                        : is_half               ? Op::kHalfNaive
+                                                : Op::kHalfIntrin;
 
   return stream.launch<P>(cfg, [&](Cta<P>& cta) {
     cta.for_each_warp([&](Warp<P>& w) {
@@ -69,6 +74,12 @@ KernelStats sddmm_dgl_impl(simt::Stream& stream, const GraphView& g,
                   hfma(av[static_cast<std::size_t>(l)],
                        bv[static_cast<std::size_t>(l)],
                        acc[static_cast<std::size_t>(l)]);
+            } else if constexpr (std::is_same_v<T, bf16_t>) {
+              // bf16 fma: exact f32 multiply-add, one bf16 rounding.
+              acc[static_cast<std::size_t>(l)] = bf16_t(
+                  av[static_cast<std::size_t>(l)].to_float() *
+                      bv[static_cast<std::size_t>(l)].to_float() +
+                  acc[static_cast<std::size_t>(l)].to_float());
             } else {
               acc[static_cast<std::size_t>(l)] +=
                   av[static_cast<std::size_t>(l)] *
@@ -76,11 +87,10 @@ KernelStats sddmm_dgl_impl(simt::Stream& stream, const GraphView& g,
             }
           }
           // Fig. 3a: DGL's half arithmetic converts through float.
-          w.alu(is_half ? Op::kHalfNaive : Op::kFloatAlu, 1, lanes);
+          w.alu(alu_op, 1, lanes);
         }
         // Full-warp shuffle reduction: five rounds (Sec. 5.1.3).
-        w.butterfly_reduce(acc, 32, simt::kFullMask,
-                           is_half ? Op::kHalfNaive : Op::kFloatAlu,
+        w.butterfly_reduce(acc, 32, simt::kFullMask, alu_op,
                            [](T x, T y) { return x + y; });
         // Scalar per-edge store (uncoalesced in the DGL design).
         Lanes<std::int64_t> oi{};
@@ -310,6 +320,18 @@ KernelStats sddmm_dgl_f16(simt::Stream& stream, bool profiled,
                                             "sddmm_dgl_f16")
              : sddmm_dgl_impl<false, half_t>(stream, g, a, b, out, feat,
                                              "sddmm_dgl_f16");
+}
+
+KernelStats sddmm_bf16(simt::Stream& stream, bool profiled,
+                       const GraphView& g, std::span<const bf16_t> a,
+                       std::span<const bf16_t> b, std::span<bf16_t> out,
+                       int feat) {
+  assert(out.size() == static_cast<std::size_t>(g.m()));
+  return profiled
+             ? sddmm_dgl_impl<true, bf16_t>(stream, g, a, b, out, feat,
+                                            "sddmm_bf16")
+             : sddmm_dgl_impl<false, bf16_t>(stream, g, a, b, out, feat,
+                                             "sddmm_bf16");
 }
 
 KernelStats sddmm_halfgnn(simt::Stream& stream, bool profiled,

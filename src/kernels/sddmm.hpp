@@ -35,6 +35,13 @@ simt::KernelStats sddmm_dgl_f16(simt::Stream& stream, bool profiled,
                                 std::span<const half_t> b,
                                 std::span<half_t> out, int feat);
 
+// bf16 flavor of the DGL skeleton: scalar loads, per-op bf16 rounding at
+// half-intrinsic ALU cost (f32-width exponent, no overflow risk).
+simt::KernelStats sddmm_bf16(simt::Stream& stream, bool profiled,
+                             const GraphView& g, std::span<const bf16_t> a,
+                             std::span<const bf16_t> b,
+                             std::span<bf16_t> out, int feat);
+
 simt::KernelStats sddmm_halfgnn(simt::Stream& stream, bool profiled,
                                 const GraphView& g,
                                 std::span<const half_t> a,

@@ -1,0 +1,191 @@
+#include "kernels/spmm_binary.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace hg::kernels {
+
+namespace {
+
+using simt::Cta;
+using simt::KernelStats;
+using simt::Lanes;
+using simt::LaunchDesc;
+using simt::Op;
+using simt::prefix_mask;
+using simt::Warp;
+
+// Hacker's Delight 32x32 bit-matrix transpose (the warp-shuffle butterfly a
+// real GPU would run in 5 blend stages). Convention: with bit position p
+// read as column 31-p, a[k] is row k; we pack feature j at bit j, so after
+// transposing, the bits of feature j across the 32 rows sit in a[31-j].
+inline void transpose32(std::uint32_t a[32]) noexcept {
+  std::uint32_t m = 0x0000FFFFu;
+  for (int j = 16; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 32; k = (k + j + 1) & ~j) {
+      const std::uint32_t t = (a[k] ^ (a[k + j] >> j)) & m;
+      a[k] ^= t;
+      a[k + j] ^= t << j;
+    }
+  }
+}
+
+template <bool P>
+KernelStats binarize_pack_impl(simt::Stream& stream,
+                               std::span<const float> x, vid_t rows,
+                               int feat, std::span<std::uint32_t> bits,
+                               int wpr) {
+  const LaunchDesc cfg{
+      "binarize_pack_b1",
+      static_cast<int>((rows + kWarpsPerCta - 1) / kWarpsPerCta),
+      kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
+                      w.warp_in_cta();
+      if (r >= rows) return;
+      for (int wb = 0; wb < wpr; wb += 32) {
+        const int wcnt = std::min(32, wpr - wb);
+        Lanes<std::uint32_t> words{};
+        for (int wi = 0; wi < wcnt; ++wi) {
+          const int f0 = (wb + wi) * 32;
+          const int fl = std::min(32, feat - f0);
+          Lanes<float> xv{};
+          w.template load_contiguous<float>(
+              x, static_cast<std::int64_t>(r) * feat + f0, fl, xv);
+          std::uint32_t b = 0;
+          for (int j = 0; j < fl; ++j) {
+            if (xv[static_cast<std::size_t>(j)] >= 0.0f) b |= 1u << j;
+          }
+          // Sign test per lane + the warp-ballot that forms the word.
+          w.alu(Op::kIntAlu, 1, fl);
+          words[static_cast<std::size_t>(wi)] = b;
+        }
+        w.template store_contiguous<std::uint32_t>(
+            bits, static_cast<std::int64_t>(r) * wpr + wb, wcnt, words);
+      }
+    });
+  });
+}
+
+template <bool P>
+KernelStats spmm_binary_impl(simt::Stream& stream, const GraphView& g,
+                             const BinarizedFeatures& xb, std::span<float> y,
+                             int feat, Reduce reduce) {
+  const vid_t n = g.n();
+  const int wpr = xb.words_per_row;
+  const int fchunks = (feat + 31) / 32;
+  const float alpha = xb.alpha;
+  const std::span<const std::uint32_t> bits{xb.bits};
+  std::fill(y.begin(), y.end(), 0.0f);
+  const LaunchDesc cfg{"spmm_binary",
+                       static_cast<int>((n + kWarpsPerCta - 1) / kWarpsPerCta),
+                       kWarpsPerCta};
+  return stream.launch<P>(cfg, [&](Cta<P>& cta) {
+    cta.for_each_warp([&](Warp<P>& w) {
+      const vid_t r = static_cast<vid_t>(cta.cta_id()) * kWarpsPerCta +
+                      w.warp_in_cta();
+      if (r >= n) return;
+      const eid_t lo = g.csr->offsets[r];
+      const eid_t hi = g.csr->offsets[r + 1];
+      // Per-feature set-bit counters (scratch is zero-initialized).
+      const auto counts =
+          cta.template scratch<std::int32_t>(static_cast<std::size_t>(feat));
+      for (eid_t b = lo; b < hi; b += 32) {
+        const int cnt = static_cast<int>(std::min<eid_t>(32, hi - b));
+        Lanes<vid_t> cols{};
+        w.template load_contiguous<vid_t>(g.csr->cols, b, cnt, cols);
+        for (int wd = 0; wd < wpr; ++wd) {
+          Lanes<std::int64_t> idx{};
+          for (int l = 0; l < cnt; ++l) {
+            idx[static_cast<std::size_t>(l)] =
+                static_cast<std::int64_t>(cols[static_cast<std::size_t>(l)]) *
+                    wpr +
+                wd;
+          }
+          Lanes<std::uint32_t> nw{};
+          w.template gather<std::uint32_t>(bits, idx, prefix_mask(cnt), nw);
+          std::uint32_t block[32];
+          for (int l = 0; l < 32; ++l) {
+            block[l] = l < cnt ? nw[static_cast<std::size_t>(l)] : 0u;
+          }
+          transpose32(block);
+          const int fl = std::min(32, feat - wd * 32);
+          for (int j = 0; j < fl; ++j) {
+            counts[static_cast<std::size_t>(wd * 32 + j)] +=
+                static_cast<std::int32_t>(std::popcount(block[31 - j]));
+          }
+          w.alu(Op::kIntAlu, 6, 32);  // 5 transpose blend stages + select
+          w.alu(Op::kIntAlu, 1, fl);  // popc + accumulate
+        }
+      }
+      // Epilogue: restore magnitudes from the sign-domain counts. The warp
+      // owns row r outright, so this is a plain contiguous store.
+      const auto deg = static_cast<std::int32_t>(hi - lo);
+      for (int fc = 0; fc < fchunks; ++fc) {
+        const int lanes = std::min(32, feat - fc * 32);
+        Lanes<float> v{};
+        for (int l = 0; l < lanes; ++l) {
+          const std::int32_t c = counts[static_cast<std::size_t>(fc * 32 + l)];
+          float out = 0.0f;
+          if (deg > 0) {
+            switch (reduce) {
+              case Reduce::kSum:
+                out = alpha * static_cast<float>(2 * c - deg);
+                break;
+              case Reduce::kMean:
+                out = alpha * static_cast<float>(2 * c - deg) /
+                      static_cast<float>(deg);
+                break;
+              case Reduce::kMax:
+                out = c > 0 ? alpha : -alpha;
+                break;
+            }
+          }
+          v[static_cast<std::size_t>(l)] = out;
+        }
+        w.alu(Op::kFloatAlu, 2, lanes);
+        w.template store_contiguous<float>(
+            y, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
+      }
+    });
+  });
+}
+
+}  // namespace
+
+KernelStats binarize_pack(simt::Stream& stream, bool profiled,
+                          std::span<const float> x, vid_t rows, int feat,
+                          BinarizedFeatures& out) {
+  assert(x.size() == static_cast<std::size_t>(rows) *
+                         static_cast<std::size_t>(feat));
+  const int wpr = (feat + 31) / 32;
+  out.words_per_row = wpr;
+  out.bits.assign(static_cast<std::size_t>(rows) *
+                      static_cast<std::size_t>(wpr),
+                  0u);
+  // Host-side calibration pass: the XNOR-Net per-tensor scale.
+  double sum_abs = 0.0;
+  for (const float v : x) sum_abs += std::fabs(static_cast<double>(v));
+  out.alpha = x.empty() ? 1.0f
+                        : static_cast<float>(sum_abs /
+                                             static_cast<double>(x.size()));
+  std::span<std::uint32_t> bspan{out.bits};
+  return profiled
+             ? binarize_pack_impl<true>(stream, x, rows, feat, bspan, wpr)
+             : binarize_pack_impl<false>(stream, x, rows, feat, bspan, wpr);
+}
+
+KernelStats spmm_binary(simt::Stream& stream, bool profiled,
+                        const GraphView& g, const BinarizedFeatures& xb,
+                        std::span<float> y, int feat, Reduce reduce) {
+  assert(y.size() == static_cast<std::size_t>(g.n()) *
+                         static_cast<std::size_t>(feat));
+  assert(xb.words_per_row == (feat + 31) / 32);
+  return profiled ? spmm_binary_impl<true>(stream, g, xb, y, feat, reduce)
+                  : spmm_binary_impl<false>(stream, g, xb, y, feat, reduce);
+}
+
+}  // namespace hg::kernels

@@ -1,0 +1,45 @@
+// BitGNN-style binarized SpMM (the lattice's b1 dtype, inference only).
+//
+// Features are sign-binarized into packed 32-feature words with one
+// XNOR-Net-style per-tensor scale alpha = mean(|x|); aggregation over a
+// neighborhood then reduces to *counting set bits*: a warp gathers the
+// packed words of 32 neighbors, bit-transposes the 32x32 block so each
+// word holds one feature across all 32 neighbors, and popcounts. The
+// sign-domain sum recovers as alpha * (2*count - degree).
+//
+// Both kernels run through the executor warp-per-row and conflict-free
+// (each warp owns its output row outright), so the full accounting /
+// sanitizer / fault / profiler stack applies. Bit words are integer
+// traffic: the fault injector leaves them alone by design, exactly like
+// CSR indices.
+#pragma once
+
+#include "kernels/api.hpp"
+
+namespace hg::kernels {
+
+// Sign bit-planes of a row-major float feature matrix, plus the XNOR-Net
+// scale. Bit j of bits[r * words_per_row + w] is sign(x[r, w*32 + j] >= 0).
+struct BinarizedFeatures {
+  AlignedVec<std::uint32_t> bits;
+  int words_per_row = 0;
+  float alpha = 1.0f;  // mean(|x|), the per-tensor magnitude restorer
+};
+
+// Packs x (rows x feat) into `out` on-device; alpha is computed host-side
+// (a calibration pass, not kernel work). Conflict-free: warp per row.
+simt::KernelStats binarize_pack(simt::Stream& stream, bool profiled,
+                                std::span<const float> x, vid_t rows,
+                                int feat, BinarizedFeatures& out);
+
+// y[r, f] = alpha * (2 * popcount_agg(r, f) - deg(r))        (kSum)
+//           ... / deg(r)                                     (kMean)
+//           alpha * sign-domain max                          (kMax)
+// Edge weights do not participate: the b1 path binarizes the operand
+// matrix and treats the adjacency as 0/1 (the BitGNN approximation).
+simt::KernelStats spmm_binary(simt::Stream& stream, bool profiled,
+                              const GraphView& g,
+                              const BinarizedFeatures& xb, std::span<float> y,
+                              int feat, Reduce reduce);
+
+}  // namespace hg::kernels

@@ -13,6 +13,8 @@
 //               half8 SDDMM, shadow-API half edge ops, no conversions.
 #pragma once
 
+#include <optional>
+
 #include "graph/datasets.hpp"
 #include "kernels/api.hpp"
 #include "tensor/ledger.hpp"
@@ -99,6 +101,15 @@ struct SparseCtx {
   // a per-site fallback chain after persistent non-finite outputs
   // (nn/guard.hpp; nullptr = exactly the historical dispatch).
   TrainGuard* guard = nullptr;
+  // Working dtype override from the precision lattice. Unset = the
+  // historical mode-implied dtype (kDglFloat -> f32, else f16), so every
+  // pre-lattice call site dispatches exactly as before. bf16 trains
+  // end-to-end; i8/b1 are inference-only overrides applied at eval.
+  std::optional<Dtype> dtype_override;
+
+  Dtype dtype() const {
+    return dtype_override.value_or(working_dtype(mode));
+  }
 };
 
 }  // namespace hg::nn

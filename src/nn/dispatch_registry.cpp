@@ -1,0 +1,68 @@
+#include "nn/dispatch_registry.hpp"
+
+namespace hg::nn {
+
+namespace {
+
+// spmm ladders. The f16 chains reproduce the historical per-mode fallback
+// behaviour exactly (same labels, same lengths — guard escalation is
+// byte-identical):
+//   kHalfGnn:  spmm_halfgnn -> spmm_cusparse_f16 -> host reference
+//   kDglHalf:  spmm_cusparse_f16 -> f32 promotion -> host reference
+const DispatchChain kSpmmF32{{"spmm_cusparse_f32", "spmm_reference"}};
+const DispatchChain kSpmmF16HalfGnn{
+    {"spmm_halfgnn", "spmm_cusparse_f16", "spmm_reference"}};
+const DispatchChain kSpmmF16Dgl{
+    {"spmm_cusparse_f16", "spmm_cusparse_f32", "spmm_reference"}};
+const DispatchChain kSpmmBf16{{"spmm_bf16", "spmm_reference"}};
+const DispatchChain kSpmmI8{{"spmm_int8", "spmm_reference"}};
+const DispatchChain kSpmmB1{{"spmm_binary", "spmm_reference"}};
+const DispatchChain kSpmmUnknown{{"spmm_reference"}};
+
+// sddmm ladders: every dtype is one kernel away from the reference. The
+// PTQ dtypes keep their attention scores in f32 (only the SpMM operands
+// quantize), so they share the f32 ladder.
+const DispatchChain kSddmmF32{{"sddmm_dgl_f32", "sddmm_reference"}};
+const DispatchChain kSddmmF16HalfGnn{{"sddmm_halfgnn", "sddmm_reference"}};
+const DispatchChain kSddmmF16Dgl{{"sddmm_dgl_f16", "sddmm_reference"}};
+const DispatchChain kSddmmBf16{{"sddmm_bf16", "sddmm_reference"}};
+const DispatchChain kSddmmUnknown{{"sddmm_reference"}};
+
+}  // namespace
+
+const DispatchChain& dispatch_chain(std::string_view op, SystemMode mode,
+                                    Dtype dt) {
+  if (op == "spmm") {
+    switch (dt) {
+      case Dtype::kF32:
+        return kSpmmF32;
+      case Dtype::kF16:
+        return mode == SystemMode::kDglHalf ? kSpmmF16Dgl : kSpmmF16HalfGnn;
+      case Dtype::kBf16:
+        return kSpmmBf16;
+      case Dtype::kI8:
+        return kSpmmI8;
+      case Dtype::kB1:
+        return kSpmmB1;
+    }
+    return kSpmmUnknown;
+  }
+  if (op == "sddmm") {
+    switch (dt) {
+      case Dtype::kF32:
+      case Dtype::kI8:
+      case Dtype::kB1:
+        return kSddmmF32;
+      case Dtype::kF16:
+        return mode == SystemMode::kDglHalf ? kSddmmF16Dgl
+                                            : kSddmmF16HalfGnn;
+      case Dtype::kBf16:
+        return kSddmmBf16;
+    }
+    return kSddmmUnknown;
+  }
+  // Unknown op: no kernels to offer; callers treat this as reference-only.
+  return kSpmmUnknown;
+}
+
+}  // namespace hg::nn

@@ -1,0 +1,43 @@
+// The (op, mode, dtype)-keyed kernel registry behind the sparse dispatcher.
+//
+// Each entry is an *escalation ladder*: level 0 is the native kernel for
+// that dtype, every subsequent level is the TrainGuard's next resort after
+// a persistent non-finite streak, and the last level is always the host
+// fp64 reference (outside the simulated fault domain). The dispatcher
+// resolves the guard's current site level against this chain and keys its
+// body on the returned kernel label, so the label the guard's audit record
+// names is by construction the kernel actually dispatched.
+//
+// Mode only distinguishes ladders inside f16 — the paper's three systems
+// are three different f16 strategies. The other dtypes have one ladder
+// each: bf16/i8/b1 kernels cannot overflow (f32-range exponent, saturating
+// int arithmetic), so their only escape hatch is the reference.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/common.hpp"
+
+namespace hg::nn {
+
+struct DispatchChain {
+  std::vector<std::string> kernels;  // level 0 = native, last = reference
+
+  int len() const noexcept { return static_cast<int>(kernels.size()); }
+  // Clamped: a guard level past the end stays on the reference.
+  const std::string& at(int level) const {
+    const int i = std::min(std::max(level, 0), len() - 1);
+    return kernels[static_cast<std::size_t>(i)];
+  }
+};
+
+// Ladder lookup for "spmm" / "sddmm". A dtype with no registered entry
+// (future lattice points) falls back to the reference-only chain — the
+// dispatcher then runs the op through the f32 host reference rather than
+// guessing at a kernel.
+const DispatchChain& dispatch_chain(std::string_view op, SystemMode mode,
+                                    Dtype dt);
+
+}  // namespace hg::nn

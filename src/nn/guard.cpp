@@ -33,6 +33,12 @@ int TrainGuard::level(const std::string& site) const {
 
 void TrainGuard::observe_output(const std::string& site, bool nonfinite,
                                 int chain_len) {
+  observe_output(site, nonfinite, chain_len, std::string());
+}
+
+void TrainGuard::observe_output(const std::string& site, bool nonfinite,
+                                int chain_len,
+                                const std::string& next_kernel) {
   Site& s = sites_[site];
   if (!nonfinite) {
     s.streak = 0;
@@ -55,7 +61,9 @@ void TrainGuard::observe_output(const std::string& site, bool nonfinite,
     prof_->audit("fallback", site,
                  "non-finite output streak reached " +
                      std::to_string(std::max(1, cfg_.overflow_streak)) +
-                     "; escalated to chain level " + std::to_string(s.level));
+                     "; escalated to chain level " + std::to_string(s.level) +
+                     (next_kernel.empty() ? std::string()
+                                          : " (" + next_kernel + ")"));
   }
 }
 

@@ -69,7 +69,12 @@ class TrainGuard {
   int level(const std::string& site) const;
   // Feed one op output's health; after cfg_.overflow_streak consecutive
   // non-finite outputs the site escalates one level (capped at
-  // chain_len - 1) and the streak restarts.
+  // chain_len - 1) and the streak restarts. `next_kernel` names the kernel
+  // the site's dispatch chain resolves to after escalation (from the
+  // dtype-keyed dispatch registry) so the hgprof audit record names the
+  // kernel actually dispatched, not a hardcoded chain description.
+  void observe_output(const std::string& site, bool nonfinite, int chain_len,
+                      const std::string& next_kernel);
   void observe_output(const std::string& site, bool nonfinite, int chain_len);
 
   // --- checkpoint ring / rollback -------------------------------------------

@@ -18,7 +18,7 @@ class Linear {
     saved_x_ = to_dtype(x, x.dtype(), nullptr);  // state tensor (copy)
     if (ctx.meter != nullptr) ctx.meter->add_state(saved_x_.bytes());
     MTensor y = MTensor::zeros(x.dtype(), x.rows(), w_.master().cols());
-    gemm(x, false, w_.working(ctx.mode, ctx.ledger), false, y, ctx.ledger);
+    gemm(x, false, w_.working(ctx.dtype(), ctx.ledger), false, y, ctx.ledger);
     if (has_bias_) add_bias_rows(y, b_.master(), ctx.ledger);
     return y;
   }
@@ -35,7 +35,7 @@ class Linear {
       axpby(db, 1.0f, b_.grad(), 1.0f, nullptr);
     }
     MTensor dx = MTensor::zeros(dy.dtype(), dy.rows(), w_.master().rows());
-    gemm(dy, false, w_.working(ctx.mode, ctx.ledger), true, dx, ctx.ledger);
+    gemm(dy, false, w_.working(ctx.dtype(), ctx.ledger), true, dx, ctx.ledger);
     return dx;
   }
 

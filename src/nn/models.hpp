@@ -123,9 +123,9 @@ class GatConv {
     z_ = lin_.forward(ctx, x);
     MTensor el = MTensor::zeros(z_.dtype(), z_.rows(), 1);
     MTensor er = MTensor::zeros(z_.dtype(), z_.rows(), 1);
-    gemm(z_, false, al_.working(ctx.mode, ctx.ledger), false, el,
+    gemm(z_, false, al_.working(ctx.dtype(), ctx.ledger), false, el,
          ctx.ledger);
-    gemm(z_, false, ar_.working(ctx.mode, ctx.ledger), false, er,
+    gemm(z_, false, ar_.working(ctx.dtype(), ctx.ledger), false, er,
          ctx.ledger);
     s_ = edge_add_scalars(ctx, g, el, er, kSlope);
     MTensor mx = seg_reduce(ctx, g, s_, kernels::SegReduce::kMax);
@@ -169,11 +169,11 @@ class GatConv {
     // dz += del a_l^T + der a_r^T (rank-1 updates).
     {
       MTensor r1 = MTensor::zeros(dz.dtype(), dz.rows(), dz.cols());
-      gemm(del, false, al_.working(ctx.mode, ctx.ledger), true, r1,
+      gemm(del, false, al_.working(ctx.dtype(), ctx.ledger), true, r1,
            ctx.ledger);
       axpby(r1, 1.0f, dz, 1.0f, ctx.ledger);
       MTensor r2 = MTensor::zeros(dz.dtype(), dz.rows(), dz.cols());
-      gemm(der, false, ar_.working(ctx.mode, ctx.ledger), true, r2,
+      gemm(der, false, ar_.working(ctx.dtype(), ctx.ledger), true, r2,
            ctx.ledger);
       axpby(r2, 1.0f, dz, 1.0f, ctx.ledger);
     }

@@ -29,14 +29,21 @@ class Param {
   MTensor& adam_m() { return m_; }
   MTensor& adam_v() { return v_; }
 
-  // Working-precision view for forward/backward compute.
-  const MTensor& working(SystemMode mode, CostLedger* ledger) {
-    if (mode == SystemMode::kDglFloat) return master_;
-    if (!h_valid_) {
-      h_copy_ = to_dtype(master_, Dtype::kF16, ledger);
+  // Working-precision view for forward/backward compute, keyed on the
+  // lattice dtype. f32 (and the non-trainable PTQ dtypes, whose dense ops
+  // run in f32) alias the master; 16-bit dtypes get a cached converted
+  // copy refreshed after each optimizer step.
+  const MTensor& working(Dtype dt, CostLedger* ledger) {
+    if (dt == Dtype::kF32 || !dtype_trainable(dt)) return master_;
+    if (!h_valid_ || h_dtype_ != dt) {
+      h_copy_ = to_dtype(master_, dt, ledger);
+      h_dtype_ = dt;
       h_valid_ = true;
     }
     return h_copy_;
+  }
+  const MTensor& working(SystemMode mode, CostLedger* ledger) {
+    return working(working_dtype(mode), ledger);
   }
 
   void zero_grad() { grad_.fill(0.0f); }
@@ -79,6 +86,7 @@ class Param {
  private:
   MTensor master_, grad_, m_, v_;
   MTensor h_copy_;
+  Dtype h_dtype_ = Dtype::kF16;
   bool h_valid_ = false;
 };
 

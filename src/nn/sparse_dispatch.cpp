@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "kernels/bf16_ops.hpp"
+#include "kernels/int8_ops.hpp"
 #include "kernels/reference.hpp"
 #include "kernels/sddmm.hpp"
+#include "kernels/spmm_binary.hpp"
 #include "kernels/spmm_cusparse_like.hpp"
 #include "kernels/spmm_halfgnn.hpp"
+#include "nn/dispatch_registry.hpp"
 #include "nn/guard.hpp"
 #include "obs/trace.hpp"
 #include "simt/fault.hpp"
@@ -58,28 +63,57 @@ MTensor guarded(const SparseCtx& ctx, const char* op, F&& body) {
   }
 }
 
+// Edge-level ops run in the nearest *trainable* dtype: the PTQ dtypes
+// (i8/b1) quantize only the SpMM operands, so their edge work stays f32.
+Dtype edge_dtype(const SparseCtx& ctx) {
+  const Dtype dt = ctx.dtype();
+  return dtype_trainable(dt) ? dt : Dtype::kF32;
+}
+
 std::vector<float> to_f32_copy(const MTensor& t) {
   std::vector<float> out(t.numel());
-  if (t.dtype() == Dtype::kF32) {
-    const auto s = t.f();
-    std::copy(s.begin(), s.end(), out.begin());
-  } else {
-    const auto s = t.h();
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] = s[i].to_float();
+  switch (t.dtype()) {
+    case Dtype::kF32: {
+      const auto s = t.f();
+      std::copy(s.begin(), s.end(), out.begin());
+      break;
+    }
+    case Dtype::kBf16: {
+      const auto s = t.b();
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = s[i].to_float();
+      break;
+    }
+    default: {
+      const auto s = t.h();
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] = s[i].to_float();
+      break;
+    }
   }
   return out;
 }
 
 void write_back(MTensor& y, const std::vector<double>& ref) {
-  if (y.dtype() == Dtype::kF32) {
-    auto o = y.f();
-    for (std::size_t i = 0; i < o.size(); ++i) {
-      o[i] = static_cast<float>(ref[i]);
+  switch (y.dtype()) {
+    case Dtype::kF32: {
+      auto o = y.f();
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        o[i] = static_cast<float>(ref[i]);
+      }
+      break;
     }
-  } else {
-    auto o = y.h();
-    for (std::size_t i = 0; i < o.size(); ++i) {
-      o[i] = half_t(static_cast<float>(ref[i]));
+    case Dtype::kBf16: {
+      auto o = y.b();
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        o[i] = bf16_t(static_cast<float>(ref[i]));
+      }
+      break;
+    }
+    default: {
+      auto o = y.h();
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        o[i] = half_t(static_cast<float>(ref[i]));
+      }
+      break;
     }
   }
 }
@@ -111,43 +145,28 @@ MTensor sddmm_reference(const GraphCtx& g, const MTensor& a,
   return out;
 }
 
-// Guard fallback chain for spmm, per mode (level 0 = native kernel):
-//   kHalfGnn:  spmm_halfgnn -> spmm_cusparse_f16 -> host reference
-//   kDglHalf:  spmm_cusparse_f16 -> f32 promotion -> host reference
-//   kDglFloat: spmm_cusparse_f32 -> host reference
-int spmm_chain_len(SystemMode mode) {
-  return mode == SystemMode::kDglFloat ? 2 : 3;
-}
-
-enum class SpmmKernel { kNative, kDemotedF16, kPromotedF32, kReference };
-
-SpmmKernel spmm_pick(SystemMode mode, int level) {
-  if (level == 0) return SpmmKernel::kNative;
-  if (level >= spmm_chain_len(mode) - 1) return SpmmKernel::kReference;
-  return mode == SystemMode::kHalfGnn ? SpmmKernel::kDemotedF16
-                                      : SpmmKernel::kPromotedF32;
-}
-
 }  // namespace
 
 MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
              const MTensor& x, kernels::Reduce reduce) {
   const std::int64_t feat = x.cols();
-  const int chain_len = spmm_chain_len(ctx.mode);
+  const Dtype dt = ctx.dtype();
+  const DispatchChain& chain = dispatch_chain("spmm", ctx.mode, dt);
+  const int chain_len = chain.len();
   const int level =
       ctx.guard != nullptr
           ? std::min(ctx.guard->level("spmm"), chain_len - 1)
           : 0;
-  const SpmmKernel pick = spmm_pick(ctx.mode, level);
+  const std::string& kern = chain.at(level);
 
   MTensor y = guarded(ctx, "spmm", [&]() -> MTensor {
-    if (pick == SpmmKernel::kReference) {
+    if (kern == "spmm_reference") {
       decided("spmm", "spmm_reference",
               "guard fallback: host fp64 reference (outside the fault "
               "domain)");
       return spmm_reference(g, edge_w, x, reduce);
     }
-    if (pick == SpmmKernel::kPromotedF32) {
+    if (kern == "spmm_cusparse_f32" && dt == Dtype::kF16) {
       // DGL-half escalation: the half kernel keeps overflowing, so pay the
       // full AMP promotion — f32 inputs, f32 kernel, demote the result.
       decided("spmm", "spmm_cusparse_f32",
@@ -164,11 +183,51 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
         return y_f;
       });
     }
+    if (kern == "spmm_int8") {
+      // PTQ path: operands arrive f32 (the model trained in f32); quantize
+      // on the way in, accumulate int32, dequantize in the kernel epilogue.
+      decided("spmm", "spmm_int8",
+              "dtype=i8: symmetric per-tensor PTQ (ExpHist-calibrated "
+              "scale), int32 accumulation");
+      const kernels::QuantParams xq = kernels::calibrate_int8(x.f());
+      AlignedVec<std::int8_t> xqbuf(x.numel());
+      charge(ctx, kernels::quantize_int8(*ctx.stream, ctx.profiled, x.f(),
+                                         std::span<std::int8_t>(xqbuf), xq));
+      kernels::QuantParams wq;
+      AlignedVec<std::int8_t> wqbuf;
+      if (edge_w != nullptr && reduce != kernels::Reduce::kMax) {
+        wq = kernels::calibrate_int8(edge_w->f());
+        wqbuf.resize(edge_w->numel());
+        charge(ctx,
+               kernels::quantize_int8(*ctx.stream, ctx.profiled, edge_w->f(),
+                                      std::span<std::int8_t>(wqbuf), wq));
+      }
+      MTensor out = MTensor::f32(g.n(), feat);
+      charge(ctx, kernels::spmm_int8(
+                      *ctx.stream, ctx.profiled, g.view(),
+                      std::span<const std::int8_t>(wqbuf), wq,
+                      std::span<const std::int8_t>(xqbuf), xq, out.f(),
+                      static_cast<int>(feat), reduce));
+      return out;
+    }
+    if (kern == "spmm_binary") {
+      decided("spmm", "spmm_binary",
+              "dtype=b1: sign-binarized features, 32x32 bit-transpose + "
+              "popcount aggregation (XNOR-Net scale)");
+      kernels::BinarizedFeatures xb;
+      charge(ctx, kernels::binarize_pack(*ctx.stream, ctx.profiled, x.f(),
+                                         static_cast<vid_t>(x.rows()),
+                                         static_cast<int>(feat), xb));
+      MTensor out = MTensor::f32(g.n(), feat);
+      charge(ctx, kernels::spmm_binary(*ctx.stream, ctx.profiled, g.view(),
+                                       xb, out.f(), static_cast<int>(feat),
+                                       reduce));
+      return out;
+    }
     MTensor out = MTensor::zeros(x.dtype(), g.n(), feat);
-    if (pick == SpmmKernel::kDemotedF16 ||
-        ctx.mode == SystemMode::kDglHalf) {
+    if (kern == "spmm_cusparse_f16") {
       decided("spmm", "spmm_cusparse_f16",
-              pick == SpmmKernel::kDemotedF16
+              level > 0
                   ? "guard fallback: row-parallel half path replacing the "
                     "faulted halfgnn kernel"
                   : "mode=DGL-half: scalar-load half path with atomic-half "
@@ -180,38 +239,48 @@ MTensor spmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor* edge_w,
                       x.h(), out.h(), static_cast<int>(feat), reduce));
       return out;
     }
-    switch (ctx.mode) {
-      case SystemMode::kDglFloat: {
-        decided("spmm", "spmm_cusparse_f32",
-                "mode=DGL-float: row-parallel f32 cuSPARSE-like path");
-        charge(ctx, kernels::spmm_cusparse_f32(
-                        *ctx.stream, ctx.profiled, g.view(),
-                        edge_w != nullptr ? edge_w->f()
-                                          : std::span<const float>{},
-                        x.f(), out.f(), static_cast<int>(feat), reduce));
-        break;
-      }
-      case SystemMode::kDglHalf:
-        break;  // handled above
-      case SystemMode::kHalfGnn: {
-        kernels::HalfgnnSpmmOpts opts;
-        opts.reduce = reduce;
-        opts.scale = kernels::ScaleMode::kDiscretized;
-        decided("spmm", "spmm_halfgnn",
-                "mode=HalfGNN: edge-parallel half2 with discretized scaling "
-                "(overflow-protected reduction)");
-        charge(ctx, kernels::spmm_halfgnn(
-                        *ctx.stream, ctx.profiled, g.view(),
-                        edge_w != nullptr ? edge_w->h()
-                                          : std::span<const half_t>{},
-                        x.h(), out.h(), static_cast<int>(feat), opts));
-        break;
-      }
+    if (kern == "spmm_cusparse_f32") {
+      decided("spmm", "spmm_cusparse_f32",
+              ctx.mode == SystemMode::kDglFloat
+                  ? "mode=DGL-float: row-parallel f32 cuSPARSE-like path"
+                  : "dtype=f32: lattice override runs the float path");
+      charge(ctx, kernels::spmm_cusparse_f32(
+                      *ctx.stream, ctx.profiled, g.view(),
+                      edge_w != nullptr ? edge_w->f()
+                                        : std::span<const float>{},
+                      x.f(), out.f(), static_cast<int>(feat), reduce));
+      return out;
     }
-    return out;
+    if (kern == "spmm_halfgnn") {
+      kernels::HalfgnnSpmmOpts opts;
+      opts.reduce = reduce;
+      opts.scale = kernels::ScaleMode::kDiscretized;
+      decided("spmm", "spmm_halfgnn",
+              "mode=HalfGNN: edge-parallel half2 with discretized scaling "
+              "(overflow-protected reduction)");
+      charge(ctx, kernels::spmm_halfgnn(
+                      *ctx.stream, ctx.profiled, g.view(),
+                      edge_w != nullptr ? edge_w->h()
+                                        : std::span<const half_t>{},
+                      x.h(), out.h(), static_cast<int>(feat), opts));
+      return out;
+    }
+    if (kern == "spmm_bf16") {
+      decided("spmm", "spmm_bf16",
+              "dtype=bf16: warp-per-row register accumulation (f32-range "
+              "exponent, no overflow protection needed)");
+      charge(ctx, kernels::spmm_bf16(
+                      *ctx.stream, ctx.profiled, g.view(),
+                      edge_w != nullptr ? edge_w->b()
+                                        : std::span<const bf16_t>{},
+                      x.b(), out.b(), static_cast<int>(feat), reduce));
+      return out;
+    }
+    throw std::logic_error("spmm: unregistered kernel label " + kern);
   });
   if (ctx.guard != nullptr) {
-    ctx.guard->observe_output("spmm", y.has_nonfinite(), chain_len);
+    ctx.guard->observe_output("spmm", y.has_nonfinite(), chain_len,
+                              chain.at(std::min(level + 1, chain_len - 1)));
   }
   return y;
 }
@@ -232,60 +301,86 @@ MTensor sddmm(const SparseCtx& ctx, const GraphCtx& g, const MTensor& a,
     throw std::invalid_argument("sddmm: feature width mismatch");
   }
   const int feat = static_cast<int>(a.cols());
-  // Guard fallback chain: mode kernel -> host reference.
-  const int chain_len = 2;
+  const Dtype dt = ctx.dtype();
+  const DispatchChain& chain = dispatch_chain("sddmm", ctx.mode, dt);
+  const int chain_len = chain.len();
   const int level =
       ctx.guard != nullptr
           ? std::min(ctx.guard->level("sddmm"), chain_len - 1)
           : 0;
+  const std::string& kern = chain.at(level);
   MTensor out = guarded(ctx, "sddmm", [&]() -> MTensor {
-    if (level >= 1) {
+    if (kern == "sddmm_reference") {
       decided("sddmm", "sddmm_reference",
               "guard fallback: host fp64 reference (outside the fault "
               "domain)");
       return sddmm_reference(g, a, b);
     }
     MTensor o = MTensor::zeros(a.dtype(), g.m(), 1);
-    switch (ctx.mode) {
-      case SystemMode::kDglFloat:
-        decided("sddmm", "sddmm_dgl_f32",
-                "mode=DGL-float: scalar f32 dot per edge");
-        charge(ctx, kernels::sddmm_dgl_f32(*ctx.stream, ctx.profiled,
-                                           g.view(), a.f(), b.f(), o.f(),
-                                           feat));
-        break;
-      case SystemMode::kDglHalf:
-        decided("sddmm", "sddmm_dgl_f16",
-                "mode=DGL-half: scalar half loads (no vectorization)");
-        charge(ctx, kernels::sddmm_dgl_f16(*ctx.stream, ctx.profiled,
-                                           g.view(), a.h(), b.h(), o.h(),
-                                           feat));
-        break;
-      case SystemMode::kHalfGnn:
-        decided("sddmm", "sddmm_halfgnn",
-                "mode=HalfGNN: half8 vectorized loads (4x fewer sectors)");
-        charge(ctx, kernels::sddmm_halfgnn(*ctx.stream, ctx.profiled,
-                                           g.view(), a.h(), b.h(), o.h(),
-                                           feat, kernels::SddmmVec::kHalf8));
-        break;
+    if (kern == "sddmm_dgl_f32") {
+      decided("sddmm", "sddmm_dgl_f32",
+              ctx.mode == SystemMode::kDglFloat
+                  ? "mode=DGL-float: scalar f32 dot per edge"
+                  : "dtype=f32/PTQ: attention scores stay float");
+      charge(ctx, kernels::sddmm_dgl_f32(*ctx.stream, ctx.profiled, g.view(),
+                                         a.f(), b.f(), o.f(), feat));
+      return o;
     }
-    return o;
+    if (kern == "sddmm_dgl_f16") {
+      decided("sddmm", "sddmm_dgl_f16",
+              "mode=DGL-half: scalar half loads (no vectorization)");
+      charge(ctx, kernels::sddmm_dgl_f16(*ctx.stream, ctx.profiled, g.view(),
+                                         a.h(), b.h(), o.h(), feat));
+      return o;
+    }
+    if (kern == "sddmm_halfgnn") {
+      decided("sddmm", "sddmm_halfgnn",
+              "mode=HalfGNN: half8 vectorized loads (4x fewer sectors)");
+      charge(ctx, kernels::sddmm_halfgnn(*ctx.stream, ctx.profiled, g.view(),
+                                         a.h(), b.h(), o.h(), feat,
+                                         kernels::SddmmVec::kHalf8));
+      return o;
+    }
+    if (kern == "sddmm_bf16") {
+      decided("sddmm", "sddmm_bf16",
+              "dtype=bf16: scalar loads, per-op bf16 rounding at intrinsic "
+              "cost");
+      charge(ctx, kernels::sddmm_bf16(*ctx.stream, ctx.profiled, g.view(),
+                                      a.b(), b.b(), o.b(), feat));
+      return o;
+    }
+    throw std::logic_error("sddmm: unregistered kernel label " + kern);
   });
   if (ctx.guard != nullptr) {
-    ctx.guard->observe_output("sddmm", out.has_nonfinite(), chain_len);
+    ctx.guard->observe_output("sddmm", out.has_nonfinite(), chain_len,
+                              chain.at(std::min(level + 1, chain_len - 1)));
   }
   return out;
 }
 
 MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
                    const MTensor& edge_vals, kernels::SegReduce reduce) {
+  const Dtype dt = edge_dtype(ctx);
   return guarded(ctx, "seg_reduce", [&]() -> MTensor {
-    if (ctx.mode == SystemMode::kDglFloat) {
+    if (dt == Dtype::kF32) {
       MTensor out = MTensor::f32(g.n(), 1);
-      decided("seg_reduce", "edge_segment_reduce_f32", "mode=DGL-float");
+      decided("seg_reduce", "edge_segment_reduce_f32",
+              ctx.mode == SystemMode::kDglFloat
+                  ? "mode=DGL-float"
+                  : "dtype=f32: lattice override reduces in float");
       charge(ctx, kernels::edge_segment_reduce_f32(*ctx.stream, ctx.profiled,
                                                    g.view(), edge_vals.f(),
                                                    out.f(), reduce));
+      return out;
+    }
+    if (dt == Dtype::kBf16) {
+      MTensor out = MTensor::bf16(g.n(), 1);
+      decided("seg_reduce", "edge_segment_reduce_bf16",
+              "dtype=bf16: f32-range exponent, the reduction needs no "
+              "promotion");
+      charge(ctx, kernels::edge_segment_reduce_bf16(
+                      *ctx.stream, ctx.profiled, g.view(), edge_vals.b(),
+                      out.b(), reduce));
       return out;
     }
     if (ctx.mode == SystemMode::kDglHalf &&
@@ -316,12 +411,20 @@ MTensor seg_reduce(const SparseCtx& ctx, const GraphCtx& g,
 
 MTensor edge_add_scalars(const SparseCtx& ctx, const GraphCtx& g,
                          const MTensor& el, const MTensor& er, float slope) {
+  const Dtype dt = edge_dtype(ctx);
   return guarded(ctx, "edge_add_scalars", [&]() -> MTensor {
-    if (ctx.mode == SystemMode::kDglFloat) {
+    if (dt == Dtype::kF32) {
       MTensor out = MTensor::f32(g.m(), 1);
       charge(ctx, kernels::edge_add_scalars_f32(*ctx.stream, ctx.profiled,
                                                 g.view(), el.f(), er.f(),
                                                 out.f(), slope));
+      return out;
+    }
+    if (dt == Dtype::kBf16) {
+      MTensor out = MTensor::bf16(g.m(), 1);
+      charge(ctx, kernels::edge_add_scalars_bf16(*ctx.stream, ctx.profiled,
+                                                 g.view(), el.b(), er.b(),
+                                                 out.b(), slope));
       return out;
     }
     MTensor out = MTensor::f16(g.m(), 1);
@@ -334,54 +437,78 @@ MTensor edge_add_scalars(const SparseCtx& ctx, const GraphCtx& g,
 
 MTensor edge_exp_sub_row(const SparseCtx& ctx, const GraphCtx& g,
                          const MTensor& vals, const MTensor& rowv) {
+  const Dtype dt = edge_dtype(ctx);
   return guarded(ctx, "edge_exp", [&]() -> MTensor {
-    switch (ctx.mode) {
-      case SystemMode::kDglFloat: {
-        MTensor out = MTensor::f32(g.m(), 1);
-        decided("edge_exp", "edge_exp_sub_row_f32", "mode=DGL-float");
-        charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.stream, ctx.profiled,
-                                                  g.view(), vals.f(),
-                                                  rowv.f(), out.f()));
-        return out;
-      }
-      case SystemMode::kDglHalf: {
-        // AMP promotes exp: both operands ride to float, the result rides
-        // back (the exact churn Sec. 3.1.2 dissects).
-        decided("edge_exp", "edge_exp_sub_row_f32",
-                "mode=DGL-half: autocast promotes exp to f32 "
-                "(conversion churn both ways)");
-        MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
-        return promoted(ctx, vals, [&](const MTensor& vals_f) {
-          MTensor out = MTensor::f32(g.m(), 1);
-          charge(ctx, kernels::edge_exp_sub_row_f32(
-                          *ctx.stream, ctx.profiled, g.view(), vals_f.f(),
-                          rowv_f.f(), out.f()));
-          return out;
-        });
-      }
-      case SystemMode::kHalfGnn: {
-        // Shadow exp (Sec. 5.3): vals - rowmax <= 0, so half is safe.
-        decided("edge_exp", "edge_exp_sub_row_f16",
-                "mode=HalfGNN: shadow half exp (e - max <= 0, in range)");
-        MTensor out = MTensor::f16(g.m(), 1);
-        charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.stream, ctx.profiled,
-                                                  g.view(), vals.h(),
-                                                  rowv.h(), out.h()));
-        return out;
-      }
+    if (dt == Dtype::kF32) {
+      MTensor out = MTensor::f32(g.m(), 1);
+      decided("edge_exp", "edge_exp_sub_row_f32",
+              ctx.mode == SystemMode::kDglFloat
+                  ? "mode=DGL-float"
+                  : "dtype=f32: lattice override");
+      charge(ctx, kernels::edge_exp_sub_row_f32(*ctx.stream, ctx.profiled,
+                                                g.view(), vals.f(),
+                                                rowv.f(), out.f()));
+      return out;
     }
-    throw std::logic_error("unreachable");
+    if (dt == Dtype::kBf16) {
+      // bf16 exp needs no shadow argument: the f32-range exponent makes
+      // exp(e - max) with e - max <= 0 trivially safe.
+      decided("edge_exp", "edge_exp_sub_row_bf16",
+              "dtype=bf16: exp in range by construction (e - max <= 0)");
+      MTensor out = MTensor::bf16(g.m(), 1);
+      charge(ctx, kernels::edge_exp_sub_row_bf16(*ctx.stream, ctx.profiled,
+                                                 g.view(), vals.b(),
+                                                 rowv.b(), out.b()));
+      return out;
+    }
+    if (ctx.mode == SystemMode::kDglHalf) {
+      // AMP promotes exp: both operands ride to float, the result rides
+      // back (the exact churn Sec. 3.1.2 dissects).
+      decided("edge_exp", "edge_exp_sub_row_f32",
+              "mode=DGL-half: autocast promotes exp to f32 "
+              "(conversion churn both ways)");
+      MTensor rowv_f = to_dtype(rowv, Dtype::kF32, ctx.ledger);
+      return promoted(ctx, vals, [&](const MTensor& vals_f) {
+        MTensor out = MTensor::f32(g.m(), 1);
+        charge(ctx, kernels::edge_exp_sub_row_f32(
+                        *ctx.stream, ctx.profiled, g.view(), vals_f.f(),
+                        rowv_f.f(), out.f()));
+        return out;
+      });
+    }
+    // Shadow exp (Sec. 5.3): vals - rowmax <= 0, so half is safe.
+    decided("edge_exp", "edge_exp_sub_row_f16",
+            "mode=HalfGNN: shadow half exp (e - max <= 0, in range)");
+    MTensor out = MTensor::f16(g.m(), 1);
+    charge(ctx, kernels::edge_exp_sub_row_f16(*ctx.stream, ctx.profiled,
+                                              g.view(), vals.h(),
+                                              rowv.h(), out.h()));
+    return out;
   });
 }
 
 MTensor edge_div_row(const SparseCtx& ctx, const GraphCtx& g,
                      const MTensor& vals, const MTensor& rowv) {
+  const Dtype dt = edge_dtype(ctx);
   return guarded(ctx, "edge_div_row", [&]() -> MTensor {
-    if (ctx.mode == SystemMode::kDglFloat) {
+    if (dt == Dtype::kF32) {
       MTensor out = MTensor::f32(g.m(), 1);
       charge(ctx, kernels::edge_div_row_f32(*ctx.stream, ctx.profiled,
                                             g.view(), vals.f(), rowv.f(),
                                             out.f()));
+      return out;
+    }
+    if (dt == Dtype::kBf16) {
+      const MTensor vh = vals.dtype() == Dtype::kBf16
+                             ? to_dtype(vals, Dtype::kBf16, nullptr)
+                             : to_dtype(vals, Dtype::kBf16, ctx.ledger);
+      const MTensor rh = rowv.dtype() == Dtype::kBf16
+                             ? to_dtype(rowv, Dtype::kBf16, nullptr)
+                             : to_dtype(rowv, Dtype::kBf16, ctx.ledger);
+      MTensor out = MTensor::bf16(g.m(), 1);
+      charge(ctx, kernels::edge_div_row_bf16(*ctx.stream, ctx.profiled,
+                                             g.view(), vh.b(), rh.b(),
+                                             out.b()));
       return out;
     }
     // Inputs may arrive in float (post-promotion); bring them home to half
@@ -405,6 +532,9 @@ MTensor edge_mul(const SparseCtx& ctx, const MTensor& a, const MTensor& b) {
     if (a.dtype() == Dtype::kF32) {
       charge(ctx, kernels::edge_mul_f32(*ctx.stream, ctx.profiled, a.f(),
                                         b.f(), out.f()));
+    } else if (a.dtype() == Dtype::kBf16) {
+      charge(ctx, kernels::edge_mul_bf16(*ctx.stream, ctx.profiled, a.b(),
+                                         b.b(), out.b()));
     } else {
       charge(ctx, kernels::edge_mul_f16(*ctx.stream, ctx.profiled, a.h(),
                                         b.h(), out.h()));
@@ -422,6 +552,10 @@ MTensor edge_softmax_backward(const SparseCtx& ctx, const GraphCtx& g,
       charge(ctx, kernels::edge_softmax_backward_f32(
                       *ctx.stream, ctx.profiled, g.view(), alpha.f(),
                       dalpha.f(), c.f(), out.f()));
+    } else if (alpha.dtype() == Dtype::kBf16) {
+      charge(ctx, kernels::edge_softmax_backward_bf16(
+                      *ctx.stream, ctx.profiled, g.view(), alpha.b(),
+                      dalpha.b(), c.b(), out.b()));
     } else {
       charge(ctx, kernels::edge_softmax_backward_f16(
                       *ctx.stream, ctx.profiled, g.view(), alpha.h(),
@@ -439,6 +573,10 @@ MTensor edge_leaky_backward(const SparseCtx& ctx, const MTensor& pre,
       charge(ctx, kernels::edge_leaky_backward_f32(*ctx.stream, ctx.profiled,
                                                    pre.f(), grad.f(),
                                                    out.f(), slope));
+    } else if (grad.dtype() == Dtype::kBf16) {
+      charge(ctx, kernels::edge_leaky_backward_bf16(*ctx.stream, ctx.profiled,
+                                                    pre.b(), grad.b(),
+                                                    out.b(), slope));
     } else {
       charge(ctx, kernels::edge_leaky_backward_f16(*ctx.stream, ctx.profiled,
                                                    pre.h(), grad.h(),
@@ -455,6 +593,9 @@ MTensor edge_permute(const SparseCtx& ctx, const MTensor& in,
     if (in.dtype() == Dtype::kF32) {
       charge(ctx, kernels::edge_permute_f32(*ctx.stream, ctx.profiled, in.f(),
                                             perm, out.f()));
+    } else if (in.dtype() == Dtype::kBf16) {
+      charge(ctx, kernels::edge_permute_bf16(*ctx.stream, ctx.profiled,
+                                             in.b(), perm, out.b()));
     } else {
       charge(ctx, kernels::edge_permute_f16(*ctx.stream, ctx.profiled, in.h(),
                                             perm, out.h()));

@@ -65,15 +65,24 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   const int out_dim = pad_feat(classes);  // feature padding for half kernels
   auto model = make_model(kind, d.feat_dim, cfg.hidden, out_dim, rng);
 
+  // Precision lattice: the requested dtype defaults to the mode-implied one
+  // (bit-for-bit historical behavior when cfg.dtype is unset). PTQ dtypes
+  // (i8/b1) are not trainable — they train in f32 and apply the quantized
+  // forward only at the post-training eval below.
+  const Dtype req = cfg.dtype.value_or(working_dtype(mode));
+  const Dtype train_dt = dtype_trainable(req) ? req : Dtype::kF32;
+  const bool override_active = cfg.dtype.has_value();
+
   // Input features, cast once to the working dtype (a one-time cost, not
   // part of the per-epoch ledger).
   MTensor x_master = MTensor::f32(d.num_vertices(), d.feat_dim);
   std::copy(d.features.begin(), d.features.end(), x_master.f().begin());
-  MTensor x = mode == SystemMode::kDglFloat
-                  ? std::move(x_master)
-                  : to_dtype(x_master, Dtype::kF16, nullptr);
+  MTensor x = train_dt == Dtype::kF32 ? std::move(x_master)
+                                      : to_dtype(x_master, train_dt, nullptr);
 
-  const bool half = mode != SystemMode::kDglFloat;
+  // Loss scaling is an f16-range workaround; bf16 keeps the f32 exponent and
+  // trains unscaled (amp::needs_loss_scaling), exactly like f32.
+  const bool half = amp::needs_loss_scaling(train_dt);
   amp::GradScaler scaler;
   TrainResult res;
   int adam_t = 0;
@@ -89,6 +98,7 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   run_span.arg("vertices", static_cast<std::int64_t>(d.num_vertices()));
   run_span.arg("edges", static_cast<std::int64_t>(d.num_edges()));
   run_span.arg("epochs", static_cast<std::int64_t>(cfg.epochs));
+  if (override_active) run_span.arg("dtype", std::string(dtype_name(req)));
   const bool snapshot_metrics = obs::registry().enabled();
 
   // hgprof numerics telemetry: the profiler lives on the stream's device and
@@ -102,6 +112,8 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   const auto prof_sample = [&prof](const std::string& name, const MTensor& t) {
     if (t.dtype() == Dtype::kF16) {
       prof.sample_tensor(name, t.h());
+    } else if (t.dtype() == Dtype::kBf16) {
+      prof.sample_tensor(name, t.b());
     } else {
       prof.sample_tensor(name, t.f());
     }
@@ -120,6 +132,8 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     ctx.stream = cfg.stream != nullptr ? cfg.stream : &simt::default_stream();
     ctx.guard = use_guard ? &guard : nullptr;
     ctx.mode = mode;
+    ctx.dtype_override =
+        override_active ? std::optional<Dtype>(train_dt) : std::nullopt;
     ctx.profiled = (cfg.profile_first_epoch && epoch == 0) || cfg.trace;
     ctx.ledger = cfg.profile_first_epoch && epoch == 0 ? &res.epoch_ledger
                  : ctx.profiled                        ? &scratch_ledger
@@ -220,6 +234,20 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     }
   }
   res.final_test_acc = res.test_accs.empty() ? 0.0 : res.test_accs.back();
+  if (override_active && !dtype_trainable(req)) {
+    // Post-training quantization: one extra eval forward under the requested
+    // i8/b1 dtype. The trained f32 weights stay untouched; only the reported
+    // final accuracy reflects the quantized inference path (best_test_acc
+    // remains the training-time best).
+    HG_TRACE_SCOPE("ptq_eval", "phase");
+    SparseCtx ectx;
+    ectx.stream = cfg.stream != nullptr ? cfg.stream : &simt::default_stream();
+    ectx.mode = mode;
+    ectx.dtype_override = req;
+    MTensor elogits = model->forward(ectx, g, x);
+    res.final_test_acc =
+        masked_accuracy(elogits, d.labels, d.train_mask, 0, classes);
+  }
   res.scaler_skipped = scaler.skipped_steps();
   res.guard_retries = guard.retries();
   res.guard_rollbacks = guard.rollbacks();

@@ -15,6 +15,13 @@ struct TrainConfig {
   float lr = 0.01f;
   int hidden = 64;  // the paper's intermediate feature length
   std::uint64_t seed = 42;
+  // Precision-lattice override. Unset = the historical mode-implied dtype
+  // (kDglFloat -> f32, else f16), bit for bit. A trainable dtype (f32 /
+  // f16 / bf16) trains end-to-end in that dtype; f16 engages the
+  // GradScaler, bf16 and f32 run with the scale pinned at 1. A PTQ dtype
+  // (i8 / b1) trains in f32 and applies the override at a final quantized
+  // eval forward, whose accuracy becomes final_test_acc.
+  std::optional<Dtype> dtype;
   // Kernel stream; nullptr = simt::default_stream(). Benches and tests use
   // this to train against a Device with its own fault configuration.
   simt::Stream* stream = nullptr;

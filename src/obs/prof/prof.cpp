@@ -286,6 +286,13 @@ void Profiler::sample_tensor(const std::string& name,
   for (const float v : vals) h.add_float(v);
 }
 
+void Profiler::sample_tensor(const std::string& name,
+                             std::span<const bf16_t> vals) {
+  if (!cfg_.numerics()) return;
+  ExpHist& h = tensors_[name].by_epoch[epoch_];
+  for (const bf16_t v : vals) h.add_float(v.to_float());
+}
+
 void Profiler::note_loss_scale(float scale) {
   if (!cfg_.numerics()) return;
   loss_scale_.emplace_back(epoch_, scale);

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "half/bf16.hpp"
 #include "half/half.hpp"
 #include "half/vec.hpp"
 #include "obs/json.hpp"
@@ -137,6 +138,7 @@ class WarpProf {
     for (const half2 h : v.h2) note(h);
   }
   void note(float v) noexcept { hist_.add_float(v); }
+  void note(bf16_t v) noexcept { hist_.add_float(v.to_float()); }
   // Non-sampled element types (index arrays etc.) compile to nothing.
   template <class T>
   void note(const T&) noexcept {}
@@ -195,6 +197,7 @@ class Profiler {
   void begin_epoch(int epoch);
   void sample_tensor(const std::string& name, std::span<const half_t> vals);
   void sample_tensor(const std::string& name, std::span<const float> vals);
+  void sample_tensor(const std::string& name, std::span<const bf16_t> vals);
   void note_loss_scale(float scale);  // one point per optimizer step
   void audit(std::string event, std::string site, std::string signal);
 

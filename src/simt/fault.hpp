@@ -35,6 +35,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "half/bf16.hpp"
 #include "half/half.hpp"
 #include "half/vec.hpp"
 
@@ -102,12 +103,15 @@ constexpr std::uint64_t fault_mix(std::uint64_t x) noexcept {
 template <class T>
 inline constexpr bool fault_flippable_v =
     std::is_same_v<T, half_t> || std::is_same_v<T, half2> ||
-    std::is_same_v<T, float>;
+    std::is_same_v<T, float> || std::is_same_v<T, bf16_t>;
 
 template <class T>
 inline void fault_flip(T& v, std::uint64_t h) noexcept {
   if constexpr (std::is_same_v<T, half_t>) {
     v = half_t::from_bits(
+        static_cast<std::uint16_t>(v.bits() ^ (1u << (h % 16))));
+  } else if constexpr (std::is_same_v<T, bf16_t>) {
+    v = bf16_t::from_bits(
         static_cast<std::uint16_t>(v.bits() ^ (1u << (h % 16))));
   } else if constexpr (std::is_same_v<T, half2>) {
     // 32-bit payload: bit 0..15 lands in lo, 16..31 in hi.
@@ -128,6 +132,8 @@ template <class T>
 inline void fault_saturate(T& v) noexcept {
   if constexpr (std::is_same_v<T, half_t>) {
     v = half_limits::kInf;
+  } else if constexpr (std::is_same_v<T, bf16_t>) {
+    v = bf16_limits::kInf;
   } else if constexpr (std::is_same_v<T, half2>) {
     v.lo = half_limits::kInf;
     v.hi = half_limits::kInf;

@@ -17,8 +17,11 @@ std::vector<float> materialize(const MTensor& t, bool trans) {
     if (t.dtype() == Dtype::kF32) {
       const auto s = t.f();
       std::copy(s.begin(), s.end(), out.begin());
-    } else {
+    } else if (t.dtype() == Dtype::kF16) {
       const auto s = t.h();
+      for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i].to_float();
+    } else {
+      const auto s = t.b();
       for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i].to_float();
     }
   } else {
@@ -37,21 +40,25 @@ std::vector<float> materialize(const MTensor& t, bool trans) {
 MTensor to_dtype(const MTensor& in, Dtype dt, CostLedger* ledger) {
   MTensor out = MTensor::zeros(dt, in.rows(), in.cols());
   if (in.dtype() == dt) {
-    if (dt == Dtype::kF32) {
-      std::copy(in.f().begin(), in.f().end(), out.f().begin());
-    } else {
-      std::copy(in.h().begin(), in.h().end(), out.h().begin());
+    switch (dt) {
+      case Dtype::kF32:
+        std::copy(in.f().begin(), in.f().end(), out.f().begin());
+        break;
+      case Dtype::kF16:
+        std::copy(in.h().begin(), in.h().end(), out.h().begin());
+        break;
+      default:
+        std::copy(in.b().begin(), in.b().end(), out.b().begin());
+        break;
     }
     return out;  // same-dtype copy: no conversion charged
   }
-  if (dt == Dtype::kF32) {
-    const auto s = in.h();
-    auto d = out.f();
-    for (std::size_t i = 0; i < s.size(); ++i) d[i] = s[i].to_float();
-  } else {
-    const auto s = in.f();
-    auto d = out.h();
-    for (std::size_t i = 0; i < s.size(); ++i) d[i] = half_t(s[i]);
+  // Cross-dtype: every pair goes through float (exact for f16->f32 and
+  // bf16->f32; stores round once, matching a single device cvt).
+  for (std::int64_t r = 0; r < in.rows(); ++r) {
+    for (std::int64_t c = 0; c < in.cols(); ++c) {
+      out.set(r, c, in.get(r, c));
+    }
   }
   if (ledger != nullptr) ledger->add_conversion(in.bytes());
   return out;
@@ -69,7 +76,8 @@ void gemm(const MTensor& a, bool trans_a, const MTensor& b, bool trans_b,
   if (k != kb || c.rows() != m || c.cols() != n) {
     throw std::invalid_argument("gemm: shape mismatch");
   }
-  const bool half_compute = a.dtype() == Dtype::kF16;
+  // 16-bit inputs (f16 or bf16) take the tensor-core-style pricing.
+  const bool half_compute = dtype_bytes(a.dtype()) == 2;
   if (!half_compute && c.dtype() != Dtype::kF32) {
     throw std::invalid_argument("gemm: f32 inputs need f32 output");
   }
@@ -94,9 +102,12 @@ void gemm(const MTensor& a, bool trans_a, const MTensor& b, bool trans_b,
   }
   if (c.dtype() == Dtype::kF32) {
     std::copy(acc.begin(), acc.end(), c.f().begin());
-  } else {
+  } else if (c.dtype() == Dtype::kF16) {
     auto d = c.h();
     for (std::size_t i = 0; i < d.size(); ++i) d[i] = half_t(acc[i]);
+  } else {
+    auto d = c.b();
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] = bf16_t(acc[i]);
   }
   if (ledger != nullptr) ledger->add_gemm(m, n, k, half_compute);
 }
@@ -125,7 +136,7 @@ void relu_forward(MTensor& x, std::vector<std::uint8_t>& mask,
         s[i] = 0.0f;
       }
     }
-  } else {
+  } else if (x.dtype() == Dtype::kF16) {
     auto s = x.h();
     for (std::size_t i = 0; i < s.size(); ++i) {
       if (s[i] > half_t(0.0f)) {
@@ -135,6 +146,15 @@ void relu_forward(MTensor& x, std::vector<std::uint8_t>& mask,
       }
       // NaN passes through (mask 0), as on device: max(NaN, 0) quirks are
       // irrelevant here — NaN anywhere already means a poisoned run.
+    }
+  } else {
+    auto s = x.b();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] > bf16_t(0.0f)) {
+        mask[i] = 1;
+      } else if (!s[i].is_nan()) {
+        s[i] = bf16_t(0.0f);
+      }
     }
   }
   if (ledger != nullptr) ledger->add_elementwise(x.bytes() * 2);
@@ -150,10 +170,15 @@ void relu_backward(MTensor& grad, const std::vector<std::uint8_t>& mask,
     for (std::size_t i = 0; i < s.size(); ++i) {
       if (!mask[i]) s[i] = 0.0f;
     }
-  } else {
+  } else if (grad.dtype() == Dtype::kF16) {
     auto s = grad.h();
     for (std::size_t i = 0; i < s.size(); ++i) {
       if (!mask[i]) s[i] = half_t(0.0f);
+    }
+  } else {
+    auto s = grad.b();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!mask[i]) s[i] = bf16_t(0.0f);
     }
   }
   if (ledger != nullptr) ledger->add_elementwise(grad.bytes() * 2);
@@ -196,13 +221,20 @@ void axpby(const MTensor& x, float alpha, MTensor& y, float beta,
     for (std::size_t i = 0; i < ys.size(); ++i) {
       ys[i] = alpha * xs[i] + beta * ys[i];
     }
-  } else {
+  } else if (x.dtype() == Dtype::kF16) {
     auto ys = y.h();
     auto xs = x.h();
     const half_t ha(alpha), hb(beta);
     for (std::size_t i = 0; i < ys.size(); ++i) {
       // Device-style: each op rounds in half.
       ys[i] = hfma(ha, xs[i], hb * ys[i]);
+    }
+  } else {
+    auto ys = y.b();
+    auto xs = x.b();
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      // bf16 fma: exact f32 multiply-add, one rounding at the store.
+      ys[i] = bf16_t(alpha * xs[i].to_float() + beta * ys[i].to_float());
     }
   }
   if (ledger != nullptr) ledger->add_elementwise(x.bytes() * 3);
@@ -217,8 +249,8 @@ LossResult softmax_xent(const MTensor& logits, std::span<const int> labels,
   if (valid_classes > c) {
     throw std::invalid_argument("softmax_xent: valid_classes > cols");
   }
-  // AMP promotes softmax/CE to float: a half input pays the round trip.
-  if (logits.dtype() == Dtype::kF16 && ledger != nullptr) {
+  // AMP promotes softmax/CE to float: a 16-bit input pays the round trip.
+  if (logits.dtype() != Dtype::kF32 && ledger != nullptr) {
     ledger->add_conversion(logits.bytes());               // half -> float
     if (dlogits != nullptr) ledger->add_conversion(logits.bytes());  // back
   }

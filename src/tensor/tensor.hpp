@@ -1,28 +1,27 @@
-// Minimal 2-D row-major tensor with dual-precision storage.
+// Minimal 2-D row-major tensor with multi-precision storage.
 //
 // The accuracy story of the paper depends on *state tensors genuinely
-// living in half precision* between kernels (Sec. 3), so a tensor here is
-// either f32 or f16 — not a float tensor quantized on the fly. All buffers
-// are 64-byte aligned so they can be handed to the SIMT kernels (and
-// re-typed to half2/half4/half8) directly.
+// living in reduced precision* between kernels (Sec. 3), so a tensor here
+// is f32, f16, or bf16 — not a float tensor quantized on the fly. (i8/b1
+// from the precision lattice never materialize as MTensors: they are
+// inference-time kernel-level quantizations of f32 state.) All buffers are
+// 64-byte aligned so they can be handed to the SIMT kernels (and re-typed
+// to half2/half4/half8) directly.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 
+#include "half/bf16.hpp"
+#include "half/dtype.hpp"
 #include "half/half.hpp"
 #include "util/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace hg {
-
-enum class Dtype { kF32, kF16 };
-
-inline std::size_t dtype_bytes(Dtype d) {
-  return d == Dtype::kF32 ? 4 : 2;
-}
 
 class MTensor {
  public:
@@ -44,12 +43,27 @@ class MTensor {
     t.h_.assign(static_cast<std::size_t>(rows * cols), half_t(0.0f));
     return t;
   }
+  static MTensor bf16(std::int64_t rows, std::int64_t cols) {
+    MTensor t;
+    t.dtype_ = Dtype::kBf16;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.b_.assign(static_cast<std::size_t>(rows * cols), bf16_t(0.0f));
+    return t;
+  }
   static MTensor like(const MTensor& o, std::int64_t rows,
                       std::int64_t cols) {
-    return o.dtype() == Dtype::kF32 ? f32(rows, cols) : f16(rows, cols);
+    return zeros(o.dtype(), rows, cols);
   }
   static MTensor zeros(Dtype d, std::int64_t rows, std::int64_t cols) {
-    return d == Dtype::kF32 ? f32(rows, cols) : f16(rows, cols);
+    switch (d) {
+      case Dtype::kF32: return f32(rows, cols);
+      case Dtype::kF16: return f16(rows, cols);
+      case Dtype::kBf16: return bf16(rows, cols);
+      default:
+        throw std::invalid_argument("MTensor: no storage for dtype " +
+                                    std::string(dtype_name(d)));
+    }
   }
 
   Dtype dtype() const noexcept { return dtype_; }
@@ -76,41 +90,60 @@ class MTensor {
     assert(dtype_ == Dtype::kF16);
     return h_;
   }
+  std::span<bf16_t> b() {
+    assert(dtype_ == Dtype::kBf16);
+    return b_;
+  }
+  std::span<const bf16_t> b() const {
+    assert(dtype_ == Dtype::kBf16);
+    return b_;
+  }
 
   // Value access regardless of dtype (reads convert, writes round).
   float get(std::int64_t r, std::int64_t c) const {
     const auto i = static_cast<std::size_t>(r * cols_ + c);
-    return dtype_ == Dtype::kF32 ? f_[i] : h_[i].to_float();
+    switch (dtype_) {
+      case Dtype::kF16: return h_[i].to_float();
+      case Dtype::kBf16: return b_[i].to_float();
+      default: return f_[i];
+    }
   }
   void set(std::int64_t r, std::int64_t c, float v) {
     const auto i = static_cast<std::size_t>(r * cols_ + c);
-    if (dtype_ == Dtype::kF32) {
-      f_[i] = v;
-    } else {
-      h_[i] = half_t(v);
+    switch (dtype_) {
+      case Dtype::kF16: h_[i] = half_t(v); break;
+      case Dtype::kBf16: b_[i] = bf16_t(v); break;
+      default: f_[i] = v; break;
     }
   }
 
   void fill(float v) {
-    if (dtype_ == Dtype::kF32) {
-      std::fill(f_.begin(), f_.end(), v);
-    } else {
-      std::fill(h_.begin(), h_.end(), half_t(v));
+    switch (dtype_) {
+      case Dtype::kF16: std::fill(h_.begin(), h_.end(), half_t(v)); break;
+      case Dtype::kBf16: std::fill(b_.begin(), b_.end(), bf16_t(v)); break;
+      default: std::fill(f_.begin(), f_.end(), v); break;
     }
   }
 
   // Any non-finite value anywhere? (The AMP GradScaler's inf-check.)
   bool has_nonfinite() const {
-    if (dtype_ == Dtype::kF32) {
-      for (float v : f_) {
-        if (!std::isfinite(v)) return true;
-      }
-    } else {
-      for (half_t v : h_) {
-        if (!v.is_finite()) return true;
-      }
+    switch (dtype_) {
+      case Dtype::kF16:
+        for (half_t v : h_) {
+          if (!v.is_finite()) return true;
+        }
+        return false;
+      case Dtype::kBf16:
+        for (bf16_t v : b_) {
+          if (!v.is_finite()) return true;
+        }
+        return false;
+      default:
+        for (float v : f_) {
+          if (!std::isfinite(v)) return true;
+        }
+        return false;
     }
-    return false;
   }
 
  private:
@@ -118,6 +151,7 @@ class MTensor {
   std::int64_t rows_ = 0, cols_ = 0;
   AlignedVec<float> f_;
   AlignedVec<half_t> h_;
+  AlignedVec<bf16_t> b_;
 };
 
 // Xavier/Glorot-uniform initialization into a float tensor.

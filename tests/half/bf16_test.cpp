@@ -69,5 +69,88 @@ TEST(Bf16, NanHandling) {
   EXPECT_FALSE(inf.is_nan());
 }
 
+// Every one of the 2^16 bf16 bit patterns decodes to a float that is
+// exactly representable, so encoding it again must be the identity: any
+// drift here means the rounding add corrupts already-exact values. NaN
+// payloads may be quieted but must stay NaN with the sign preserved.
+TEST(Bf16, ExhaustiveRoundTripAllBitPatterns) {
+  for (std::uint32_t p = 0; p <= 0xFFFFu; ++p) {
+    const auto b = static_cast<std::uint16_t>(p);
+    const float f = bf16_bits_to_float(b);
+    const std::uint16_t back = float_to_bf16_bits(f);
+    if (std::isnan(f)) {
+      ASSERT_TRUE(bf16_t::from_bits(back).is_nan()) << "pattern " << p;
+      ASSERT_EQ(back & 0x8000u, b & 0x8000u) << "pattern " << p;
+    } else {
+      ASSERT_EQ(back, b) << "pattern " << p;
+    }
+  }
+}
+
+// The rounding constant 0x7FFF + lsb implements round-to-nearest-even:
+// a float exactly halfway between two adjacent bf16 values (low half-word
+// 0x8000) must land on the even neighbor, and the off-by-one values on
+// either side of the tie must round to the nearest neighbor outright.
+TEST(Bf16, RneTiesAtTheBoundary) {
+  const auto mk = [](std::uint32_t hi, std::uint32_t lo) {
+    return std::bit_cast<float>((hi << 16) | lo);
+  };
+  // 0x3F80 (1.0) is even: the tie stays; 0x3F81 is odd: the tie rounds up.
+  EXPECT_EQ(float_to_bf16_bits(mk(0x3F80u, 0x8000u)), 0x3F80u);
+  EXPECT_EQ(float_to_bf16_bits(mk(0x3F81u, 0x8000u)), 0x3F82u);
+  // One ulp either side of the tie is no longer a tie.
+  EXPECT_EQ(float_to_bf16_bits(mk(0x3F80u, 0x7FFFu)), 0x3F80u);
+  EXPECT_EQ(float_to_bf16_bits(mk(0x3F80u, 0x8001u)), 0x3F81u);
+  // Low half-word 0x7FFF alone (no lsb contribution) must never carry.
+  EXPECT_EQ(float_to_bf16_bits(mk(0x0000u, 0x7FFFu)), 0x0000u);
+  EXPECT_EQ(float_to_bf16_bits(mk(0x8000u, 0x7FFFu)), 0x8000u);
+  // The tie above the largest finite bf16 (0x7F7F, odd) carries into the
+  // exponent and produces infinity — rounding overflow, not wraparound.
+  EXPECT_TRUE(bf16_t::from_bits(float_to_bf16_bits(mk(0x7F7Fu, 0x8000u)))
+                  .is_inf());
+  // Negative mirror of the tie rule (sign bit rides along unchanged).
+  EXPECT_EQ(float_to_bf16_bits(mk(0xBF80u, 0x8000u)), 0xBF80u);
+  EXPECT_EQ(float_to_bf16_bits(mk(0xBF81u, 0x8000u)), 0xBF82u);
+}
+
+// A float NaN whose payload lives entirely in the low 16 bits would
+// truncate to the infinity pattern 0x7F80; the encoder must detect it and
+// force a quiet-NaN mantissa bit instead.
+TEST(Bf16, NanQuietingNeverProducesInf) {
+  const auto mk = [](std::uint32_t bits) { return std::bit_cast<float>(bits); };
+  for (const std::uint32_t payload : {0x1u, 0x7FFFu, 0x8000u, 0x40000u}) {
+    const std::uint16_t pos = float_to_bf16_bits(mk(0x7F800000u | payload));
+    const std::uint16_t neg = float_to_bf16_bits(mk(0xFF800000u | payload));
+    EXPECT_TRUE(bf16_t::from_bits(pos).is_nan()) << "payload " << payload;
+    EXPECT_TRUE(bf16_t::from_bits(neg).is_nan()) << "payload " << payload;
+    EXPECT_NE(pos & 0x0040u, 0u) << "payload " << payload;
+    EXPECT_EQ(neg & 0x8000u, 0x8000u) << "payload " << payload;
+  }
+  // Real infinities still pass through untouched.
+  EXPECT_EQ(float_to_bf16_bits(mk(0x7F800000u)), 0x7F80u);
+  EXPECT_EQ(float_to_bf16_bits(mk(0xFF800000u)), 0xFF80u);
+}
+
+TEST(Bf16, SubnormalBehavior) {
+  // bf16 subnormals are the float subnormal patterns with a 7-bit mantissa:
+  // smallest positive is 2^-133 (pattern 0x0001), and it round-trips
+  // exactly like every other pattern.
+  const float tiny = bf16_bits_to_float(0x0001u);
+  EXPECT_GT(tiny, 0.0f);
+  EXPECT_FLOAT_EQ(tiny, 0x1.0p-133f);
+  EXPECT_EQ(float_to_bf16_bits(tiny), 0x0001u);
+  // Floats below half the smallest subnormal flush to signed zero under
+  // RNE; the sign survives the flush.
+  const float below = 0x1.0p-149f;  // float's own smallest subnormal
+  EXPECT_EQ(float_to_bf16_bits(below), 0x0000u);
+  EXPECT_EQ(float_to_bf16_bits(-below), 0x8000u);
+  EXPECT_EQ(float_to_bf16_bits(-0.0f), 0x8000u);
+  // The tie exactly between 0 and the smallest subnormal (low half-word
+  // 0x8000 on a zero high half) rounds to even zero.
+  EXPECT_EQ(float_to_bf16_bits(std::bit_cast<float>(0x00008000u)), 0x0000u);
+  // Halfway between subnormal patterns 0x0001 and 0x0002 rounds to even.
+  EXPECT_EQ(float_to_bf16_bits(std::bit_cast<float>(0x00018000u)), 0x0002u);
+}
+
 }  // namespace
 }  // namespace hg

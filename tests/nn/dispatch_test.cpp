@@ -7,7 +7,10 @@
 
 #include "graph/generators.hpp"
 #include "kernels/reference.hpp"
+#include "nn/dispatch_registry.hpp"
+#include "nn/guard.hpp"
 #include "nn/sparse_dispatch.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/dense_ops.hpp"
 
 namespace hg::nn {
@@ -131,6 +134,159 @@ TEST(SparseDispatch, SddmmDispatchesPerMode) {
   for (std::size_t e = 0; e < ref.size(); ++e) {
     ASSERT_NEAR(ef.f()[e], ref[e], 1e-4 + 1e-4 * std::abs(ref[e]));
     ASSERT_NEAR(eo.h()[e].to_float(), ref[e], 0.03 + 0.05 * std::abs(ref[e]));
+  }
+}
+
+// The dtype-keyed registry is the single source of truth for what runs at
+// each guard escalation level. Pin the full (op, dtype) table: native
+// kernel first, reference last, with the f16 chain still keyed on mode
+// (HalfGNN's shadow kernel vs DGL-half's f32 promotion detour).
+TEST(DispatchRegistry, FullOpDtypeTable) {
+  using K = std::vector<std::string>;
+  const auto chain = [](const char* op, SystemMode m, Dtype dt) {
+    return dispatch_chain(op, m, dt).kernels;
+  };
+  const SystemMode hg = SystemMode::kHalfGnn;
+  EXPECT_EQ(chain("spmm", hg, Dtype::kF32),
+            (K{"spmm_cusparse_f32", "spmm_reference"}));
+  EXPECT_EQ(chain("spmm", hg, Dtype::kF16),
+            (K{"spmm_halfgnn", "spmm_cusparse_f16", "spmm_reference"}));
+  EXPECT_EQ(chain("spmm", SystemMode::kDglHalf, Dtype::kF16),
+            (K{"spmm_cusparse_f16", "spmm_cusparse_f32", "spmm_reference"}));
+  EXPECT_EQ(chain("spmm", hg, Dtype::kBf16),
+            (K{"spmm_bf16", "spmm_reference"}));
+  EXPECT_EQ(chain("spmm", hg, Dtype::kI8),
+            (K{"spmm_int8", "spmm_reference"}));
+  EXPECT_EQ(chain("spmm", hg, Dtype::kB1),
+            (K{"spmm_binary", "spmm_reference"}));
+
+  EXPECT_EQ(chain("sddmm", hg, Dtype::kF32),
+            (K{"sddmm_dgl_f32", "sddmm_reference"}));
+  // sddmm ladders are two deep (native -> reference), matching the
+  // pre-lattice escalation behavior bit for bit.
+  EXPECT_EQ(chain("sddmm", hg, Dtype::kF16),
+            (K{"sddmm_halfgnn", "sddmm_reference"}));
+  EXPECT_EQ(chain("sddmm", SystemMode::kDglHalf, Dtype::kF16),
+            (K{"sddmm_dgl_f16", "sddmm_reference"}));
+  EXPECT_EQ(chain("sddmm", hg, Dtype::kBf16),
+            (K{"sddmm_bf16", "sddmm_reference"}));
+  // PTQ dtypes keep attention scores in float: the sddmm chain is the f32
+  // one, not a quantized variant.
+  EXPECT_EQ(chain("sddmm", hg, Dtype::kI8), chain("sddmm", hg, Dtype::kF32));
+  EXPECT_EQ(chain("sddmm", hg, Dtype::kB1), chain("sddmm", hg, Dtype::kF32));
+}
+
+TEST(DispatchRegistry, UnknownDtypeFallsBackToF32Reference) {
+  const auto bogus = static_cast<Dtype>(99);
+  for (const char* op : {"spmm", "sddmm"}) {
+    const DispatchChain& c =
+        dispatch_chain(op, SystemMode::kHalfGnn, bogus);
+    ASSERT_EQ(c.len(), 1) << op;
+    EXPECT_EQ(c.kernels.front(),
+              std::string(op) + "_reference") << op;
+    // at() clamps past-the-end levels to the last (reference) entry.
+    EXPECT_EQ(c.at(0), c.at(7)) << op;
+  }
+}
+
+// Each dtype's guard ladder follows its registry chain: after an overflow
+// escalation the dispatcher must launch the chain's next kernel, and the
+// dispatch.<op>.<kernel> counter names the kernel actually run.
+TEST(SparseDispatch, GuardLaddersFollowThePerDtypeChains) {
+  Fixture fx(21);
+  Rng rng(22);
+  const auto n = static_cast<std::size_t>(fx.csr.num_vertices);
+  const int feat = 16;
+  MTensor xf = MTensor::f32(static_cast<std::int64_t>(n), feat);
+  for (auto& v : xf.f()) v = rng.next_float() * 2 - 1;
+
+  struct Case {
+    Dtype dt;
+    const char* level0;
+    const char* level1;
+  };
+  const std::vector<Case> cases{
+      {Dtype::kF16, "spmm_halfgnn", "spmm_cusparse_f16"},
+      {Dtype::kBf16, "spmm_bf16", "spmm_reference"},
+      {Dtype::kI8, "spmm_int8", "spmm_reference"},
+      {Dtype::kB1, "spmm_binary", "spmm_reference"},
+  };
+  for (const Case& c : cases) {
+    const MTensor x = dtype_trainable(c.dt) && c.dt != Dtype::kF32
+                          ? to_dtype(xf, c.dt, nullptr)
+                          : to_dtype(xf, Dtype::kF32, nullptr);
+    GuardConfig gcfg;
+    gcfg.enabled = true;
+    gcfg.overflow_streak = 1;  // one bad output escalates immediately
+    TrainGuard guard(gcfg);
+    SparseCtx ctx;
+    ctx.mode = SystemMode::kHalfGnn;
+    ctx.guard = &guard;
+    ctx.dtype_override = c.dt;
+
+    obs::registry().reset();
+    obs::registry().set_enabled(true);
+    (void)spmm(ctx, *fx.g, nullptr, x, kernels::Reduce::kMean);
+    EXPECT_EQ(obs::registry().counter_value(std::string("dispatch.spmm.") +
+                                            c.level0),
+              1.0)
+        << dtype_name(c.dt);
+
+    // Simulate the overflow streak the dispatcher would observe, then
+    // confirm the next call runs the chain's level-1 kernel.
+    const DispatchChain& chain =
+        dispatch_chain("spmm", SystemMode::kHalfGnn, c.dt);
+    guard.observe_output("spmm", /*nonfinite=*/true, chain.len(),
+                         chain.at(1));
+    ASSERT_EQ(guard.level("spmm"), 1) << dtype_name(c.dt);
+    (void)spmm(ctx, *fx.g, nullptr, x, kernels::Reduce::kMean);
+    EXPECT_EQ(obs::registry().counter_value(std::string("dispatch.spmm.") +
+                                            c.level1),
+              1.0)
+        << dtype_name(c.dt);
+    obs::registry().set_enabled(false);
+    obs::registry().reset();
+  }
+}
+
+// The lattice kernels agree with the f32 path within each dtype's error
+// budget: bf16 within its 8-bit-significand rounding, int8 PTQ within the
+// calibrated quantization step. (b1's sign-binarized aggregation is a
+// different operator by design; its accuracy story lives in
+// bench_precision, not in elementwise agreement.)
+TEST(SparseDispatch, LatticeDtypesTrackTheF32Spmm) {
+  Fixture fx(23);
+  Rng rng(24);
+  const auto n = static_cast<std::size_t>(fx.csr.num_vertices);
+  const int feat = 16;
+  MTensor xf = MTensor::f32(static_cast<std::int64_t>(n), feat);
+  for (auto& v : xf.f()) v = rng.next_float() * 2 - 1;
+
+  SparseCtx ctx;
+  ctx.mode = SystemMode::kHalfGnn;
+  ctx.dtype_override = Dtype::kF32;
+  const MTensor yf = spmm(ctx, *fx.g, nullptr, xf, kernels::Reduce::kMean);
+
+  ctx.dtype_override = Dtype::kBf16;
+  const MTensor xb = to_dtype(xf, Dtype::kBf16, nullptr);
+  const MTensor yb = spmm(ctx, *fx.g, nullptr, xb, kernels::Reduce::kMean);
+  ASSERT_EQ(yb.dtype(), Dtype::kBf16);
+
+  ctx.dtype_override = Dtype::kI8;
+  const MTensor yq = spmm(ctx, *fx.g, nullptr, xf, kernels::Reduce::kMean);
+  ASSERT_EQ(yq.dtype(), Dtype::kF32);  // PTQ dequantizes on the way out
+
+  ctx.dtype_override = Dtype::kB1;
+  const MTensor y1 = spmm(ctx, *fx.g, nullptr, xf, kernels::Reduce::kMean);
+  ASSERT_EQ(y1.dtype(), Dtype::kF32);
+
+  for (std::int64_t i = 0; i < yf.rows(); ++i) {
+    for (int j = 0; j < feat; ++j) {
+      const float f = yf.get(i, j);
+      EXPECT_NEAR(yb.get(i, j), f, 0.02 + 0.05 * std::abs(f)) << i;
+      EXPECT_NEAR(yq.get(i, j), f, 0.03 + 0.05 * std::abs(f)) << i;
+      EXPECT_TRUE(std::isfinite(y1.get(i, j))) << i;
+    }
   }
 }
 

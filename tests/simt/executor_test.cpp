@@ -16,7 +16,10 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "kernels/bf16_ops.hpp"
+#include "kernels/int8_ops.hpp"
 #include "kernels/sddmm.hpp"
+#include "kernels/spmm_binary.hpp"
 #include "kernels/spmm_cusparse_like.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -190,6 +193,9 @@ struct SweepResult {
   std::vector<std::uint16_t> sddmm_bits;     // half8 SDDMM (conflict-free)
   std::vector<std::uint16_t> spmm_f16_bits;  // atomic-half SpMM (staged sum)
   std::vector<std::uint32_t> spmm_f32_bits;  // atomic-max SpMM (staged max)
+  std::vector<std::uint16_t> spmm_bf16_bits;  // lattice bf16 (warp-per-row)
+  std::vector<std::uint32_t> spmm_b1_bits;    // binary popcount aggregation
+  std::vector<std::uint32_t> spmm_i8_bits;    // int8 PTQ (int32 accumulate)
   std::string metrics_json;
   std::string trace_json;
 };
@@ -233,6 +239,23 @@ SweepResult run_sweep(int threads) {
   kernels::spmm_cusparse_f32(stream, true, g, {}, xf, yf, feat,
                              kernels::Reduce::kMax);
 
+  // Precision-lattice kernel families, same determinism contract.
+  AlignedVec<bf16_t> xb(n * f);
+  for (std::size_t i = 0; i < xf.size(); ++i) xb[i] = bf16_t(xf[i]);
+  AlignedVec<bf16_t> yb(n * f);
+  kernels::spmm_bf16(stream, true, g, {}, xb, yb, feat,
+                     kernels::Reduce::kMean);
+  kernels::BinarizedFeatures bin;
+  kernels::binarize_pack(stream, true, xf, csr.num_vertices, feat, bin);
+  AlignedVec<float> y1(n * f);
+  kernels::spmm_binary(stream, true, g, bin, y1, feat, kernels::Reduce::kSum);
+  const kernels::QuantParams xq = kernels::calibrate_int8(xf);
+  AlignedVec<std::int8_t> xi(n * f);
+  kernels::quantize_int8(stream, true, xf, xi, xq);
+  AlignedVec<float> yq(n * f);
+  kernels::spmm_int8(stream, true, g, {}, {}, xi, xq, yq, feat,
+                     kernels::Reduce::kSum);
+
   SweepResult r;
   r.trace_json = tr.chrome_trace_json().dump();
   r.metrics_json = reg.to_json().dump();
@@ -249,6 +272,16 @@ SweepResult run_sweep(int threads) {
   for (const auto v : yf) {
     r.spmm_f32_bits.push_back(std::bit_cast<std::uint32_t>(v));
   }
+  r.spmm_bf16_bits.reserve(yb.size());
+  for (const auto v : yb) r.spmm_bf16_bits.push_back(v.bits());
+  r.spmm_b1_bits.reserve(y1.size());
+  for (const auto v : y1) {
+    r.spmm_b1_bits.push_back(std::bit_cast<std::uint32_t>(v));
+  }
+  r.spmm_i8_bits.reserve(yq.size());
+  for (const auto v : yq) {
+    r.spmm_i8_bits.push_back(std::bit_cast<std::uint32_t>(v));
+  }
   return r;
 }
 
@@ -262,6 +295,9 @@ TEST(ExecutorDeterminism, OutputsAndJsonBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(base.sddmm_bits, r.sddmm_bits);
     EXPECT_EQ(base.spmm_f16_bits, r.spmm_f16_bits);
     EXPECT_EQ(base.spmm_f32_bits, r.spmm_f32_bits);
+    EXPECT_EQ(base.spmm_bf16_bits, r.spmm_bf16_bits);
+    EXPECT_EQ(base.spmm_b1_bits, r.spmm_b1_bits);
+    EXPECT_EQ(base.spmm_i8_bits, r.spmm_i8_bits);
     EXPECT_EQ(base.metrics_json, r.metrics_json);
     EXPECT_EQ(base.trace_json, r.trace_json);
   }

@@ -10,8 +10,11 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "kernels/bf16_ops.hpp"
 #include "kernels/edge_ops.hpp"
+#include "kernels/int8_ops.hpp"
 #include "kernels/sddmm.hpp"
+#include "kernels/spmm_binary.hpp"
 #include "kernels/spmm_cusparse_like.hpp"
 #include "kernels/spmm_halfgnn.hpp"
 #include "kernels/spmm_vertex.hpp"
@@ -133,6 +136,49 @@ TEST_F(CleanSweep, SpmmHalfgnn) {
         spmm_halfgnn(stream_, true, t.g, wh, xh, y, feat, opts);
         spmm_halfgnn(stream_, true, t.g, {}, xh, y, feat, opts);
       }
+    }
+  }
+  expect_clean();
+}
+
+// The precision-lattice kernels (bf16 trainable SpMM/SDDMM, BitGNN binary
+// SpMM + its packer, int8 PTQ quantize + SpMM) under all four checkers.
+TEST_F(CleanSweep, LatticeDtypeKernels) {
+  Rng rng(19);
+  const TestGraph t = make_graph(900, 8000, rng);
+  const auto n = static_cast<std::size_t>(t.csr.num_vertices);
+  const auto m = static_cast<std::size_t>(t.csr.num_edges());
+  for (int feat : {32, 64}) {
+    const auto f = static_cast<std::size_t>(feat);
+    const auto xf = to_float(random_half(n * f, rng));
+    const auto wf = to_float(random_half(m, rng));
+
+    AlignedVec<bf16_t> xb(n * f), wb(m), yb(n * f);
+    for (std::size_t i = 0; i < xb.size(); ++i) xb[i] = bf16_t(xf[i]);
+    for (std::size_t i = 0; i < wb.size(); ++i) wb[i] = bf16_t(wf[i]);
+    AlignedVec<bf16_t> eb(m);
+    for (Reduce red : {Reduce::kSum, Reduce::kMean, Reduce::kMax}) {
+      spmm_bf16(stream_, true, t.g, wb, xb, yb, feat, red);
+      spmm_bf16(stream_, true, t.g, {}, xb, yb, feat, red);
+    }
+    sddmm_bf16(stream_, true, t.g, xb, xb, eb, feat);
+
+    BinarizedFeatures bin;
+    binarize_pack(stream_, true, xf, t.csr.num_vertices, feat, bin);
+    AlignedVec<float> y1(n * f);
+    for (Reduce red : {Reduce::kSum, Reduce::kMean, Reduce::kMax}) {
+      spmm_binary(stream_, true, t.g, bin, y1, feat, red);
+    }
+
+    const QuantParams xq = calibrate_int8(xf);
+    const QuantParams wq = calibrate_int8(wf);
+    AlignedVec<std::int8_t> xi(n * f), wi(m);
+    quantize_int8(stream_, true, xf, xi, xq);
+    quantize_int8(stream_, true, wf, wi, wq);
+    AlignedVec<float> yq(n * f);
+    for (Reduce red : {Reduce::kSum, Reduce::kMean, Reduce::kMax}) {
+      spmm_int8(stream_, true, t.g, wi, wq, xi, xq, yq, feat, red);
+      spmm_int8(stream_, true, t.g, {}, wq, xi, xq, yq, feat, red);
     }
   }
   expect_clean();
