@@ -31,6 +31,7 @@
 #include "kernels/spmm_vertex.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
+#include "simt/simd.hpp"
 #include "simt/simt.hpp"
 
 namespace hg::bench {
@@ -51,6 +52,7 @@ struct Case {
 struct Measured {
   double host_ms = std::numeric_limits<double>::infinity();
   double modeled_ms = 0;
+  double lane_ops = 0;  // scalar ops the kernel performs (profiled runs only)
 };
 
 Measured measure(const Case& c, bool profiled, int reps) {
@@ -65,6 +67,7 @@ Measured measure(const Case& c, bool profiled, int reps) {
     // staging buffers, not just the executor's host_ms).
     m.host_ms = std::min(m.host_ms, wall);
     m.modeled_ms = ks.time_ms;
+    m.lane_ops = static_cast<double>(ks.lane_ops);
   }
   return m;
 }
@@ -148,26 +151,56 @@ int run(const std::string& path) {
   BenchTable t("hostperf", "kernel/mode",
                {{"host_ms", CellFmt::kRaw},
                 {"edges_per_s", CellFmt::kRaw},
+                {"lane_ops_per_s", CellFmt::kRaw},
                 {"modeled_ms", CellFmt::kRaw}});
   t.report().meta("dataset", short_name(d));
   t.report().meta("vertices", static_cast<std::int64_t>(d.num_vertices()));
   t.report().meta("edges", static_cast<std::int64_t>(d.num_edges()));
   t.report().meta("feat", static_cast<std::int64_t>(feat));
   t.report().meta("threads", static_cast<std::int64_t>(dev.threads()));
+  // Which lane-execution path produced the host_ms numbers (HALFGNN_SIMD).
+  t.report().meta("simd", std::string(simt::simd::path_name()));
 
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   double spmm_profiled_ms = 0;
+  double spmm_train_ms = kNaN;
   for (const auto& c : cases) {
+    // The cost model charges identically on every SIMD path, so the
+    // profiled run's lane_ops also describes the train run's work; the
+    // interesting throughput is lane-ops/s of the *train* path.
+    double lane_ops = 0;
     for (const bool profiled : {true, false}) {
       const Measured r = measure(c, profiled, reps);
+      if (profiled) lane_ops = r.lane_ops;
       const double edges_per_s =
-          r.host_ms > 0 ? static_cast<double>(m) / (r.host_ms / 1e3)
-                        : std::numeric_limits<double>::quiet_NaN();
+          r.host_ms > 0 ? static_cast<double>(m) / (r.host_ms / 1e3) : kNaN;
+      const double lane_ops_per_s =
+          (lane_ops > 0 && r.host_ms > 0) ? lane_ops / (r.host_ms / 1e3)
+                                          : kNaN;
       t.row(c.name + (profiled ? " profiled" : " train"),
-            {r.host_ms, edges_per_s,
-             profiled ? r.modeled_ms
-                      : std::numeric_limits<double>::quiet_NaN()});
+            {r.host_ms, edges_per_s, lane_ops_per_s,
+             profiled ? r.modeled_ms : kNaN});
       if (profiled && c.name == "spmm_halfgnn") spmm_profiled_ms = r.host_ms;
+      if (!profiled && c.name == "spmm_halfgnn") spmm_train_ms = r.host_ms;
     }
+  }
+
+  // Forced-scalar reference row for the tentpole kernel: every report
+  // carries the vector-vs-scalar train ratio measured on the machine that
+  // produced it, so the SIMD win is gated as a same-run ratio rather than a
+  // machine-dependent absolute. No-ops (ratio 1) when the scalar path is
+  // already active.
+  {
+    const simt::simd::Path active = simt::simd::active_path();
+    simt::simd::set_path(simt::simd::Path::kScalar);
+    const Measured s = measure(cases[0], false, reps);
+    simt::simd::set_path(active);
+    const double scalar_ms = s.host_ms;
+    const double edges_per_s =
+        scalar_ms > 0 ? static_cast<double>(m) / (scalar_ms / 1e3) : kNaN;
+    t.row("spmm_halfgnn_scalar train", {scalar_ms, edges_per_s, kNaN, kNaN});
+    t.report().summary("spmm_halfgnn_train_simd_ratio",
+                       scalar_ms > 0 ? spmm_train_ms / scalar_ms : kNaN);
   }
   t.report().summary("spmm_halfgnn_profiled_host_ms", spmm_profiled_ms);
   t.finish(

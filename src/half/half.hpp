@@ -133,6 +133,40 @@ inline float half_bits_to_float_fast(std::uint16_t h) noexcept {
   return detail::kHalfToFloatTable.v[h];
 }
 
+// Pinned-operand float add/mul. Float + and * are commutative to the
+// compiler, but when BOTH operands are NaN the x86 instruction propagates
+// the FIRST source's payload — so which NaN wins would silently depend on
+// register allocation at each inlined call site (and differ between the
+// scalar and SIMD interpreter paths, breaking their bit-identity
+// contract). These wrappers pin src1 to the left operand, giving every
+// `a + b` / `a * b` in half arithmetic one defined rule: the left NaN
+// wins. Same instruction, no extra cost. Non-commutative ops (sub, div)
+// cannot be commuted and need no pinning.
+inline float ordered_fadd(float a, float b) noexcept {
+#if defined(__AVX__)
+  float r;
+  asm("vaddss %2, %1, %0" : "=x"(r) : "x"(a), "x"(b));
+  return r;
+#elif defined(__SSE2__) || defined(__x86_64__)
+  asm("addss %1, %0" : "+x"(a) : "x"(b));
+  return a;
+#else
+  return a + b;
+#endif
+}
+inline float ordered_fmul(float a, float b) noexcept {
+#if defined(__AVX__)
+  float r;
+  asm("vmulss %2, %1, %0" : "=x"(r) : "x"(a), "x"(b));
+  return r;
+#elif defined(__SSE2__) || defined(__x86_64__)
+  asm("mulss %1, %0" : "+x"(a) : "x"(b));
+  return a;
+#else
+  return a * b;
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // half_t
 // ---------------------------------------------------------------------------
@@ -162,13 +196,13 @@ class half_t {
   bool signbit() const noexcept { return (bits_ & 0x8000u) != 0; }
 
   friend half_t operator+(half_t a, half_t b) noexcept {
-    return half_t(a.to_float() + b.to_float());
+    return half_t(ordered_fadd(a.to_float(), b.to_float()));
   }
   friend half_t operator-(half_t a, half_t b) noexcept {
     return half_t(a.to_float() - b.to_float());
   }
   friend half_t operator*(half_t a, half_t b) noexcept {
-    return half_t(a.to_float() * b.to_float());
+    return half_t(ordered_fmul(a.to_float(), b.to_float()));
   }
   friend half_t operator/(half_t a, half_t b) noexcept {
     return half_t(a.to_float() / b.to_float());
@@ -209,7 +243,8 @@ static_assert(std::is_trivially_copyable_v<half_t>);
 // product and sum are carried at (at least) single precision and rounded
 // to binary16 once.
 inline half_t hfma(half_t a, half_t b, half_t c) noexcept {
-  return half_t(a.to_float() * b.to_float() + c.to_float());
+  return half_t(
+      ordered_fadd(ordered_fmul(a.to_float(), b.to_float()), c.to_float()));
 }
 
 inline half_t hmax(half_t a, half_t b) noexcept { return a < b ? b : a; }

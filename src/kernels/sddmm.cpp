@@ -17,6 +17,7 @@ using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
+namespace simd = simt::simd;
 
 // ---------------------------------------------------------------------------
 // DGL-style SDDMM, shared skeleton for float and naive half.
@@ -60,38 +61,36 @@ KernelStats sddmm_dgl_impl(simt::Stream& stream, const GraphView& g,
         for (int l = 0; l < 32; ++l) acc[static_cast<std::size_t>(l)] = T{};
         for (int fc = 0; fc < fchunks; ++fc) {
           const int lanes = std::min(32, feat - fc * 32);
-          Lanes<std::int64_t> ia{}, ib{};
-          for (int l = 0; l < lanes; ++l) {
-            ia[static_cast<std::size_t>(l)] = r * feat + fc * 32 + l;
-            ib[static_cast<std::size_t>(l)] = c * feat + fc * 32 + l;
-          }
+          // Both feature rows are contiguous slices: contiguous loads charge
+          // identically to the prefix gathers they replace.
           Lanes<T> av{}, bv{};
-          w.template gather<T>(a, ia, prefix_mask(lanes), av);
-          w.template gather<T>(b, ib, prefix_mask(lanes), bv);
-          for (int l = 0; l < lanes; ++l) {
-            if constexpr (is_half) {
-              acc[static_cast<std::size_t>(l)] =
-                  hfma(av[static_cast<std::size_t>(l)],
-                       bv[static_cast<std::size_t>(l)],
-                       acc[static_cast<std::size_t>(l)]);
-            } else if constexpr (std::is_same_v<T, bf16_t>) {
-              // bf16 fma: exact f32 multiply-add, one bf16 rounding.
+          w.template load_contiguous<T>(a, r * feat + fc * 32, lanes, av);
+          w.template load_contiguous<T>(b, c * feat + fc * 32, lanes, bv);
+          if constexpr (is_half) {
+            simd::ops().h_fma_mask(acc, av, bv, prefix_mask(lanes));
+          } else if constexpr (std::is_same_v<T, bf16_t>) {
+            // bf16 fma: exact f32 multiply-add, one bf16 rounding. Stays
+            // scalar — bf16 has no SIMD primitive (no hardware convert).
+            for (int l = 0; l < lanes; ++l) {
               acc[static_cast<std::size_t>(l)] = bf16_t(
                   av[static_cast<std::size_t>(l)].to_float() *
                       bv[static_cast<std::size_t>(l)].to_float() +
                   acc[static_cast<std::size_t>(l)].to_float());
-            } else {
-              acc[static_cast<std::size_t>(l)] +=
-                  av[static_cast<std::size_t>(l)] *
-                  bv[static_cast<std::size_t>(l)];
             }
+          } else {
+            simd::ops().f_fma_mask(acc, av, bv, prefix_mask(lanes));
           }
           // Fig. 3a: DGL's half arithmetic converts through float.
           w.alu(alu_op, 1, lanes);
         }
         // Full-warp shuffle reduction: five rounds (Sec. 5.1.3).
-        w.butterfly_reduce(acc, 32, simt::kFullMask, alu_op,
-                           [](T x, T y) { return x + y; });
+        if constexpr (std::is_same_v<T, bf16_t>) {
+          w.butterfly_reduce(acc, 32, simt::kFullMask, alu_op,
+                             [](T x, T y) { return x + y; });
+        } else {
+          w.butterfly_reduce(acc, 32, simt::kFullMask, alu_op,
+                             simt::WarpCombine::kAdd);
+        }
         // Scalar per-edge store (uncoalesced in the DGL design).
         Lanes<std::int64_t> oi{};
         Lanes<T> ov{};
@@ -111,21 +110,9 @@ constexpr int vec_halves() {
   return static_cast<int>(sizeof(VecT) / sizeof(half_t));
 }
 
-// Elementwise multiply-accumulate of one vector pair into a packed half2
-// accumulator (arithmetic always lowers to half2, Sec. 5.1.2).
-inline void vec_dot_acc(half2 a, half2 b, half2& acc) {
-  acc = h2fma(a, b, acc);
-}
-inline void vec_dot_acc(half4 a, half4 b, half2& acc) {
-  acc = h2fma(a.h2[0], b.h2[0], acc);
-  acc = h2fma(a.h2[1], b.h2[1], acc);
-}
-inline void vec_dot_acc(half8 a, half8 b, half2& acc) {
-  for (int i = 0; i < 4; ++i) {
-    acc = h2fma(a.h2[static_cast<std::size_t>(i)],
-                b.h2[static_cast<std::size_t>(i)], acc);
-  }
-}
+// The elementwise multiply-accumulate of one vector pair into a packed
+// half2 accumulator (arithmetic always lowers to half2, Sec. 5.1.2) is the
+// h2_dot_mask lane primitive: kV/2 chained h2fma steps per active lane.
 
 template <bool P, class VecT>
 KernelStats sddmm_halfgnn_impl(simt::Stream& stream,
@@ -240,19 +227,19 @@ KernelStats sddmm_halfgnn_impl(simt::Stream& stream,
           Lanes<VecT> va{}, vb{};
           w.template gather<VecT>(av, ia, mask, va);
           w.template gather<VecT>(bv, ib, mask, vb);
-          for (int l = 0; l < 32; ++l) {
-            if (mask >> l & 1) {
-              vec_dot_acc(va[static_cast<std::size_t>(l)],
-                          vb[static_cast<std::size_t>(l)],
-                          acc[static_cast<std::size_t>(l)]);
-            }
-          }
+          // Lane-batched vector dot: each active lane chains kV/2 h2fma
+          // steps over its packed element in h2[0..] order — exactly the
+          // vec_dot_acc sequence this replaced.
+          simd::ops().h2_dot_mask(acc, reinterpret_cast<const half2*>(
+                                           va.data()),
+                                  reinterpret_cast<const half2*>(vb.data()),
+                                  kV / 2, mask);
           w.alu(Op::kHalf2, kV / 2);
         }
 
         // Sub-warp shuffle reduction: log2(lanes_per_edge) rounds.
         w.butterfly_reduce(acc, lanes_per_edge, simt::kFullMask, Op::kHalf2,
-                           [](half2 x, half2 y) { return h2add(x, y); });
+                           simt::WarpCombine::kAdd);
 
         // Leader lanes fold the packed pair and buffer the result.
         for (int s = 0; s < sub_warps; ++s) {

@@ -17,6 +17,7 @@ using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
+namespace simd = simt::simd;
 
 // The edge-parallel kernels traverse COO edges in CSR order, so a CTA range
 // writes a contiguous row window — which bounds the executor's staging.
@@ -88,11 +89,8 @@ KernelStats spmm_f32_impl(simt::Stream& stream, const GraphView& g,
         const bool interior = r != row_first && r != row_last;
         for (int fc = 0; fc < fchunks; ++fc) {
           const int lanes = std::min(32, feat - fc * 32);
-          Lanes<std::int64_t> idx{};
           Lanes<float> vals{};
           for (int l = 0; l < lanes; ++l) {
-            idx[static_cast<std::size_t>(l)] =
-                static_cast<std::int64_t>(r) * feat + fc * 32 + l;
             vals[static_cast<std::size_t>(l)] =
                 acc[static_cast<std::size_t>(fc * 32 + l)];
           }
@@ -102,6 +100,11 @@ KernelStats spmm_f32_impl(simt::Stream& stream, const GraphView& g,
                 out, static_cast<std::int64_t>(r) * feat + fc * 32, lanes,
                 vals);
           } else {
+            Lanes<std::int64_t> idx{};
+            for (int l = 0; l < lanes; ++l) {
+              idx[static_cast<std::size_t>(l)] =
+                  static_cast<std::int64_t>(r) * feat + fc * 32 + l;
+            }
             const int contention = std::min<int>(
                 8, 2 + static_cast<int>(g.csr->degree(r)) / kEdgesPerWarp);
             if (is_max) {
@@ -141,17 +144,15 @@ KernelStats spmm_f32_impl(simt::Stream& stream, const GraphView& g,
             edge_w.empty() ? 1.0f : edge_w[static_cast<std::size_t>(e)];
         for (int fc = 0; fc < fchunks; ++fc) {
           const int lanes = std::min(32, feat - fc * 32);
-          Lanes<std::int64_t> idx{};
-          for (int l = 0; l < lanes; ++l) {
-            idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
-          }
+          // Contiguous row slice: charges identically to the prefix gather
+          // it replaces. kHasW always — the scalar loop multiplied by
+          // we == 1.0 when edge_w is empty, and std::max(slot, term) is the
+          // (slot < term ? term : slot) select f_accum's kIsMax implements.
           Lanes<float> xv{};
-          w.template gather<float>(x, idx, prefix_mask(lanes), xv);
-          for (int l = 0; l < lanes; ++l) {
-            float& slot = acc[static_cast<std::size_t>(fc * 32 + l)];
-            const float term = we * xv[static_cast<std::size_t>(l)];
-            slot = is_max ? std::max(slot, term) : slot + term;
-          }
+          w.template load_contiguous<float>(x, col * feat + fc * 32, lanes,
+                                            xv);
+          simd::ops().f_accum(acc.data() + fc * 32, xv.data(), we, lanes,
+                              simd::kHasW | (is_max ? simd::kIsMax : 0u));
           w.alu(Op::kFloatAlu, 1, lanes);
         }
       }
@@ -228,18 +229,19 @@ KernelStats spmm_f16_impl(simt::Stream& stream, const GraphView& g,
             edge_w.empty() ? half_t(1.0f) : edge_w[static_cast<std::size_t>(e)];
         for (int fc = 0; fc < fchunks; ++fc) {
           const int lanes = std::min(32, feat - fc * 32);
-          Lanes<std::int64_t> src{}, dst{};
+          Lanes<std::int64_t> dst{};
           for (int l = 0; l < lanes; ++l) {
-            src[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
             dst[static_cast<std::size_t>(l)] = r * feat + fc * 32 + l;
           }
+          // Contiguous row slice: charges identically to the prefix gather
+          // it replaced.
           Lanes<half_t> xv{};
-          w.template gather<half_t>(x, src, prefix_mask(lanes), xv);
+          w.template load_contiguous<half_t>(x, col * feat + fc * 32, lanes,
+                                             xv);
           if (!edge_w.empty()) {
-            for (int l = 0; l < lanes; ++l) {
-              xv[static_cast<std::size_t>(l)] =
-                  we * xv[static_cast<std::size_t>(l)];
-            }
+            // Broadcast scale with the weight as the LEFT operand (we * x),
+            // matching the scalar expression's NaN-payload order.
+            simd::ops().h_scale(xv.data(), we, lanes, /*v_first=*/false);
             // Fig. 3a: the product runs through implicit float conversion.
             w.alu(Op::kHalfNaive, 1, lanes);
           }
@@ -305,13 +307,11 @@ KernelStats scale_rows_impl(simt::Stream& stream, const Csr& csr,
         const std::int64_t base =
             static_cast<std::int64_t>(r) * feat + fc * 32;
         w.template load_contiguous<T>(y, base, lanes, v);
-        for (int l = 0; l < lanes; ++l) {
-          auto& slot = v[static_cast<std::size_t>(l)];
-          if constexpr (std::is_same_v<T, half_t>) {
-            slot = slot * half_t(inv);
-          } else {
-            slot = slot * inv;
-          }
+        if constexpr (std::is_same_v<T, half_t>) {
+          // v_first: the scalar expression was slot * half_t(inv).
+          simd::ops().h_scale(v.data(), half_t(inv), lanes, /*v_first=*/true);
+        } else {
+          simd::ops().f_scale(v.data(), inv, lanes);
         }
         w.alu(std::is_same_v<T, half_t> ? Op::kHalfNaive : Op::kFloatAlu, 1,
               lanes);

@@ -1,6 +1,7 @@
 #include "kernels/spmm_halfgnn.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -17,6 +18,7 @@ using simt::ConflictPolicy;
 using simt::LaunchDesc;
 using simt::Op;
 using simt::Warp;
+namespace simd = simt::simd;
 
 const half2 kH2Zero = half2(0.0f, 0.0f);
 const half2 kH2NegInf = half2{half_limits::kNegInf, half_limits::kNegInf};
@@ -151,18 +153,12 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
             const int cnt = static_cast<int>(std::min<eid_t>(32, e1 - b));
             Lanes<vid_t> ids{};
             w.template load_contiguous<vid_t>(g.coo->row, b, cnt, ids);
-            for (int l = 0; l < cnt; ++l) {
-              sm.rows[lbase + static_cast<std::size_t>(b - e0) +
-                      static_cast<std::size_t>(l)] =
-                  ids[static_cast<std::size_t>(l)];
-            }
+            sm.rows.copy_in(lbase + static_cast<std::size_t>(b - e0),
+                            ids.data(), static_cast<std::size_t>(cnt));
             w.smem_access(1);
             w.template load_contiguous<vid_t>(g.coo->col, b, cnt, ids);
-            for (int l = 0; l < cnt; ++l) {
-              sm.cols[lbase + static_cast<std::size_t>(b - e0) +
-                      static_cast<std::size_t>(l)] =
-                  ids[static_cast<std::size_t>(l)];
-            }
+            sm.cols.copy_in(lbase + static_cast<std::size_t>(b - e0),
+                            ids.data(), static_cast<std::size_t>(cnt));
             w.smem_access(1);
           }
 
@@ -176,13 +172,14 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
               const int cnt = static_cast<int>(std::min<eid_t>(32, pairs - b));
               Lanes<half2> packed{};
               w.template load_contiguous<half2>(w2v, e0 / 2 + b, cnt, packed);
+              std::array<half2, 64> mir;
               for (int l = 0; l < cnt; ++l) {
                 const half2 p = packed[static_cast<std::size_t>(l)];
-                const auto at = lbase + 2 * (static_cast<std::size_t>(b) +
-                                             static_cast<std::size_t>(l));
-                sm.w2[at] = mirror_lo(p);
-                sm.w2[at + 1] = mirror_hi(p);
+                mir[static_cast<std::size_t>(2 * l)] = mirror_lo(p);
+                mir[static_cast<std::size_t>(2 * l + 1)] = mirror_hi(p);
               }
+              sm.w2.copy_in(lbase + 2 * static_cast<std::size_t>(b),
+                            mir.data(), 2 * static_cast<std::size_t>(cnt));
               w.alu(Op::kHalf2, 2);  // extract + mirror movs
               w.smem_access(2);
             }
@@ -249,16 +246,32 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
               const half2 iv = half2::broadcast(half_t(inv_deg(r)));
               for (int c = 0; c < geo.chunks; ++c) {
                 auto& a = acc[static_cast<std::size_t>(c)];
-                for (int j = 0; j < geo.lanes_per_edge; ++j) {
-                  const int lane = s * geo.lanes_per_edge + j;
-                  a[static_cast<std::size_t>(lane)] =
-                      h2mul(a[static_cast<std::size_t>(lane)], iv);
-                }
+                simd::ops().h2_scale(
+                    a.data() + s * geo.lanes_per_edge, iv,
+                    geo.lanes_per_edge);
               }
               w.alu(Op::kHalf2, geo.chunks);
             }
             for (int c = 0; c < geo.chunks; ++c) {
               auto& a = acc[static_cast<std::size_t>(c)];
+              if (interior && geo.sub_warps == 1) {
+                // Single sub-warp: lanes 0..cnt-1 hold the contiguous
+                // feature slice [r*half_f + c*32, +cnt). A contiguous store
+                // charges identically to the equivalent prefix scatter
+                // (same sectors and unique elements, same fault/prof/race
+                // provenance), and skips the per-lane index build.
+                const int cnt = std::min(32, geo.half_f - c * 32);
+                if (cnt > 0) {
+                  w.template store_contiguous<half2>(
+                      out,
+                      static_cast<std::int64_t>(r) * geo.half_f + c * 32,
+                      cnt, a);
+                }
+                for (int j = 0; j < geo.lanes_per_edge; ++j) {
+                  a[static_cast<std::size_t>(j)] = init;
+                }
+                continue;
+              }
               Lanes<std::int64_t> idx{};
               Lanes<half2> vals{};
               simt::LaneMask mask = 0;
@@ -319,50 +332,48 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
             }
           };
 
-          for (eid_t k = 0; k < geo.seg; ++k) {
-            // Row-transition check for every sub-warp (one int op per step).
-            for (int s = 0; s < geo.sub_warps; ++s) {
-              const auto su = static_cast<std::size_t>(s);
-              const eid_t e = e0 + static_cast<eid_t>(s) * geo.seg + k;
-              if (e >= std::min<eid_t>(e1, e0 + static_cast<eid_t>(s + 1) *
-                                                   geo.seg)) {
-                continue;
+          if (geo.sub_warps == 1 && simd::vector_enabled() &&
+              w.fused_fast_path()) {
+            // Fused fast loop (train mode, every hook disarmed): the whole
+            // per-edge sequence — NZE metadata read, contiguous feature
+            // load, weighted half2 accumulate — collapses into one
+            // h2_spmm_run call per row run, reading the smem arrays raw.
+            // Bit-identical to the unfused loop below (the scratch
+            // accumulator is the same memory: chunk c lane j is feature
+            // pair c*32+j, so acc[0] viewed flat IS the half_f-pair row),
+            // and the per-edge alu/smem charges it skips are compiled away
+            // in this mode anyway.
+            const vid_t* rows = sm.rows.data() + lbase;
+            const vid_t* cols = sm.cols.data() + lbase;
+            const half2* w2p = has_w ? sm.w2.data() + lbase : nullptr;
+            half2* const aflat = acc[0].data();
+            const eid_t n = e1 - e0;
+            unsigned flags = 0;
+            if (has_w) flags |= simd::kHasW;
+            if (is_mean && opts.scale == ScaleMode::kPre) flags |= simd::kHasPre;
+            if (is_max) flags |= simd::kIsMax;
+            eid_t i = 0;
+            while (i < n) {
+              const vid_t r = rows[i];
+              eid_t j = i + 1;
+              while (j < n && rows[j] == r) ++j;
+              if (r != cur_row[0]) {
+                flush(0, cur_row[0]);
+                cur_row[0] = r;
               }
-              const vid_t r =
-                  sm.rows[lbase + static_cast<std::size_t>(e - e0)];
-              if (r != cur_row[su]) {
-                flush(s, cur_row[su]);
-                cur_row[su] = r;
-              }
+              const half2 pre =
+                  (is_mean && opts.scale == ScaleMode::kPre)
+                      ? half2::broadcast(half_t(inv_deg(r)))
+                      : half2(1.0f, 1.0f);
+              simd::ops().h2_spmm_run(aflat, x2.data(), cols + i,
+                                      w2p != nullptr ? w2p + i : nullptr, pre,
+                                      geo.half_f, static_cast<int>(j - i),
+                                      flags);
+              i = j;
             }
-            w.alu(Op::kIntAlu, 1);
-            w.smem_access(has_w ? 2 : 1);
-
-            // One gather instruction per chunk covers all sub-warps.
-            for (int c = 0; c < geo.chunks; ++c) {
-              Lanes<std::int64_t> idx{};
-              simt::LaneMask mask = 0;
-              for (int s = 0; s < geo.sub_warps; ++s) {
-                const eid_t e = e0 + static_cast<eid_t>(s) * geo.seg + k;
-                if (e >= std::min<eid_t>(e1, e0 + static_cast<eid_t>(s + 1) *
-                                                     geo.seg)) {
-                  continue;
-                }
-                const auto col = static_cast<std::int64_t>(
-                    sm.cols[lbase + static_cast<std::size_t>(e - e0)]);
-                for (int j = 0; j < geo.lanes_per_edge; ++j) {
-                  const int fp = c * 32 + j;
-                  if (fp >= geo.half_f) break;
-                  const int lane = s * geo.lanes_per_edge + j;
-                  idx[static_cast<std::size_t>(lane)] =
-                      col * geo.half_f + fp;
-                  mask |= simt::LaneMask{1} << lane;
-                }
-              }
-              if (mask == 0) continue;
-              Lanes<half2> xv{};
-              w.template gather<half2>(x2, idx, mask, xv);
-
+          } else {
+            for (eid_t k = 0; k < geo.seg; ++k) {
+              // Row-transition check for every sub-warp (one int op per step).
               for (int s = 0; s < geo.sub_warps; ++s) {
                 const auto su = static_cast<std::size_t>(s);
                 const eid_t e = e0 + static_cast<eid_t>(s) * geo.seg + k;
@@ -370,30 +381,98 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
                                                      geo.seg)) {
                   continue;
                 }
-                const half2 w2m =
-                    has_w ? sm.w2[lbase + static_cast<std::size_t>(e - e0)]
-                          : half2(1.0f, 1.0f);
-                const half2 pre =
-                    (is_mean && opts.scale == ScaleMode::kPre)
-                        ? half2::broadcast(half_t(inv_deg(cur_row[su])))
-                        : half2(1.0f, 1.0f);
-                auto& a = acc[static_cast<std::size_t>(c)];
-                for (int j = 0; j < geo.lanes_per_edge; ++j) {
-                  const int fp = c * 32 + j;
-                  if (fp >= geo.half_f) break;
-                  const int lane = s * geo.lanes_per_edge + j;
-                  half2 term = xv[static_cast<std::size_t>(lane)];
-                  if (has_w) term = h2mul(term, w2m);
-                  if (is_mean && opts.scale == ScaleMode::kPre) {
-                    term = h2mul(term, pre);
-                  }
-                  auto& slot = a[static_cast<std::size_t>(lane)];
-                  slot = is_max ? h2max(slot, term) : h2add(slot, term);
+                const vid_t r =
+                    sm.rows[lbase + static_cast<std::size_t>(e - e0)];
+                if (r != cur_row[su]) {
+                  flush(s, cur_row[su]);
+                  cur_row[su] = r;
                 }
               }
-              int instrs = 1 + (has_w ? 1 : 0);
-              if (is_mean && opts.scale == ScaleMode::kPre) instrs += 1;
-              w.alu(Op::kHalf2, instrs);
+              w.alu(Op::kIntAlu, 1);
+              w.smem_access(has_w ? 2 : 1);
+
+              // One load/gather instruction per chunk covers all sub-warps.
+              for (int c = 0; c < geo.chunks; ++c) {
+                Lanes<half2> xv{};
+                bool any = false;
+                if (geo.sub_warps == 1) {
+                  // Single sub-warp: the chunk's lane block reads the
+                  // contiguous feature slice [col*half_f + c*32, +cnt). A
+                  // contiguous load charges identically to the equivalent
+                  // prefix gather (same sectors and unique elements, same
+                  // fault/prof ordinals) and skips the per-lane index build —
+                  // this is the hot load of the whole kernel.
+                  const eid_t e = e0 + k;
+                  const int cnt = std::min(32, geo.half_f - c * 32);
+                  if (e < e1 && cnt > 0) {
+                    const auto col = static_cast<std::int64_t>(
+                        sm.cols[lbase + static_cast<std::size_t>(e - e0)]);
+                    w.template load_contiguous<half2>(
+                        x2, col * geo.half_f + c * 32, cnt, xv);
+                    any = true;
+                  }
+                } else {
+                  Lanes<std::int64_t> idx{};
+                  simt::LaneMask mask = 0;
+                  for (int s = 0; s < geo.sub_warps; ++s) {
+                    const eid_t e = e0 + static_cast<eid_t>(s) * geo.seg + k;
+                    if (e >= std::min<eid_t>(e1, e0 + static_cast<eid_t>(s + 1) *
+                                                         geo.seg)) {
+                      continue;
+                    }
+                    const auto col = static_cast<std::int64_t>(
+                        sm.cols[lbase + static_cast<std::size_t>(e - e0)]);
+                    for (int j = 0; j < geo.lanes_per_edge; ++j) {
+                      const int fp = c * 32 + j;
+                      if (fp >= geo.half_f) break;
+                      const int lane = s * geo.lanes_per_edge + j;
+                      idx[static_cast<std::size_t>(lane)] =
+                          col * geo.half_f + fp;
+                      mask |= simt::LaneMask{1} << lane;
+                    }
+                  }
+                  if (mask != 0) {
+                    w.template gather<half2>(x2, idx, mask, xv);
+                    any = true;
+                  }
+                }
+                if (!any) continue;
+
+                for (int s = 0; s < geo.sub_warps; ++s) {
+                  const auto su = static_cast<std::size_t>(s);
+                  const eid_t e = e0 + static_cast<eid_t>(s) * geo.seg + k;
+                  if (e >= std::min<eid_t>(e1, e0 + static_cast<eid_t>(s + 1) *
+                                                       geo.seg)) {
+                    continue;
+                  }
+                  const half2 w2m =
+                      has_w ? sm.w2[lbase + static_cast<std::size_t>(e - e0)]
+                            : half2(1.0f, 1.0f);
+                  const half2 pre =
+                      (is_mean && opts.scale == ScaleMode::kPre)
+                          ? half2::broadcast(half_t(inv_deg(cur_row[su])))
+                          : half2(1.0f, 1.0f);
+                  auto& a = acc[static_cast<std::size_t>(c)];
+                  // Lane-batched accumulate over the sub-warp's contiguous
+                  // lane block; the scalar dispatch entry is the exact loop
+                  // this replaced.
+                  const int cnt =
+                      std::min(geo.lanes_per_edge, geo.half_f - c * 32);
+                  if (cnt <= 0) continue;
+                  unsigned flags = 0;
+                  if (has_w) flags |= simd::kHasW;
+                  if (is_mean && opts.scale == ScaleMode::kPre) {
+                    flags |= simd::kHasPre;
+                  }
+                  if (is_max) flags |= simd::kIsMax;
+                  simd::ops().h2_term_accum(a.data() + s * geo.lanes_per_edge,
+                                            xv.data() + s * geo.lanes_per_edge,
+                                            w2m, pre, cnt, flags);
+                }
+                int instrs = 1 + (has_w ? 1 : 0);
+                if (is_mean && opts.scale == ScaleMode::kPre) instrs += 1;
+                w.alu(Op::kHalf2, instrs);
+              }
             }
           }
           for (int s = 0; s < geo.sub_warps; ++s) {
@@ -539,10 +618,8 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
                     staged2,
                     static_cast<std::int64_t>(c) * geo.half_f + ch * 32,
                     lanes, vals);
-                for (int l = 0; l < lanes; ++l) {
-                  auto& slot = macc[static_cast<std::size_t>(ch * 32 + l)];
-                  slot = combine2(slot, vals[static_cast<std::size_t>(l)]);
-                }
+                simd::ops().h2_combine(macc.data() + ch * 32, vals.data(),
+                                       lanes, is_max);
               }
               w.alu(Op::kHalf2, geo.chunks);
               if (c > i) {  // run-scan read of the next entry's row id
@@ -557,11 +634,8 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
               const std::int64_t base =
                   static_cast<std::int64_t>(r) * geo.half_f + ch * 32;
               w.template load_contiguous<half2>(y2, base, lanes, cur);
-              for (int l = 0; l < lanes; ++l) {
-                cur[static_cast<std::size_t>(l)] = combine2(
-                    cur[static_cast<std::size_t>(l)],
-                    macc[static_cast<std::size_t>(ch * 32 + l)]);
-              }
+              simd::ops().h2_combine(cur.data(), macc.data() + ch * 32, lanes,
+                                     is_max);
               w.alu(Op::kHalf2, 1);
               w.template store_contiguous<half2>(y2, base, lanes, cur);
             }
@@ -598,10 +672,7 @@ KernelStats spmm_impl(simt::Stream& stream, const GraphView& g,
               const std::int64_t base =
                   static_cast<std::int64_t>(r) * geo.half_f + c * 32;
               w.template load_contiguous<half2>(y2, base, lanes, v);
-              for (int l = 0; l < lanes; ++l) {
-                v[static_cast<std::size_t>(l)] =
-                    h2mul(v[static_cast<std::size_t>(l)], iv);
-              }
+              simd::ops().h2_scale(v.data(), iv, lanes);
               w.alu(Op::kHalf2, 1);
               w.template store_contiguous<half2>(y2, base, lanes, v);
             }

@@ -15,6 +15,7 @@ using simt::LaunchDesc;
 using simt::Op;
 using simt::prefix_mask;
 using simt::Warp;
+namespace simd = simt::simd;
 
 }  // namespace
 
@@ -80,16 +81,16 @@ KernelStats gespmm_impl(simt::Stream& stream, const GraphView& g,
               edge_w.empty() ? 1.0f : wv[static_cast<std::size_t>(k)];
           for (int fc = 0; fc < fchunks; ++fc) {
             const int lanes = std::min(32, feat - fc * 32);
-            Lanes<std::int64_t> idx{};
-            for (int l = 0; l < lanes; ++l) {
-              idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
-            }
+            // The row slice is contiguous: a contiguous load charges
+            // identically to the prefix gather it replaces (same sectors,
+            // unique elements, and fault/prof ordinals) and skips the
+            // per-lane index build. kHasW always: the scalar loop multiplied
+            // by we == 1.0 when edge_w is empty, so the rounding matches.
             Lanes<float> xv{};
-            w.template gather<float>(x, idx, prefix_mask(lanes), xv);
-            for (int l = 0; l < lanes; ++l) {
-              acc[static_cast<std::size_t>(fc * 32 + l)] +=
-                  we * xv[static_cast<std::size_t>(l)];
-            }
+            w.template load_contiguous<float>(x, col * feat + fc * 32, lanes,
+                                              xv);
+            simd::ops().f_accum(acc.data() + fc * 32, xv.data(), we, lanes,
+                                simd::kHasW);
             w.alu(Op::kFloatAlu, 1, lanes);
           }
         }
@@ -163,16 +164,14 @@ KernelStats huang_f32_impl(simt::Stream& stream, const GraphView& g,
             edge_w.empty() ? 1.0f : wv[static_cast<std::size_t>(k)];
         for (int fc = 0; fc < fchunks; ++fc) {
           const int lanes = std::min(32, feat - fc * 32);
-          Lanes<std::int64_t> idx{};
-          for (int l = 0; l < lanes; ++l) {
-            idx[static_cast<std::size_t>(l)] = col * feat + fc * 32 + l;
-          }
+          // Contiguous row slice: charges identically to the prefix gather
+          // it replaces; kHasW always — the scalar loop multiplied by
+          // we == 1.0 when edge_w is empty.
           Lanes<float> xv{};
-          w.template gather<float>(x, idx, prefix_mask(lanes), xv);
-          for (int l = 0; l < lanes; ++l) {
-            acc[static_cast<std::size_t>(fc * 32 + l)] +=
-                we * xv[static_cast<std::size_t>(l)];
-          }
+          w.template load_contiguous<float>(x, col * feat + fc * 32, lanes,
+                                            xv);
+          simd::ops().f_accum(acc.data() + fc * 32, xv.data(), we, lanes,
+                              simd::kHasW);
           w.alu(Op::kFloatAlu, 1, lanes);
         }
       }
@@ -181,11 +180,8 @@ KernelStats huang_f32_impl(simt::Stream& stream, const GraphView& g,
       const int contention = std::min(32, ng.vertex_groups[gu]);
       for (int fc = 0; fc < fchunks; ++fc) {
         const int lanes = std::min(32, feat - fc * 32);
-        Lanes<std::int64_t> idx{};
         Lanes<float> v{};
         for (int l = 0; l < lanes; ++l) {
-          idx[static_cast<std::size_t>(l)] =
-              static_cast<std::int64_t>(r) * feat + fc * 32 + l;
           v[static_cast<std::size_t>(l)] =
               acc[static_cast<std::size_t>(fc * 32 + l)];
         }
@@ -193,6 +189,11 @@ KernelStats huang_f32_impl(simt::Stream& stream, const GraphView& g,
           w.template store_contiguous<float>(
               out, static_cast<std::int64_t>(r) * feat + fc * 32, lanes, v);
         } else {
+          Lanes<std::int64_t> idx{};
+          for (int l = 0; l < lanes; ++l) {
+            idx[static_cast<std::size_t>(l)] =
+                static_cast<std::int64_t>(r) * feat + fc * 32 + l;
+          }
           w.atomic_add(out, idx, prefix_mask(lanes), v, contention);
         }
       }
@@ -277,17 +278,14 @@ KernelStats huang_half2_impl(simt::Stream& stream, const GraphView& g,
                               : half2(1.0f, 1.0f);
         for (int fc = 0; fc < fchunks; ++fc) {
           const int lanes = std::min(32, half_f - fc * 32);
-          Lanes<std::int64_t> idx{};
-          for (int l = 0; l < lanes; ++l) {
-            idx[static_cast<std::size_t>(l)] = col * half_f + fc * 32 + l;
-          }
+          // Contiguous half2 row slice: charges identically to the prefix
+          // gather it replaces; the lane-batched fma-splat is the exact
+          // per-lane h2fma/h2add loop this inlined.
           Lanes<half2> xv{};
-          w.template gather<half2>(x2, idx, prefix_mask(lanes), xv);
-          for (int l = 0; l < lanes; ++l) {
-            auto& slot = acc[static_cast<std::size_t>(fc * 32 + l)];
-            slot = has_w ? h2fma(xv[static_cast<std::size_t>(l)], w2m, slot)
-                         : h2add(slot, xv[static_cast<std::size_t>(l)]);
-          }
+          w.template load_contiguous<half2>(x2, col * half_f + fc * 32, lanes,
+                                            xv);
+          simd::ops().h2_fma_splat(acc.data() + fc * 32, xv.data(), w2m,
+                                   lanes, has_w);
           w.alu(Op::kHalf2, 1, lanes);
         }
       }
@@ -338,11 +336,8 @@ KernelStats huang_half2_impl(simt::Stream& stream, const GraphView& g,
                 w.template load_contiguous<half2>(
                     simt::as_vec<half2>(std::span<const half_t>(staging)),
                     (g0 + k) * half_f + fc * 32, lanes, v);
-                for (int l = 0; l < lanes; ++l) {
-                  accv[static_cast<std::size_t>(l)] =
-                      h2add(accv[static_cast<std::size_t>(l)],
-                            v[static_cast<std::size_t>(l)]);
-                }
+                simd::ops().h2_combine(accv.data(), v.data(), lanes,
+                                       /*is_max=*/false);
                 w.alu(Op::kHalf2, 1, lanes);
               }
               w.template store_contiguous<half2>(

@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -278,6 +279,30 @@ class SmemSpan {
   // a warp-agnostic write (marks bytes valid, never races).
   void fill(const T& v) const {
     for (std::size_t i = 0; i < n_; ++i) (*this)[i] = v;
+  }
+
+  // Raw view of the backing storage, for kernels' fused fast loops. Callers
+  // take it only when the sanitizer is disarmed; armed launches must keep
+  // the per-element proxies so shadow state stays exact.
+  T* data() const noexcept { return p_; }
+
+  // Bulk copies. Disarmed they collapse to one memcpy; armed they replay
+  // the element-at-a-time proxy accesses in the same order the unfused
+  // loops used, so shadow updates and violation provenance are identical.
+  void copy_in(std::size_t at, const T* src, std::size_t n) const {
+    if (san_ == nullptr) {
+      std::memcpy(p_ + at, src, n * sizeof(T));
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) (*this)[at + i] = src[i];
+  }
+
+  void copy_out(std::size_t at, T* dst, std::size_t n) const {
+    if (san_ == nullptr) {
+      std::memcpy(dst, p_ + at, n * sizeof(T));
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) dst[i] = (*this)[at + i];
   }
 
  private:

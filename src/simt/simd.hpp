@@ -1,0 +1,308 @@
+// Lane-batched SIMD execution of warp arithmetic (host-side AVX2/F16C).
+//
+// The warp-centric kernels manipulate 32-lane register arrays whose inner
+// loops are structure-of-arrays by construction: 32 half2 terms multiplied
+// by a broadcast edge weight, 32 float axpys into a feature accumulator,
+// 16-wide butterfly combines. This header defines a small set of *lane
+// primitives* covering exactly those loops, with two interchangeable
+// implementations:
+//
+//   scalar  — the executable reference spec. Each primitive is the verbatim
+//             per-lane loop the kernels used to inline, built on the same
+//             half_t/half2 scalar ops, so HALFGNN_SIMD=scalar reproduces the
+//             historical interpreter bit-for-bit.
+//   avx2    — whole-warp vector execution (src/simt/simd_avx2.cpp, compiled
+//             with -mavx2 -mf16c in its own TU so no other code changes
+//             codegen): half<->float conversion batches via vcvtph2ps /
+//             vcvtps2ph, packed arithmetic in float domain with an
+//             in-register half round-trip wherever the scalar op rounds,
+//             and bit-preserving compare+blend for max selects.
+//
+// The two paths are required to be bit-identical on every input (NaN
+// payloads, signed zeros, subnormals included); tests/simt/simd_test.cpp
+// property-tests that, and tests/half covers the conversion batches over
+// all 2^16 half values. Cost accounting is not done here — kernels charge
+// Warp::alu()/smem_access() unchanged, so the cost model cannot diverge
+// between paths (DESIGN.md Sec. 13).
+//
+// Path selection: HALFGNN_SIMD=scalar|avx2|auto (default auto) resolved
+// once at process start; simd::set_path() overrides it programmatically
+// (config-time only — never while a launch is in flight).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "half/half.hpp"
+#include "half/vec.hpp"
+#include "simt/accounting.hpp"
+
+namespace hg::simt::simd {
+
+using LaneMask = std::uint32_t;
+inline constexpr int kLanes = 32;
+template <class T>
+using Lanes = std::array<T, kLanes>;
+
+// Flag bits for the accumulate primitives.
+inline constexpr unsigned kHasW = 1u;    // multiply by the broadcast weight
+inline constexpr unsigned kHasPre = 2u;  // multiply by the broadcast prescale
+inline constexpr unsigned kIsMax = 4u;   // max-select instead of add
+
+enum class Path { kScalar = 0, kAvx2 = 1 };
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations
+// ---------------------------------------------------------------------------
+// Each of these is the exact loop the corresponding kernel used to write
+// inline; the vector path is property-tested against them field-for-field.
+namespace scalar {
+
+inline void cvt_h2f(const std::uint16_t* in, float* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = half_bits_to_float_fast(in[i]);
+}
+
+inline void cvt_f2h(const float* in, std::uint16_t* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = float_to_half_bits(in[i]);
+}
+
+// spmm_halfgnn phase-2 accumulate: term = x [* w] [* pre], rounded after
+// every mul like the device half2 instructions; acc = combine(acc, term).
+inline void h2_term_accum(half2* acc, const half2* x, half2 w, half2 pre,
+                          int n, unsigned flags) {
+  for (int i = 0; i < n; ++i) {
+    half2 term = x[i];
+    if (flags & kHasW) term = h2mul(term, w);
+    if (flags & kHasPre) term = h2mul(term, pre);
+    acc[i] = (flags & kIsMax) ? h2max(acc[i], term) : h2add(acc[i], term);
+  }
+}
+
+inline void h2_scale(half2* v, half2 s, int n) {
+  for (int i = 0; i < n; ++i) v[i] = h2mul(v[i], s);
+}
+
+// Fused spmm row-run (spmm_halfgnn phase 2, single sub-warp, all hooks
+// disarmed): edge e accumulates the contiguous feature row
+// x[cols[e]*half_f .. +half_f) into acc with exactly the h2_term_accum
+// per-edge math. Equivalent to the unfused sequence
+//   for e: { memcpy xv <- x + cols[e]*half_f; h2_term_accum(acc, xv,
+//            w2[e], pre, half_f, flags); }
+// and fused so the vector path can keep acc in registers across the run.
+// w2 may be null when (flags & kHasW) == 0.
+inline void h2_spmm_run(half2* acc, const half2* x, const std::int32_t* cols,
+                        const half2* w2, half2 pre, int half_f, int n_edges,
+                        unsigned flags) {
+  for (int e = 0; e < n_edges; ++e) {
+    const half2* xr =
+        x + static_cast<std::size_t>(cols[e]) * static_cast<std::size_t>(half_f);
+    const half2 w = (flags & kHasW) ? w2[e] : half2(1.0f, 1.0f);
+    h2_term_accum(acc, xr, w, pre, half_f, flags);
+  }
+}
+
+inline void h2_combine(half2* acc, const half2* x, int n, bool is_max) {
+  for (int i = 0; i < n; ++i) {
+    acc[i] = is_max ? h2max(acc[i], x[i]) : h2add(acc[i], x[i]);
+  }
+}
+
+// huang_half2 accumulate: single-rounding fma against a broadcast weight.
+inline void h2_fma_splat(half2* acc, const half2* x, half2 w, int n,
+                         bool has_w) {
+  for (int i = 0; i < n; ++i) {
+    acc[i] = has_w ? h2fma(x[i], w, acc[i]) : h2add(acc[i], x[i]);
+  }
+}
+
+// Contiguous half2 read-modify-write (the atomic fast path's combine).
+inline void h2_rmw(half2* acc, const half2* v, int n, bool is_max) {
+  for (int i = 0; i < n; ++i) {
+    acc[i] = is_max ? h2max(acc[i], v[i]) : h2add(acc[i], v[i]);
+  }
+}
+
+// Contiguous half read-modify-write: slot + v, or the bit-preserving
+// max select hmax(slot, v) == slot < v ? v : slot.
+inline void h_accum(half_t* acc, const half_t* v, int n, bool is_max) {
+  for (int i = 0; i < n; ++i) {
+    acc[i] = is_max ? hmax(acc[i], v[i]) : acc[i] + v[i];
+  }
+}
+
+// Broadcast half multiply; v_first selects operand order (NaN-payload
+// visible only): v[i]*s vs s*v[i].
+inline void h_scale(half_t* v, half_t s, int n, bool v_first) {
+  for (int i = 0; i < n; ++i) v[i] = v_first ? v[i] * s : s * v[i];
+}
+
+// Float accumulate: term = [w *] x; acc = term-max-select or acc + term.
+// The commutative float ops go through ordered_fadd/ordered_fmul so the
+// two-NaN payload rule (left operand wins) is pinned, not codegen-chosen.
+inline void f_accum(float* acc, const float* x, float w, int n,
+                    unsigned flags) {
+  for (int i = 0; i < n; ++i) {
+    const float term = (flags & kHasW) ? ordered_fmul(w, x[i]) : x[i];
+    acc[i] = (flags & kIsMax) ? (acc[i] < term ? term : acc[i])
+                              : ordered_fadd(acc[i], term);
+  }
+}
+
+inline void f_scale(float* v, float s, int n) {
+  for (int i = 0; i < n; ++i) v[i] = ordered_fmul(v[i], s);
+}
+
+// sddmm_dgl per-lane dot step: acc = fma(a, b, acc) on the active lanes.
+inline void h_fma_mask(Lanes<half_t>& acc, const Lanes<half_t>& a,
+                       const Lanes<half_t>& b, LaneMask m) {
+  for (int l = 0; l < kLanes; ++l) {
+    if (m >> l & 1) {
+      const auto lu = static_cast<std::size_t>(l);
+      acc[lu] = hfma(a[lu], b[lu], acc[lu]);
+    }
+  }
+}
+
+inline void f_fma_mask(Lanes<float>& acc, const Lanes<float>& a,
+                       const Lanes<float>& b, LaneMask m) {
+  for (int l = 0; l < kLanes; ++l) {
+    if (m >> l & 1) {
+      const auto lu = static_cast<std::size_t>(l);
+      acc[lu] = ordered_fadd(acc[lu], ordered_fmul(a[lu], b[lu]));
+    }
+  }
+}
+
+// sddmm_halfgnn vector dot: lane l chains h2per sequential h2fma steps over
+// its packed element (half2/half4/half8 viewed as h2per half2 words).
+inline void h2_dot_mask(Lanes<half2>& acc, const half2* a, const half2* b,
+                        int h2per, LaneMask m) {
+  for (int l = 0; l < kLanes; ++l) {
+    if (!(m >> l & 1)) continue;
+    const auto lu = static_cast<std::size_t>(l);
+    for (int i = 0; i < h2per; ++i) {
+      acc[lu] = h2fma(a[l * h2per + i], b[l * h2per + i], acc[lu]);
+    }
+  }
+}
+
+// Butterfly shuffle rounds: vals[l] <- combine(vals[l], snapshot[l^offset]).
+// The max combine is the kernels' bit-preserving select (x < y ? y : x).
+inline void shfl_xor_h2(Lanes<half2>& vals, int offset, LaneMask active,
+                        bool is_max) {
+  const Lanes<half2> other = vals;
+  for (int l = 0; l < kLanes; ++l) {
+    if (active >> l & 1) {
+      const auto lu = static_cast<std::size_t>(l);
+      const half2 o = other[static_cast<std::size_t>(l ^ offset)];
+      vals[lu] = is_max ? h2max(vals[lu], o) : h2add(vals[lu], o);
+    }
+  }
+}
+
+inline void shfl_xor_h(Lanes<half_t>& vals, int offset, LaneMask active,
+                       bool is_max) {
+  const Lanes<half_t> other = vals;
+  for (int l = 0; l < kLanes; ++l) {
+    if (active >> l & 1) {
+      const auto lu = static_cast<std::size_t>(l);
+      const half_t o = other[static_cast<std::size_t>(l ^ offset)];
+      vals[lu] = is_max ? (vals[lu] < o ? o : vals[lu]) : vals[lu] + o;
+    }
+  }
+}
+
+inline void shfl_xor_f(Lanes<float>& vals, int offset, LaneMask active,
+                       bool is_max) {
+  const Lanes<float> other = vals;
+  for (int l = 0; l < kLanes; ++l) {
+    if (active >> l & 1) {
+      const auto lu = static_cast<std::size_t>(l);
+      const float o = other[static_cast<std::size_t>(l ^ offset)];
+      vals[lu] =
+          is_max ? (vals[lu] < o ? o : vals[lu]) : ordered_fadd(vals[lu], o);
+    }
+  }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// Dispatch table
+// ---------------------------------------------------------------------------
+struct SimdOps {
+  const char* name;  // "scalar" | "avx2" (BENCH simd column value)
+  bool vector;       // true when memcpy/vector fast paths should engage
+
+  void (*cvt_h2f)(const std::uint16_t*, float*, int);
+  void (*cvt_f2h)(const float*, std::uint16_t*, int);
+  void (*h2_term_accum)(half2*, const half2*, half2, half2, int, unsigned);
+  void (*h2_spmm_run)(half2*, const half2*, const std::int32_t*, const half2*,
+                      half2, int, int, unsigned);
+  void (*h2_scale)(half2*, half2, int);
+  void (*h2_combine)(half2*, const half2*, int, bool);
+  void (*h2_fma_splat)(half2*, const half2*, half2, int, bool);
+  void (*h2_rmw)(half2*, const half2*, int, bool);
+  void (*h_accum)(half_t*, const half_t*, int, bool);
+  void (*h_scale)(half_t*, half_t, int, bool);
+  void (*f_accum)(float*, const float*, float, int, unsigned);
+  void (*f_scale)(float*, float, int);
+  void (*h_fma_mask)(Lanes<half_t>&, const Lanes<half_t>&,
+                     const Lanes<half_t>&, LaneMask);
+  void (*f_fma_mask)(Lanes<float>&, const Lanes<float>&, const Lanes<float>&,
+                     LaneMask);
+  void (*h2_dot_mask)(Lanes<half2>&, const half2*, const half2*, int,
+                      LaneMask);
+  void (*shfl_xor_h2)(Lanes<half2>&, int, LaneMask, bool);
+  void (*shfl_xor_h)(Lanes<half_t>&, int, LaneMask, bool);
+  void (*shfl_xor_f)(Lanes<float>&, int, LaneMask, bool);
+  accounting::AccessCounts (*access_counts)(const accounting::LaneIdx&,
+                                            std::uint32_t, std::size_t, int);
+};
+
+namespace detail {
+// Set once before main() from HALFGNN_SIMD (see simd.cpp); set_path() swaps
+// it at config time. Atomic so a test flipping paths between launches stays
+// warning-free under TSan; relaxed loads cost nothing on x86.
+extern std::atomic<const SimdOps*> g_ops;
+}  // namespace detail
+
+inline const SimdOps& ops() noexcept {
+  return *detail::g_ops.load(std::memory_order_relaxed);
+}
+
+// True when the vectorized path is active (gates the contiguity fast paths
+// in Warp so HALFGNN_SIMD=scalar runs the historical code verbatim).
+inline bool vector_enabled() noexcept { return ops().vector; }
+
+inline const char* path_name() noexcept { return ops().name; }
+inline Path active_path() noexcept {
+  return vector_enabled() ? Path::kAvx2 : Path::kScalar;
+}
+
+// Compiled in AND executable on this CPU.
+bool avx2_available() noexcept;
+
+// Select a path; returns false (and leaves the path unchanged) if the
+// requested path is unavailable. Config-time only.
+bool set_path(Path p) noexcept;
+
+// If `active` is a prefix mask whose n lanes index base, base+1, ..,
+// base+n-1, return n; otherwise 0. The branch-free inner compare loop keeps
+// the check cheap relative to the 32-element copies/combines it unlocks.
+inline int prefix_contiguous(const Lanes<std::int64_t>& idx,
+                             LaneMask active) noexcept {
+  if (active == 0) return 0;
+  if ((active & (active + 1)) != 0) return 0;  // not a prefix
+  const int n = std::popcount(active);
+  const std::int64_t base = idx[0];
+  bool ok = base >= 0;
+  for (int l = 1; l < n; ++l) {
+    ok &= idx[static_cast<std::size_t>(l)] == base + l;
+  }
+  return ok ? n : 0;
+}
+
+}  // namespace hg::simt::simd

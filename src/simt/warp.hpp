@@ -35,7 +35,9 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <type_traits>
 
 #include "half/half.hpp"
 #include "half/vec.hpp"
@@ -43,6 +45,7 @@
 #include "simt/accounting.hpp"
 #include "simt/fault.hpp"
 #include "simt/sanitizer.hpp"
+#include "simt/simd.hpp"
 #include "simt/spec.hpp"
 #include "simt/stats.hpp"
 
@@ -72,6 +75,13 @@ constexpr LaneMask prefix_mask(int n) noexcept {
 
 template <class T>
 using Lanes = std::array<T, kWarpSize>;
+
+// Combine used by the tag-dispatched shuffle/reduce overloads below. The
+// SIMD path needs the combine as data rather than a callable; the scalar
+// dispatch entry replays the exact per-lane loop the lambda forms used, so
+// both spellings are interchangeable where the combine is add or the
+// kernels' bit-preserving max select (a < b ? b : a).
+enum class WarpCombine { kAdd, kMax };
 
 // Per-warp accumulation of everything a warp charges to KernelStats.
 // Flushed once per warp in Warp::finish(); see the header note on why the
@@ -116,6 +126,22 @@ class Warp {
   int warp_in_cta() const noexcept { return warp_in_cta_; }
   int cta_id() const noexcept { return cta_id_; }
 
+  // True when nothing observes per-access behavior: training mode with
+  // fault injection, the sanitizer, and the store profiler all disarmed.
+  // Kernels may then run fused fast loops that bypass the per-access hook
+  // sites entirely — there is nothing to fire and no accounting to charge —
+  // provided the fused math is bit-identical to the per-access sequence it
+  // replaces (property-tested in tests/simt/simd_test.cpp). Any armed hook
+  // or the profiled mode forces the unfused loops, whose per-access
+  // ordinals and charges are the contract.
+  bool fused_fast_path() const noexcept {
+    if constexpr (Profiled) {
+      return false;
+    } else {
+      return faults_ == nullptr && san_ == nullptr && prof_ == nullptr;
+    }
+  }
+
   // Declares the data-load instruction-level parallelism of the kernel's
   // design: how many independent load instructions it keeps in flight.
   // This is the paper's own mechanism — the two-phase data load (Sec. 4.1)
@@ -134,12 +160,27 @@ class Warp {
       active = san_check_lanes<T>(mem.data(), mem.size(), idx, active,
                                   /*is_load=*/true);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        assert(idx[l] >= 0 &&
-               static_cast<std::size_t>(idx[l]) < mem.size());
-        out[static_cast<std::size_t>(l)] =
-            mem[static_cast<std::size_t>(idx[l])];
+    // Contiguous prefix runs (the dominant feature-access pattern) become a
+    // single block copy on the vector path; anything else — and the scalar
+    // reference path — takes the per-lane loop. The copied bytes are
+    // identical either way, and the hook/accounting calls below see the
+    // same (idx, active) in both.
+    const int cn = simd::vector_enabled() && std::is_trivially_copyable_v<T>
+                       ? simd::prefix_contiguous(idx, active)
+                       : 0;
+    if (cn > 0) {
+      assert(static_cast<std::size_t>(idx[0]) + static_cast<std::size_t>(cn) <=
+             mem.size());
+      std::memcpy(out.data(), mem.data() + idx[0],
+                  static_cast<std::size_t>(cn) * sizeof(T));
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          assert(idx[l] >= 0 &&
+                 static_cast<std::size_t>(idx[l]) < mem.size());
+          out[static_cast<std::size_t>(l)] =
+              mem[static_cast<std::size_t>(idx[l])];
+        }
       }
     }
     if (faults_ != nullptr) fault_loaded(out, active);
@@ -160,9 +201,15 @@ class Warp {
            (base >= 0 && static_cast<std::size_t>(base) +
                              static_cast<std::size_t>(count) <=
                          mem.size()));
-    for (int l = 0; l < count; ++l) {
-      out[static_cast<std::size_t>(l)] =
-          mem[static_cast<std::size_t>(base + l)];
+    if (simd::vector_enabled() && std::is_trivially_copyable_v<T> &&
+        count > 0) {
+      std::memcpy(out.data(), mem.data() + base,
+                  static_cast<std::size_t>(count) * sizeof(T));
+    } else {
+      for (int l = 0; l < count; ++l) {
+        out[static_cast<std::size_t>(l)] =
+            mem[static_cast<std::size_t>(base + l)];
+      }
     }
     if (faults_ != nullptr) fault_loaded(out, prefix_mask(count));
     if constexpr (Profiled) {
@@ -179,12 +226,22 @@ class Warp {
                                   /*is_load=*/false);
       san_note_scatter<T>(mem.data(), idx, active);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        assert(idx[l] >= 0 &&
-               static_cast<std::size_t>(idx[l]) < mem.size());
-        mem[static_cast<std::size_t>(idx[l])] =
-            vals[static_cast<std::size_t>(l)];
+    const int cn = simd::vector_enabled() && std::is_trivially_copyable_v<T>
+                       ? simd::prefix_contiguous(idx, active)
+                       : 0;
+    if (cn > 0) {
+      assert(static_cast<std::size_t>(idx[0]) + static_cast<std::size_t>(cn) <=
+             mem.size());
+      std::memcpy(mem.data() + idx[0], vals.data(),
+                  static_cast<std::size_t>(cn) * sizeof(T));
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          assert(idx[l] >= 0 &&
+                 static_cast<std::size_t>(idx[l]) < mem.size());
+          mem[static_cast<std::size_t>(idx[l])] =
+              vals[static_cast<std::size_t>(l)];
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -205,9 +262,15 @@ class Warp {
            (base >= 0 && static_cast<std::size_t>(base) +
                              static_cast<std::size_t>(count) <=
                          mem.size()));
-    for (int l = 0; l < count; ++l) {
-      mem[static_cast<std::size_t>(base + l)] =
-          vals[static_cast<std::size_t>(l)];
+    if (simd::vector_enabled() && std::is_trivially_copyable_v<T> &&
+        count > 0) {
+      std::memcpy(mem.data() + base, vals.data(),
+                  static_cast<std::size_t>(count) * sizeof(T));
+    } else {
+      for (int l = 0; l < count; ++l) {
+        mem[static_cast<std::size_t>(base + l)] =
+            vals[static_cast<std::size_t>(l)];
+      }
     }
     if (faults_ != nullptr) fault_stored_contiguous(mem, base, count);
     if (prof_ != nullptr) prof_stored_contiguous<T>(mem, base, count);
@@ -233,10 +296,19 @@ class Warp {
       active = san_check_lanes<typename decltype(mem)::element_type>(
           mem.data(), mem.size(), idx, active, /*is_load=*/false);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        mem[static_cast<std::size_t>(idx[l])] +=
-            vals[static_cast<std::size_t>(l)];
+    // Contiguous targets are pairwise distinct, so the lane-serial RMW loop
+    // and a batched combine see the same memory state per element; the
+    // serialization/contention charge below is unchanged either way.
+    const int cn = simd::vector_enabled() ? simd::prefix_contiguous(idx, active)
+                                          : 0;
+    if (cn > 0) {
+      simd::ops().f_accum(mem.data() + idx[0], vals.data(), 1.0f, cn, 0u);
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          mem[static_cast<std::size_t>(idx[l])] +=
+              vals[static_cast<std::size_t>(l)];
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -259,10 +331,16 @@ class Warp {
       active = san_check_lanes<typename decltype(mem)::element_type>(
           mem.data(), mem.size(), idx, active, /*is_load=*/false);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        half_t& slot = mem[static_cast<std::size_t>(idx[l])];
-        slot = slot + vals[static_cast<std::size_t>(l)];
+    const int cn = simd::vector_enabled() ? simd::prefix_contiguous(idx, active)
+                                          : 0;
+    if (cn > 0) {
+      simd::ops().h_accum(mem.data() + idx[0], vals.data(), cn, false);
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          half_t& slot = mem[static_cast<std::size_t>(idx[l])];
+          slot = slot + vals[static_cast<std::size_t>(l)];
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -283,10 +361,16 @@ class Warp {
       active = san_check_lanes<typename decltype(mem)::element_type>(
           mem.data(), mem.size(), idx, active, /*is_load=*/false);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        half2& slot = mem[static_cast<std::size_t>(idx[l])];
-        slot = h2add(slot, vals[static_cast<std::size_t>(l)]);
+    const int cn = simd::vector_enabled() ? simd::prefix_contiguous(idx, active)
+                                          : 0;
+    if (cn > 0) {
+      simd::ops().h2_rmw(mem.data() + idx[0], vals.data(), cn, false);
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          half2& slot = mem[static_cast<std::size_t>(idx[l])];
+          slot = h2add(slot, vals[static_cast<std::size_t>(l)]);
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -308,10 +392,17 @@ class Warp {
       active = san_check_lanes<typename decltype(mem)::element_type>(
           mem.data(), mem.size(), idx, active, /*is_load=*/false);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        float& slot = mem[static_cast<std::size_t>(idx[l])];
-        slot = std::max(slot, vals[static_cast<std::size_t>(l)]);
+    const int cn = simd::vector_enabled() ? simd::prefix_contiguous(idx, active)
+                                          : 0;
+    if (cn > 0) {
+      simd::ops().f_accum(mem.data() + idx[0], vals.data(), 1.0f, cn,
+                          simd::kIsMax);
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          float& slot = mem[static_cast<std::size_t>(idx[l])];
+          slot = std::max(slot, vals[static_cast<std::size_t>(l)]);
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -331,10 +422,16 @@ class Warp {
       active = san_check_lanes<typename decltype(mem)::element_type>(
           mem.data(), mem.size(), idx, active, /*is_load=*/false);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        half_t& slot = mem[static_cast<std::size_t>(idx[l])];
-        slot = hmax(slot, vals[static_cast<std::size_t>(l)]);
+    const int cn = simd::vector_enabled() ? simd::prefix_contiguous(idx, active)
+                                          : 0;
+    if (cn > 0) {
+      simd::ops().h_accum(mem.data() + idx[0], vals.data(), cn, true);
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          half_t& slot = mem[static_cast<std::size_t>(idx[l])];
+          slot = hmax(slot, vals[static_cast<std::size_t>(l)]);
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -354,10 +451,16 @@ class Warp {
       active = san_check_lanes<typename decltype(mem)::element_type>(
           mem.data(), mem.size(), idx, active, /*is_load=*/false);
     }
-    for (int l = 0; l < kWarpSize; ++l) {
-      if (active >> l & 1) {
-        half2& slot = mem[static_cast<std::size_t>(idx[l])];
-        slot = h2max(slot, vals[static_cast<std::size_t>(l)]);
+    const int cn = simd::vector_enabled() ? simd::prefix_contiguous(idx, active)
+                                          : 0;
+    if (cn > 0) {
+      simd::ops().h2_rmw(mem.data() + idx[0], vals.data(), cn, true);
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (active >> l & 1) {
+          half2& slot = mem[static_cast<std::size_t>(idx[l])];
+          slot = h2max(slot, vals[static_cast<std::size_t>(l)]);
+        }
       }
     }
     if (faults_ != nullptr) fault_stored(mem, idx, active);
@@ -390,6 +493,28 @@ class Warp {
     }
   }
 
+  // Tag-dispatched shuffle round: same sync point and charges as the
+  // callable form, with the combine executed by the active SIMD path.
+  template <class T>
+  void shfl_xor(Lanes<T>& vals, int offset, LaneMask active, WarpCombine k) {
+    static_assert(std::is_same_v<T, half2> || std::is_same_v<T, half_t> ||
+                      std::is_same_v<T, float>,
+                  "tag-dispatched shuffles cover half2/half/float lanes");
+    sync();
+    const bool is_max = k == WarpCombine::kMax;
+    if constexpr (std::is_same_v<T, half2>) {
+      simd::ops().shfl_xor_h2(vals, offset, active, is_max);
+    } else if constexpr (std::is_same_v<T, half_t>) {
+      simd::ops().shfl_xor_h(vals, offset, active, is_max);
+    } else {
+      simd::ops().shfl_xor_f(vals, offset, active, is_max);
+    }
+    if constexpr (Profiled) {
+      acc_.shfl_instrs += 1;
+      issue(spec_.shfl_cycles);
+    }
+  }
+
   // Full butterfly reduction over sub-warp groups of `group_width` lanes
   // (a power of two). After log2(group_width) rounds every lane of a group
   // holds the group's reduction. `op_class` is charged once per round for
@@ -400,6 +525,16 @@ class Warp {
     assert((group_width & (group_width - 1)) == 0 && group_width >= 1);
     for (int offset = 1; offset < group_width; offset <<= 1) {
       shfl_xor(vals, offset, active, c);
+      alu(op_class, 1);
+    }
+  }
+
+  template <class T>
+  void butterfly_reduce(Lanes<T>& vals, int group_width, LaneMask active,
+                        Op op_class, WarpCombine k) {
+    assert((group_width & (group_width - 1)) == 0 && group_width >= 1);
+    for (int offset = 1; offset < group_width; offset <<= 1) {
+      shfl_xor(vals, offset, active, k);
       alu(op_class, 1);
     }
   }
@@ -778,7 +913,11 @@ class Warp {
   template <class T>
   void account_access(const Lanes<std::int64_t>& idx, LaneMask active,
                       bool is_load) {
-    const auto c = accounting::access_counts(idx, active, sizeof(T),
+    // Dispatched so the vector path's sorted-run dedup kicks in; the scalar
+    // entry IS accounting::access_counts, and the AVX2 entry is exact for
+    // every pattern (sorted closed form, scalar fallback otherwise), so the
+    // charges cannot diverge between paths.
+    const auto c = simd::ops().access_counts(idx, active, sizeof(T),
                                              spec_.sector_bytes);
     finish_access<T>(c.sectors, c.unique_elems, is_load);
   }
