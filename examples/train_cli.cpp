@@ -31,14 +31,24 @@
 //   deterministic faults into every kernel launch; --guard turns on the
 //   TrainGuard retry/rollback/fallback machinery (DESIGN.md Sec. 9), e.g.
 //     HALFGNN_FAULTS='bitflip:rate=1e-4,seed=7' ./train_cli --guard
+//   HALFGNN_WATCHDOG_MS=<ms> arms the per-launch watchdog that reaps
+//   stuck kernels (HALFGNN_FAULTS='stuck:...') as retryable hangs.
+//
+//   Checkpointing: --ckpt-dir <path> (or HALFGNN_CKPT_DIR; the flag wins)
+//   writes a durable training snapshot every --ckpt-every epochs (default
+//   1); --resume restores the newest good generation from the same dir and
+//   finishes the run byte-identical to an uninterrupted one. A simulated
+//   crash (HALFGNN_FAULTS='torncrash:epoch=N[,at=B]') exits with status 42.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/store.hpp"
 #include "graph/datasets.hpp"
 #include "nn/trainer.hpp"
+#include "simt/fault.hpp"
 #include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 #include "simt/executor.hpp"
@@ -55,7 +65,8 @@ int usage(const char* argv0) {
       "          [--profile[=roofline|numerics|all]] [--verbose]\n"
       "          [--guard] [--guard-retry N] [--guard-interval N]\n"
       "          [--guard-ring N] [--guard-nan-streak N]\n"
-      "          [--guard-overflow-streak N]\n",
+      "          [--guard-overflow-streak N]\n"
+      "          [--ckpt-dir PATH] [--ckpt-every N] [--resume]\n",
       argv0);
   return 2;
 }
@@ -82,6 +93,17 @@ void ensure_features(hg::Dataset& d) {
 
 int main(int argc, char** argv) {
   using namespace hg;
+
+  // Validate the fault grammar before anything touches the default device
+  // (whose constructor parses HALFGNN_FAULTS and would throw from a static
+  // initializer): a malformed spec gets a readable error + the grammar.
+  try {
+    simt::FaultConfig::from_env();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(),
+                 simt::FaultConfig::grammar_help().c_str());
+    return 2;
+  }
 
   int dataset = 15;
   nn::ModelKind model = nn::ModelKind::kGcn;
@@ -183,9 +205,24 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return usage(argv[0]);
       }
+    } else if (a == "--ckpt-dir") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.checkpoint_dir = v;
+    } else if (a == "--ckpt-every") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      cfg.checkpoint_every = std::atoi(v);
+      if (cfg.checkpoint_every < 1) {
+        std::fprintf(stderr, "error: --ckpt-every must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (a == "--resume") {
+      cfg.resume = true;
     } else if (a == "--verbose") {
       cfg.verbose = true;
     } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", a.c_str());
       return usage(argv[0]);
     }
   }
@@ -206,6 +243,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cfg.checkpoint_dir.empty()) {
+    if (const char* env = std::getenv("HALFGNN_CKPT_DIR");
+        env != nullptr && *env) {
+      cfg.checkpoint_dir = env;
+    }
+  }
+  if (cfg.resume && cfg.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --resume needs --ckpt-dir (or HALFGNN_CKPT_DIR)\n");
+    return usage(argv[0]);
+  }
+  if (!cfg.checkpoint_dir.empty()) {
+    // Notices go to stderr: stdout must stay byte-identical between an
+    // uninterrupted run and a crash + --resume pair.
+    std::fprintf(stderr, "checkpointing to '%s' every %d epoch(s)%s\n",
+                 cfg.checkpoint_dir.c_str(), cfg.checkpoint_every,
+                 cfg.resume ? ", resuming" : "");
+  }
+
   const obs::EnvConfig obs_cfg = obs::init_from_env();
   if (!obs_cfg.trace_path.empty()) cfg.trace = true;
 
@@ -223,7 +279,15 @@ int main(int argc, char** argv) {
                     : " (trains f32, quantized eval forward)");
   }
 
-  const nn::TrainResult res = nn::train(model, mode, d, cfg);
+  nn::TrainResult res;
+  try {
+    res = nn::train(model, mode, d, cfg);
+  } catch (const ckpt::SimulatedCrash& e) {
+    // HALFGNN_FAULTS=torncrash killed the process mid-checkpoint; the
+    // distinctive status lets harnesses assert the crash actually fired.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 42;
+  }
   std::printf("\nbest test accuracy : %.2f%%\n", 100 * res.best_test_acc);
   std::printf("final loss         : %.4f\n", res.losses.back());
   std::printf("NaN-loss epochs    : %d (scaler skipped %d steps)\n",

@@ -100,11 +100,24 @@ class GradScaler {
 
   int skipped_steps() const noexcept { return skipped_; }
   int taken_steps() const noexcept { return stepped_; }
+  int clean_steps() const noexcept { return clean_steps_; }
 
   // Post-update scale per step, in order — the trajectory the per-epoch
   // amp.loss_scale gauge snapshots, available without the registry.
   const std::vector<float>& scale_history() const noexcept {
     return history_;
+  }
+
+  // Checkpoint restore: reinstates the exact mid-run trajectory — scale,
+  // growth streak, skip/step counters, recorded history — with no clamping
+  // or streak reset (set_scale is the rollback path; this is not).
+  void restore_state(float scale, int clean_steps, int skipped, int stepped,
+                     std::vector<float> history) {
+    scale_ = scale;
+    clean_steps_ = clean_steps;
+    skipped_ = skipped;
+    stepped_ = stepped;
+    history_ = std::move(history);
   }
 
  private:

@@ -1,0 +1,156 @@
+#include "ckpt/snapshot.hpp"
+
+namespace hg::ckpt {
+
+namespace {
+
+void write_tensor_list(Writer& w, const std::vector<std::vector<float>>& ts) {
+  w.u64(ts.size());
+  for (const auto& t : ts) w.floats(t);
+}
+
+std::vector<std::vector<float>> read_tensor_list(Reader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<std::vector<float>> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) ts.push_back(r.floats());
+  return ts;
+}
+
+}  // namespace
+
+void write_model_state(Writer& w, const ModelState& st) {
+  w.i32(st.epoch);
+  w.i32(st.adam_t);
+  w.f32(st.scale);
+  write_tensor_list(w, st.master);
+  write_tensor_list(w, st.m);
+  write_tensor_list(w, st.v);
+}
+
+ModelState read_model_state(Reader& r) {
+  ModelState st;
+  st.epoch = r.i32();
+  st.adam_t = r.i32();
+  st.scale = r.f32();
+  st.master = read_tensor_list(r);
+  st.m = read_tensor_list(r);
+  st.v = read_tensor_list(r);
+  return st;
+}
+
+void write_train_state(Writer& w, const TrainState& st) {
+  w.str(st.fingerprint);
+  w.i32(st.epoch);
+  write_model_state(w, st.model);
+
+  w.f32(st.scaler.scale);
+  w.i32(st.scaler.clean_steps);
+  w.i32(st.scaler.skipped);
+  w.i32(st.scaler.stepped);
+  w.floats(st.scaler.history);
+
+  for (const std::uint64_t s : st.rng.s) w.u64(s);
+  w.f64(st.rng.cached);
+  w.b(st.rng.has_cached);
+
+  w.u64(st.guard.sites.size());
+  for (const auto& s : st.guard.sites) {
+    w.str(s.site);
+    w.i32(s.level);
+    w.i32(s.streak);
+  }
+  w.u64(st.guard.ring.size());
+  for (const auto& cp : st.guard.ring) write_model_state(w, cp);
+  w.i32(st.guard.nan_streak);
+  w.b(st.guard.last_loss_finite);
+  w.i32(st.guard.retries);
+  w.i32(st.guard.rollbacks);
+  w.i32(st.guard.fallbacks);
+  w.i32(st.guard.checkpoints);
+
+  w.doubles(st.result.losses);
+  w.doubles(st.result.test_accs);
+  w.f64(st.result.best_test_acc);
+  w.i32(st.result.nan_loss_epochs);
+  w.i32(st.result.first_nan_epoch);
+  w.u64(st.result.memory.graph_bytes);
+  w.u64(st.result.memory.state_bytes);
+  w.u64(st.result.memory.param_bytes);
+  w.u64(st.result.memory.workspace_bytes);
+  w.u64(st.result.memory.framework_overhead);
+  w.f64(st.result.ledger.dispatch_us_per_kernel);
+  w.f64(st.result.ledger.dense_ms);
+  w.f64(st.result.ledger.sparse_ms);
+  w.f64(st.result.ledger.convert_ms);
+  w.u64(st.result.ledger.sparse_kernels);
+  w.u64(st.result.ledger.dense_kernels);
+  w.u64(st.result.ledger.conversions);
+  w.u64(st.result.ledger.converted_bytes);
+
+  w.str(st.registry_blob);
+  w.str(st.tracer_blob);
+}
+
+TrainState read_train_state(Reader& r) {
+  TrainState st;
+  st.fingerprint = r.str();
+  st.epoch = r.i32();
+  st.model = read_model_state(r);
+
+  st.scaler.scale = r.f32();
+  st.scaler.clean_steps = r.i32();
+  st.scaler.skipped = r.i32();
+  st.scaler.stepped = r.i32();
+  st.scaler.history = r.floats();
+
+  for (auto& s : st.rng.s) s = r.u64();
+  st.rng.cached = r.f64();
+  st.rng.has_cached = r.b();
+
+  const std::uint64_t sites = r.u64();
+  st.guard.sites.reserve(static_cast<std::size_t>(sites));
+  for (std::uint64_t i = 0; i < sites; ++i) {
+    GuardSiteState s;
+    s.site = r.str();
+    s.level = r.i32();
+    s.streak = r.i32();
+    st.guard.sites.push_back(std::move(s));
+  }
+  const std::uint64_t ring = r.u64();
+  st.guard.ring.reserve(static_cast<std::size_t>(ring));
+  for (std::uint64_t i = 0; i < ring; ++i) {
+    st.guard.ring.push_back(read_model_state(r));
+  }
+  st.guard.nan_streak = r.i32();
+  st.guard.last_loss_finite = r.b();
+  st.guard.retries = r.i32();
+  st.guard.rollbacks = r.i32();
+  st.guard.fallbacks = r.i32();
+  st.guard.checkpoints = r.i32();
+
+  st.result.losses = r.doubles();
+  st.result.test_accs = r.doubles();
+  st.result.best_test_acc = r.f64();
+  st.result.nan_loss_epochs = r.i32();
+  st.result.first_nan_epoch = r.i32();
+  st.result.memory.graph_bytes = r.u64();
+  st.result.memory.state_bytes = r.u64();
+  st.result.memory.param_bytes = r.u64();
+  st.result.memory.workspace_bytes = r.u64();
+  st.result.memory.framework_overhead = r.u64();
+  st.result.ledger.dispatch_us_per_kernel = r.f64();
+  st.result.ledger.dense_ms = r.f64();
+  st.result.ledger.sparse_ms = r.f64();
+  st.result.ledger.convert_ms = r.f64();
+  st.result.ledger.sparse_kernels = r.u64();
+  st.result.ledger.dense_kernels = r.u64();
+  st.result.ledger.conversions = r.u64();
+  st.result.ledger.converted_bytes = r.u64();
+
+  st.registry_blob = r.str();
+  st.tracer_blob = r.str();
+  return st;
+}
+
+}  // namespace hg::ckpt

@@ -1,0 +1,125 @@
+// The single snapshot struct behind both recovery mechanisms: TrainGuard's
+// in-memory rollback ring and the durable on-disk Store (store.hpp) carry
+// the same ckpt::ModelState / ckpt::TrainState, serialized by the same
+// functions — one format, not two.
+//
+// TrainState captures everything the training loop needs to continue
+// bit-exactly from the top of an epoch: master weights + Adam moments +
+// step counters, the full GradScaler trajectory, the trainer's RNG, the
+// guard's escalation levels and rollback ring, the partial TrainResult,
+// and (opaque, via obs save_state) the metrics registry and span tracer —
+// so a resumed run's outputs, metrics JSON and trace JSON are byte-
+// identical to the uninterrupted run at every HALFGNN_THREADS and on both
+// HALFGNN_SIMD paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/serial.hpp"
+
+namespace hg::ckpt {
+
+// On-disk payload format version; bumped on any incompatible layout change.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// One model snapshot: flat float copies of each Param's master / m / v
+// tensors plus the counters a rollback must restore. This is what
+// TrainGuard keeps `checkpoint_ring` of in memory.
+struct ModelState {
+  int epoch = 0;
+  int adam_t = 0;
+  float scale = 1.0f;  // GradScaler scale at snapshot time
+  std::vector<std::vector<float>> master, m, v;
+};
+
+// Full GradScaler trajectory: restore must preserve the growth streak, the
+// skip/step counters and the recorded scale history exactly.
+struct ScalerState {
+  float scale = 1.0f;
+  int clean_steps = 0;
+  int skipped = 0;
+  int stepped = 0;
+  std::vector<float> history;
+};
+
+struct RngState {
+  std::uint64_t s[4] = {};
+  double cached = 0;
+  bool has_cached = false;
+};
+
+struct GuardSiteState {
+  std::string site;
+  int level = 0;
+  int streak = 0;
+};
+
+struct GuardState {
+  std::vector<GuardSiteState> sites;
+  std::vector<ModelState> ring;  // oldest first
+  int nan_streak = 0;
+  bool last_loss_finite = true;
+  int retries = 0;
+  int rollbacks = 0;
+  int fallbacks = 0;
+  int checkpoints = 0;
+};
+
+// CostLedger / MemoryMeter images (epoch 0 fills both; a resume from a
+// later epoch must restore rather than re-measure them).
+struct LedgerState {
+  double dispatch_us_per_kernel = 0;
+  double dense_ms = 0;
+  double sparse_ms = 0;
+  double convert_ms = 0;
+  std::uint64_t sparse_kernels = 0;
+  std::uint64_t dense_kernels = 0;
+  std::uint64_t conversions = 0;
+  std::uint64_t converted_bytes = 0;
+};
+
+struct MemoryState {
+  std::uint64_t graph_bytes = 0;
+  std::uint64_t state_bytes = 0;
+  std::uint64_t param_bytes = 0;
+  std::uint64_t workspace_bytes = 0;
+  std::uint64_t framework_overhead = 0;
+};
+
+// The partial TrainResult accumulated before the snapshot epoch.
+struct ResultState {
+  std::vector<double> losses;
+  std::vector<double> test_accs;
+  double best_test_acc = 0;
+  int nan_loss_epochs = 0;
+  int first_nan_epoch = -1;
+  MemoryState memory;
+  LedgerState ledger;
+};
+
+struct TrainState {
+  // Config identity (model/mode/dataset/epochs/lr/hidden/seed/dtype); a
+  // resume against a different configuration is rejected, not silently
+  // continued.
+  std::string fingerprint;
+  int epoch = 0;  // the epoch about to run when the snapshot was taken
+  ModelState model;
+  ScalerState scaler;
+  RngState rng;
+  GuardState guard;
+  ResultState result;
+  // Opaque obs blobs (Registry::save_state / Tracer::save_state); empty
+  // when the corresponding sink was disabled.
+  std::string registry_blob;
+  std::string tracer_blob;
+};
+
+void write_model_state(Writer& w, const ModelState& st);
+ModelState read_model_state(Reader& r);
+
+void write_train_state(Writer& w, const TrainState& st);
+TrainState read_train_state(Reader& r);
+
+}  // namespace hg::ckpt

@@ -10,6 +10,39 @@ namespace hg::nn {
 
 TrainGuard::TrainGuard(GuardConfig cfg) : cfg_(cfg) {}
 
+ckpt::ModelState capture_model_state(int epoch, int adam_t, float scale,
+                                     const std::vector<Param*>& params) {
+  ckpt::ModelState st;
+  st.epoch = epoch;
+  st.adam_t = adam_t;
+  st.scale = scale;
+  st.master.reserve(params.size());
+  st.m.reserve(params.size());
+  st.v.reserve(params.size());
+  for (Param* p : params) {
+    const auto w = p->master().f();
+    const auto m = p->adam_m().f();
+    const auto v = p->adam_v().f();
+    st.master.emplace_back(w.begin(), w.end());
+    st.m.emplace_back(m.begin(), m.end());
+    st.v.emplace_back(v.begin(), v.end());
+  }
+  return st;
+}
+
+void restore_model_state(const ckpt::ModelState& st,
+                         const std::vector<Param*>& params) {
+  for (std::size_t i = 0; i < params.size() && i < st.master.size(); ++i) {
+    Param* p = params[i];
+    std::copy(st.master[i].begin(), st.master[i].end(),
+              p->master().f().begin());
+    std::copy(st.m[i].begin(), st.m[i].end(), p->adam_m().f().begin());
+    std::copy(st.v[i].begin(), st.v[i].end(), p->adam_v().f().begin());
+    p->zero_grad();
+    p->invalidate_working();  // half working copies are polluted too
+  }
+}
+
 void TrainGuard::count_retry(const std::string& site) {
   ++retries_;
   if (obs::registry().enabled()) {
@@ -75,22 +108,7 @@ void TrainGuard::maybe_checkpoint(int epoch,
     return;
   }
   if (!last_loss_finite_) return;  // a collapsing state is not worth keeping
-  Checkpoint cp;
-  cp.epoch = epoch;
-  cp.adam_t = adam_t;
-  cp.scale = scaler.scale();
-  cp.master.reserve(params.size());
-  cp.m.reserve(params.size());
-  cp.v.reserve(params.size());
-  for (Param* p : params) {
-    const auto w = p->master().f();
-    const auto m = p->adam_m().f();
-    const auto v = p->adam_v().f();
-    cp.master.emplace_back(w.begin(), w.end());
-    cp.m.emplace_back(m.begin(), m.end());
-    cp.v.emplace_back(v.begin(), v.end());
-  }
-  ring_.push_back(std::move(cp));
+  ring_.push_back(capture_model_state(epoch, adam_t, scaler.scale(), params));
   while (static_cast<int>(ring_.size()) > std::max(1, cfg_.checkpoint_ring)) {
     ring_.pop_front();
   }
@@ -112,16 +130,8 @@ bool TrainGuard::note_loss(double loss) {
 void TrainGuard::rollback(const std::vector<Param*>& params,
                           amp::GradScaler& scaler, int& adam_t) {
   if (ring_.empty()) return;
-  const Checkpoint& cp = ring_.back();
-  for (std::size_t i = 0; i < params.size() && i < cp.master.size(); ++i) {
-    Param* p = params[i];
-    std::copy(cp.master[i].begin(), cp.master[i].end(),
-              p->master().f().begin());
-    std::copy(cp.m[i].begin(), cp.m[i].end(), p->adam_m().f().begin());
-    std::copy(cp.v[i].begin(), cp.v[i].end(), p->adam_v().f().begin());
-    p->zero_grad();
-    p->invalidate_working();  // half working copies are polluted too
-  }
+  const ckpt::ModelState& cp = ring_.back();
+  restore_model_state(cp, params);
   adam_t = cp.adam_t;
   scaler.set_scale(cp.scale * cfg_.rollback_scale_backoff);
   ++rollbacks_;
@@ -144,6 +154,40 @@ void TrainGuard::rollback(const std::vector<Param*>& params,
                      obs::Json::number_to_string(
                          static_cast<double>(scaler.scale())));
   }
+}
+
+ckpt::GuardState TrainGuard::save_state() const {
+  ckpt::GuardState st;
+  st.sites.reserve(sites_.size());
+  for (const auto& kv : sites_) {
+    ckpt::GuardSiteState s;
+    s.site = kv.first;
+    s.level = kv.second.level;
+    s.streak = kv.second.streak;
+    st.sites.push_back(std::move(s));
+  }
+  st.ring.assign(ring_.begin(), ring_.end());
+  st.nan_streak = nan_streak_;
+  st.last_loss_finite = last_loss_finite_;
+  st.retries = retries_;
+  st.rollbacks = rollbacks_;
+  st.fallbacks = fallbacks_;
+  st.checkpoints = checkpoints_;
+  return st;
+}
+
+void TrainGuard::restore_state(const ckpt::GuardState& st) {
+  sites_.clear();
+  for (const auto& s : st.sites) {
+    sites_[s.site] = Site{s.level, s.streak};
+  }
+  ring_.assign(st.ring.begin(), st.ring.end());
+  nan_streak_ = st.nan_streak;
+  last_loss_finite_ = st.last_loss_finite;
+  retries_ = st.retries;
+  rollbacks_ = st.rollbacks;
+  fallbacks_ = st.fallbacks;
+  checkpoints_ = st.checkpoints;
 }
 
 }  // namespace hg::nn

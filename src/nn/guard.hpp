@@ -30,10 +30,22 @@
 #include <vector>
 
 #include "amp/amp.hpp"
+#include "ckpt/snapshot.hpp"
 #include "nn/param.hpp"
 #include "obs/prof/prof.hpp"
 
 namespace hg::nn {
+
+// One model snapshot (the shared ckpt::ModelState): flat float copies of
+// each Param's master / m / v plus the counters a restore needs. The same
+// struct backs the guard's in-memory ring and the durable Store.
+ckpt::ModelState capture_model_state(int epoch, int adam_t, float scale,
+                                     const std::vector<Param*>& params);
+// Copies the snapshot back into the params (gradients zeroed, working
+// half/bf16 copies invalidated). Counters are returned to the caller via
+// the struct, not applied here.
+void restore_model_state(const ckpt::ModelState& st,
+                         const std::vector<Param*>& params);
 
 struct GuardConfig {
   bool enabled = false;
@@ -95,14 +107,14 @@ class TrainGuard {
   int fallbacks() const noexcept { return fallbacks_; }
   int checkpoints() const noexcept { return checkpoints_; }
 
+  // --- durable checkpoint interop -------------------------------------------
+  // Full guard image (site escalation levels, rollback ring, NaN streak,
+  // decision counters) for the durable TrainState; restore_state replaces
+  // everything so a resumed run's guard decisions replay identically.
+  ckpt::GuardState save_state() const;
+  void restore_state(const ckpt::GuardState& st);
+
  private:
-  struct Checkpoint {
-    int epoch = 0;
-    int adam_t = 0;
-    float scale = 1.0f;
-    // Flat float copies of each Param's master / m / v tensors.
-    std::vector<std::vector<float>> master, m, v;
-  };
   struct Site {
     int level = 0;
     int streak = 0;
@@ -111,7 +123,9 @@ class TrainGuard {
   GuardConfig cfg_;
   obs::prof::Profiler* prof_ = nullptr;
   std::map<std::string, Site> sites_;
-  std::deque<Checkpoint> ring_;
+  // In-memory rollback ring, oldest first — the same ckpt::ModelState the
+  // durable Store serializes (one snapshot struct, not two).
+  std::deque<ckpt::ModelState> ring_;
   int nan_streak_ = 0;
   bool last_loss_finite_ = true;
   int retries_ = 0;

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
+#include "ckpt/store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "simt/executor.hpp"
@@ -52,6 +55,68 @@ void fill_memory_model(MemoryMeter& m, SystemMode mode, const Dataset& d,
   }
 }
 
+// TrainResult <-> ckpt::TrainState partial-result conversion. The meter and
+// ledger are measured on epoch 0 only, so a resume from a later epoch must
+// carry them in the snapshot or the resumed run would report zeros.
+ckpt::MemoryState to_state(const MemoryMeter& m) {
+  ckpt::MemoryState s;
+  s.graph_bytes = m.graph_bytes;
+  s.state_bytes = m.state_bytes;
+  s.param_bytes = m.param_bytes;
+  s.workspace_bytes = m.workspace_bytes;
+  s.framework_overhead = m.framework_overhead;
+  return s;
+}
+
+void from_state(const ckpt::MemoryState& s, MemoryMeter& m) {
+  m.graph_bytes = s.graph_bytes;
+  m.state_bytes = s.state_bytes;
+  m.param_bytes = s.param_bytes;
+  m.workspace_bytes = s.workspace_bytes;
+  m.framework_overhead = s.framework_overhead;
+}
+
+ckpt::LedgerState to_state(const CostLedger& l) {
+  ckpt::LedgerState s;
+  s.dispatch_us_per_kernel = l.dispatch_us_per_kernel;
+  s.dense_ms = l.dense_ms;
+  s.sparse_ms = l.sparse_ms;
+  s.convert_ms = l.convert_ms;
+  s.sparse_kernels = l.sparse_kernels;
+  s.dense_kernels = l.dense_kernels;
+  s.conversions = l.conversions;
+  s.converted_bytes = l.converted_bytes;
+  return s;
+}
+
+void from_state(const ckpt::LedgerState& s, CostLedger& l) {
+  l.dispatch_us_per_kernel = s.dispatch_us_per_kernel;
+  l.dense_ms = s.dense_ms;
+  l.sparse_ms = s.sparse_ms;
+  l.convert_ms = s.convert_ms;
+  l.sparse_kernels = s.sparse_kernels;
+  l.dense_kernels = s.dense_kernels;
+  l.conversions = s.conversions;
+  l.converted_bytes = s.converted_bytes;
+}
+
+// Identifies a (model, mode, dataset, hyperparameter) combination; a
+// checkpoint from a different run configuration must not be resumed into
+// this one. lr is fingerprinted by its float bits, not its decimal print.
+std::string run_fingerprint(ModelKind kind, SystemMode mode, const Dataset& d,
+                            const TrainConfig& cfg, bool override_active,
+                            Dtype req) {
+  std::uint32_t lr_bits = 0;
+  std::memcpy(&lr_bits, &cfg.lr, sizeof lr_bits);
+  char lr_hex[16];
+  std::snprintf(lr_hex, sizeof lr_hex, "%08x", lr_bits);
+  return std::string(model_name(kind)) + "|" + mode_name(mode) + "|" + d.name +
+         "|e" + std::to_string(cfg.epochs) + "|lr" + lr_hex + "|h" +
+         std::to_string(cfg.hidden) + "|s" + std::to_string(cfg.seed) + "|" +
+         (override_active ? std::string(dtype_name(req))
+                          : std::string("mode"));
+}
+
 }  // namespace
 
 TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
@@ -89,18 +154,6 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   TrainGuard guard(cfg.guard);
   const bool use_guard = cfg.guard.enabled;
 
-  obs::Span run_span(std::string("train:") + model_name(kind) + "/" +
-                         mode_name(mode),
-                     "run");
-  run_span.arg("model", model_name(kind));
-  run_span.arg("mode", mode_name(mode));
-  run_span.arg("dataset", d.name);
-  run_span.arg("vertices", static_cast<std::int64_t>(d.num_vertices()));
-  run_span.arg("edges", static_cast<std::int64_t>(d.num_edges()));
-  run_span.arg("epochs", static_cast<std::int64_t>(cfg.epochs));
-  if (override_active) run_span.arg("dtype", std::string(dtype_name(req)));
-  const bool snapshot_metrics = obs::registry().enabled();
-
   // hgprof numerics telemetry: the profiler lives on the stream's device and
   // samples activations/gradients read-only, so arming it never perturbs the
   // run. Every guard decision below also lands in its audit log.
@@ -119,7 +172,121 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
     }
   };
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  // Durable checkpoint store; the torn-write plan comes from the device's
+  // fault config (torncrash clauses live in the write path, not the launch
+  // path, so they never perturb kernel execution).
+  std::string fingerprint;
+  std::unique_ptr<ckpt::Store> store;
+  if (!cfg.checkpoint_dir.empty()) {
+    fingerprint = run_fingerprint(kind, mode, d, cfg, override_active, req);
+    ckpt::StoreConfig scfg;
+    scfg.dir = cfg.checkpoint_dir;
+    const auto& torn = stream.device().faults().config().torncrashes;
+    if (!torn.empty()) {
+      scfg.torn_epoch = torn.front().epoch;
+      scfg.torn_at = torn.front().at;
+    }
+    store = std::make_unique<ckpt::Store>(scfg);
+  }
+
+  int start_epoch = 0;
+  bool resumed = false;
+  if (store != nullptr && cfg.resume) {
+    const ckpt::LoadInfo info = store->load(&prof);
+    if (info.found) {
+      const ckpt::TrainState& st = info.state;
+      if (st.fingerprint != fingerprint) {
+        throw std::invalid_argument("ckpt: fingerprint mismatch: checkpoint '" +
+                                    st.fingerprint + "' vs run '" +
+                                    fingerprint + "'");
+      }
+      restore_model_state(st.model, model->params());
+      adam_t = st.model.adam_t;
+      scaler.restore_state(st.scaler.scale, st.scaler.clean_steps,
+                           st.scaler.skipped, st.scaler.stepped,
+                           st.scaler.history);
+      Rng::State rs;
+      for (int i = 0; i < 4; ++i) rs.s[i] = st.rng.s[i];
+      rs.cached = st.rng.cached;
+      rs.has_cached = st.rng.has_cached;
+      rng.set_state(rs);
+      guard.restore_state(st.guard);
+      res.losses = st.result.losses;
+      res.test_accs = st.result.test_accs;
+      res.best_test_acc = st.result.best_test_acc;
+      res.nan_loss_epochs = st.result.nan_loss_epochs;
+      res.first_nan_epoch = st.result.first_nan_epoch;
+      from_state(st.result.memory, res.memory);
+      from_state(st.result.ledger, res.epoch_ledger);
+      // Replace the observability state wholesale: the resumed process's
+      // trace/metrics continue exactly where the crashed one left off (this
+      // also discards the ckpt.load.* counters the load itself published, so
+      // the finished artifacts stay byte-identical to an uninterrupted run).
+      if (!st.registry_blob.empty()) {
+        obs::registry().load_state(st.registry_blob);
+      }
+      if (!st.tracer_blob.empty()) obs::tracer().load_state(st.tracer_blob);
+      start_epoch = st.epoch;
+      resumed = true;
+    }
+  }
+
+  std::optional<obs::Span> run_span;
+  if (resumed && obs::tracer().top_open_token() != 0) {
+    // The restored trace still holds this run's open span; adopt it so the
+    // closing args land on the original instead of opening a second one.
+    run_span.emplace(obs::Span::AdoptSpan{}, obs::tracer().top_open_token());
+  } else {
+    run_span.emplace(std::string("train:") + model_name(kind) + "/" +
+                         mode_name(mode),
+                     "run");
+    run_span->arg("model", model_name(kind));
+    run_span->arg("mode", mode_name(mode));
+    run_span->arg("dataset", d.name);
+    run_span->arg("vertices", static_cast<std::int64_t>(d.num_vertices()));
+    run_span->arg("edges", static_cast<std::int64_t>(d.num_edges()));
+    run_span->arg("epochs", static_cast<std::int64_t>(cfg.epochs));
+    if (override_active) run_span->arg("dtype", std::string(dtype_name(req)));
+  }
+  const bool snapshot_metrics = obs::registry().enabled();
+
+  for (int epoch = start_epoch; epoch < cfg.epochs; ++epoch) {
+    if (store != nullptr && cfg.checkpoint_every > 0 &&
+        epoch % cfg.checkpoint_every == 0 &&
+        !(resumed && epoch == start_epoch)) {
+      // Durable snapshot of everything the loop body reads, taken before the
+      // epoch runs: a resume lands exactly here. Writing publishes no
+      // metrics/trace events, so an uninterrupted run with checkpointing on
+      // is byte-identical to one with it off.
+      ckpt::TrainState st;
+      st.fingerprint = fingerprint;
+      st.epoch = epoch;
+      st.model =
+          capture_model_state(epoch, adam_t, scaler.scale(), model->params());
+      st.scaler.scale = scaler.scale();
+      st.scaler.clean_steps = scaler.clean_steps();
+      st.scaler.skipped = scaler.skipped_steps();
+      st.scaler.stepped = scaler.taken_steps();
+      st.scaler.history = scaler.scale_history();
+      const Rng::State rs = rng.state();
+      for (int i = 0; i < 4; ++i) st.rng.s[i] = rs.s[i];
+      st.rng.cached = rs.cached;
+      st.rng.has_cached = rs.has_cached;
+      st.guard = guard.save_state();
+      st.result.losses = res.losses;
+      st.result.test_accs = res.test_accs;
+      st.result.best_test_acc = res.best_test_acc;
+      st.result.nan_loss_epochs = res.nan_loss_epochs;
+      st.result.first_nan_epoch = res.first_nan_epoch;
+      st.result.memory = to_state(res.memory);
+      st.result.ledger = to_state(res.epoch_ledger);
+      if (obs::registry().enabled()) {
+        st.registry_blob = obs::registry().save_state();
+      }
+      if (obs::tracer().enabled()) st.tracer_blob = obs::tracer().save_state();
+      store->write(st);  // throws ckpt::SimulatedCrash under torncrash
+    }
+
     prof.begin_epoch(epoch);
     obs::Span epoch_span("epoch", "epoch");
     epoch_span.arg("epoch", static_cast<std::int64_t>(epoch));
@@ -253,14 +420,16 @@ TrainResult train(ModelKind kind, SystemMode mode, const Dataset& d,
   res.guard_rollbacks = guard.rollbacks();
   res.guard_fallbacks = guard.fallbacks();
   res.guard_checkpoints = guard.checkpoints();
-  run_span.arg("final_test_acc", res.final_test_acc);
-  run_span.arg("scaler_skipped", static_cast<std::int64_t>(res.scaler_skipped));
+  run_span->arg("final_test_acc", res.final_test_acc);
+  run_span->arg("scaler_skipped",
+                static_cast<std::int64_t>(res.scaler_skipped));
   if (use_guard) {
-    run_span.arg("guard_retries", static_cast<std::int64_t>(res.guard_retries));
-    run_span.arg("guard_rollbacks",
-                 static_cast<std::int64_t>(res.guard_rollbacks));
-    run_span.arg("guard_fallbacks",
-                 static_cast<std::int64_t>(res.guard_fallbacks));
+    run_span->arg("guard_retries",
+                  static_cast<std::int64_t>(res.guard_retries));
+    run_span->arg("guard_rollbacks",
+                  static_cast<std::int64_t>(res.guard_rollbacks));
+    run_span->arg("guard_fallbacks",
+                  static_cast<std::int64_t>(res.guard_fallbacks));
   }
 
   // Parameter + input memory.

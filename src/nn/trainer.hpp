@@ -39,6 +39,17 @@ struct TrainConfig {
   // tracing off nothing is recorded and nothing changes.
   bool trace = false;
   bool verbose = false;
+  // Durable crash-safe checkpointing (src/ckpt). Empty dir = off. Every
+  // `checkpoint_every` epochs the full training state — master weights, Adam
+  // moments, GradScaler, RNG, guard escalation levels + rollback ring,
+  // partial results, and the metrics/trace state — is written atomically
+  // under `checkpoint_dir` as a new generation. With `resume` set the newest
+  // decodable generation is restored (corrupt/torn files fall back to the
+  // previous good one) and the loop continues from its epoch; the finished
+  // run's outputs are byte-identical to an uninterrupted run.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
 };
 
 TrainConfig default_config(ModelKind kind);

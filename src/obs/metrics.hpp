@@ -73,6 +73,15 @@ class Registry {
   Json to_json() const;
   bool write_json(const std::string& path) const;
 
+  // --- checkpoint state ------------------------------------------------------
+  // Full registry image (counters, gauges, histograms, kernel aggregates,
+  // epoch snapshots) as an opaque ckpt byte stream; the enabled flag is
+  // process configuration and is not captured. load_state() replaces
+  // everything reset() would clear, so a resumed run's metrics JSON is
+  // byte-identical to the uninterrupted run's.
+  std::string save_state() const;
+  void load_state(const std::string& blob);
+
  private:
   struct Histogram {
     std::uint64_t count = 0;

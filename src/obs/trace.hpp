@@ -77,6 +77,20 @@ class Tracer {
 
   std::size_t event_count() const;
 
+  // Token of the innermost open span (0 when none). A resumed training run
+  // uses this to adopt the restored run-level span instead of opening a
+  // duplicate.
+  std::uint64_t top_open_token() const;
+
+  // --- checkpoint state ------------------------------------------------------
+  // Full tracer image (clock, token/seq allocators, open-span stack,
+  // completed events) as an opaque ckpt byte stream. The enabled flag is
+  // process configuration and is deliberately not captured. load_state()
+  // replaces everything reset() would clear, so restoring on a fresh
+  // process reproduces the exact trace a continuous run would emit.
+  std::string save_state() const;
+  void load_state(const std::string& blob);
+
   // --- export --------------------------------------------------------------
   Json chrome_trace_json() const;
   // Writes chrome_trace_json() to `path`; false on I/O failure.
@@ -123,11 +137,16 @@ inline Tracer& tracer() { return Tracer::instance(); }
 // RAII scoped span; inert when tracing is disabled at construction.
 class Span {
  public:
+  // Tag type: wrap an already-open span (restored from a checkpoint)
+  // instead of opening a new one; the Span closes it on destruction.
+  struct AdoptSpan {};
+
   explicit Span(std::string name, std::string cat = "phase") {
     if (tracer().enabled()) {
       token_ = tracer().open_span(std::move(name), std::move(cat));
     }
   }
+  Span(AdoptSpan, std::uint64_t token) : token_(token) {}
   ~Span() {
     if (token_ != 0) tracer().close_span(token_);
   }

@@ -64,6 +64,9 @@ Device::Device(const DeviceSpec& spec, int threads)
       injector_(FaultConfig::from_env()),
       sanitizer_(SanitizerConfig::from_env()),
       profiler_(obs::prof::ProfConfig::from_env()) {
+  if (const char* e = std::getenv("HALFGNN_WATCHDOG_MS")) {
+    wd_ms_ = std::strtod(e, nullptr);
+  }
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int t = 0; t < threads_ - 1; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -77,6 +80,14 @@ Device::~Device() {
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
+  if (wd_started_) {
+    {
+      std::lock_guard<std::mutex> lk(wd_mu_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    wd_thread_.join();
+  }
 }
 
 std::span<std::byte> Device::scratch(int slot, std::size_t bytes) {
@@ -88,12 +99,97 @@ std::span<std::byte> Device::scratch(int slot, std::size_t bytes) {
 void Device::set_faults(FaultConfig cfg) {
   std::lock_guard<std::mutex> guard(launch_mu_);
   injector_ = FaultInjector(std::move(cfg));
+  fault_state_.stuck = false;
 }
 
 detail::LaunchFaultState* Device::arm_faults(const std::string& kernel) {
+  // A stuck flag can be left set when the same arm also threw LaunchFault;
+  // clear it before the early-out so an inactive injector never replays it.
+  fault_state_.stuck = false;
   if (!injector_.active()) return nullptr;
   injector_.arm(kernel, fault_state_);  // throws LaunchFault on launchfail
   return fault_state_.data_faults() ? &fault_state_ : nullptr;
+}
+
+void Device::set_watchdog_ms(double ms) {
+  std::lock_guard<std::mutex> guard(launch_mu_);
+  wd_ms_ = ms;
+}
+
+void Device::arm_watchdog() {
+  if (wd_ms_ <= 0) return;
+  if (!wd_started_) {
+    // Lazy start under launch_mu_: a watchdog-free device never pays for
+    // the extra thread.
+    wd_started_ = true;
+    wd_thread_ = std::thread([this] { watchdog_loop(); });
+  }
+  {
+    std::lock_guard<std::mutex> lk(wd_mu_);
+    wd_cancel_.store(false, std::memory_order_relaxed);
+    wd_armed_ = true;
+    ++wd_gen_;  // each arm is distinct: a retry's re-arm must never be
+                // mistaken for the arm the loop already reaped
+    wd_deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(wd_ms_));
+  }
+  wd_cv_.notify_all();
+}
+
+void Device::disarm_watchdog() noexcept {
+  if (!wd_started_) return;
+  {
+    std::lock_guard<std::mutex> lk(wd_mu_);
+    wd_armed_ = false;
+    wd_cancel_.store(false, std::memory_order_relaxed);
+  }
+  wd_cv_.notify_all();
+}
+
+void Device::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(wd_mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    wd_cv_.wait(lk, [&] { return wd_stop_ || (wd_armed_ && wd_gen_ != seen); });
+    if (wd_stop_) return;
+    seen = wd_gen_;
+    if (wd_cv_.wait_until(lk, wd_deadline_, [&] {
+          return wd_stop_ || !wd_armed_ || wd_gen_ != seen;
+        })) {
+      if (wd_stop_) return;
+      continue;  // disarmed (launch completed) or re-armed with a fresh
+                 // deadline before this one expired
+    }
+    // Deadline passed while this arm is still current: reap. Don't block
+    // on the disarm — the launch thread may disarm and immediately re-arm
+    // for a guard retry, and a wait keyed on wd_armed_ alone would miss
+    // that wakeup and sleep with no deadline. The top-of-loop wait keys on
+    // the generation instead, so the next arm always gets through.
+    wd_cancel_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Device::throw_hang(const std::string& kernel) const {
+  const std::uint64_t ord =
+      injector_.launches_seen() > 0 ? injector_.launches_seen() - 1 : 0;
+  throw LaunchHang(kernel, ord, wd_ms_);
+}
+
+void Device::stuck_wait(const std::string& kernel) {
+  // Consume the flag: the guard's retry re-arms from the fault config, so
+  // a `stuck:every=N` clause hangs the retry only when N divides it too.
+  fault_state_.stuck = false;
+  arm_watchdog();
+  // Block until the watchdog reaps this launch. With no watchdog armed
+  // this loops forever — a stuck kernel on real hardware does exactly
+  // that; HALFGNN_WATCHDOG_MS is the recovery mechanism, not this loop.
+  while (!wd_cancel_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  disarm_watchdog();
+  throw_hang(kernel);
 }
 
 void Device::set_sanitizer(SanitizerConfig cfg) {

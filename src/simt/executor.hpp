@@ -207,6 +207,16 @@ class Device {
   const obs::prof::Profiler& profiler() const noexcept { return profiler_; }
   obs::prof::Profiler& profiler() noexcept { return profiler_; }
 
+  // Per-launch watchdog deadline in wall-clock milliseconds (default from
+  // HALFGNN_WATCHDOG_MS; <= 0 disables). A launch that exceeds it — a
+  // `stuck` fault, or real work that hangs — is reaped as a typed
+  // LaunchHang, which rides the same TrainGuard retry ladder as
+  // LaunchFault. The reap is wall-clock work, so it publishes nothing to
+  // metrics/trace (the deterministic `stuck` arm already did). Takes the
+  // launch mutex.
+  void set_watchdog_ms(double ms);
+  double watchdog_ms() const noexcept { return wd_ms_; }
+
  private:
   friend class Stream;
 
@@ -231,6 +241,21 @@ class Device {
   bool claim(std::uint64_t gen, int jobs, int& idx);
   void run_claimed(std::uint64_t gen, int jobs,
                    const std::function<void(int)>& fn);
+
+  // --- watchdog (all called with launch_mu_ held, except the loop) ---------
+  // Whether the armed fault state marked this launch as stuck.
+  bool stuck_armed() const noexcept { return fault_state_.stuck; }
+  // Simulates the hang on the calling thread: blocks until the watchdog
+  // reaps it (throwing LaunchHang), or forever when no watchdog is armed —
+  // exactly like hardware.
+  [[noreturn]] void stuck_wait(const std::string& kernel);
+  void arm_watchdog();
+  void disarm_watchdog() noexcept;
+  bool watchdog_cancelled() const noexcept {
+    return wd_cancel_.load(std::memory_order_relaxed);
+  }
+  [[noreturn]] void throw_hang(const std::string& kernel) const;
+  void watchdog_loop();
 
   DeviceSpec spec_;
   int threads_;
@@ -262,6 +287,20 @@ class Device {
   Sanitizer sanitizer_;
   // hgprof (obs/prof/prof.hpp); launch path guarded by launch_mu_.
   obs::prof::Profiler profiler_;
+
+  // Watchdog: one deadline thread per device, started lazily on the first
+  // armed launch. wd_ms_ is guarded by launch_mu_; the arm/deadline state
+  // by wd_mu_; wd_cancel_ is the lock-free reap signal kernel chunks poll.
+  double wd_ms_ = 0;
+  bool wd_started_ = false;
+  std::thread wd_thread_;
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  bool wd_armed_ = false;
+  std::uint64_t wd_gen_ = 0;
+  std::chrono::steady_clock::time_point wd_deadline_{};
+  std::atomic<bool> wd_cancel_{false};
 };
 
 // The launch API. Kernels hold a Stream& and call launch(); SparseCtx
@@ -280,6 +319,8 @@ class Stream {
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
     detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
+    if (dev_->stuck_armed()) dev_->stuck_wait(desc.name);
+    WdGuard wd(dev_);
     detail::LaunchSanState* san = dev_->arm_sanitizer(desc.name, desc.ctas);
     obs::prof::detail::LaunchProfState* prf = dev_->arm_profiler(desc.name);
     KernelStats ks = run_ctas<Profiled>(desc, body, flt, san, prf);
@@ -295,6 +336,8 @@ class Stream {
     const auto t0 = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> guard(dev_->launch_mu_);
     detail::LaunchFaultState* flt = dev_->arm_faults(desc.name);
+    if (dev_->stuck_armed()) dev_->stuck_wait(desc.name);
+    WdGuard wd(dev_);
     detail::LaunchSanState* san = dev_->arm_sanitizer(desc.name, desc.ctas);
     obs::prof::detail::LaunchProfState* prf = dev_->arm_profiler(desc.name);
     // Warps only sample stores when the numerics analyzer is armed; a
@@ -348,6 +391,7 @@ class Stream {
     auto& part = ls.part;
     auto& cost = ls.cost;
     dev_->run_jobs(ctas > 0 ? shards : 0, [&](int s) {
+      if (dev_->watchdog_cancelled()) dev_->throw_hang(desc.name);
       const auto su = static_cast<std::size_t>(s);
       for (std::size_t i = win[su].first; i < win[su].second; ++i) {
         stage[su][i] = identity;
@@ -418,6 +462,19 @@ class Stream {
   }
 
  private:
+  // Arms the device watchdog for one launch and disarms it on every exit
+  // path (normal return, LaunchHang reap, kernel-body exception).
+  class WdGuard {
+   public:
+    explicit WdGuard(Device* d) : d_(d) { d_->arm_watchdog(); }
+    ~WdGuard() { d_->disarm_watchdog(); }
+    WdGuard(const WdGuard&) = delete;
+    WdGuard& operator=(const WdGuard&) = delete;
+
+   private:
+    Device* d_;
+  };
+
   template <bool Profiled, class Body>
   KernelStats run_ctas(const LaunchDesc& desc, Body& body,
                        detail::LaunchFaultState* flt,
@@ -433,6 +490,7 @@ class Stream {
     auto& part = ls.part;
     auto& cost = ls.cost;
     dev_->run_jobs(chunks, [&](int ch) {
+      if (dev_->watchdog_cancelled()) dev_->throw_hang(desc.name);
       const auto cu = static_cast<std::size_t>(ch);
       const int c0 = ch * detail::kCtasPerChunk;
       const int c1 = std::min(ctas, c0 + detail::kCtasPerChunk);

@@ -74,6 +74,20 @@ LaunchFault::LaunchFault(std::string kernel, std::uint64_t ordinal)
       kernel_(std::move(kernel)),
       ordinal_(ordinal) {}
 
+LaunchFault::LaunchFault(std::string message, std::string kernel,
+                         std::uint64_t ordinal)
+    : std::runtime_error(std::move(message)),
+      kernel_(std::move(kernel)),
+      ordinal_(ordinal) {}
+
+LaunchHang::LaunchHang(std::string kernel, std::uint64_t ordinal,
+                       double deadline_ms)
+    : LaunchFault("launch hang: kernel '" + kernel + "' (launch ordinal " +
+                      std::to_string(ordinal) + ") exceeded watchdog deadline " +
+                      obs::Json::number_to_string(deadline_ms) + " ms",
+                  std::move(kernel), ordinal),
+      deadline_ms_(deadline_ms) {}
+
 FaultConfig FaultConfig::parse(std::string_view spec) {
   FaultConfig cfg;
   std::string_view rest = spec;
@@ -139,12 +153,69 @@ FaultConfig FaultConfig::parse(std::string_view spec) {
         return true;
       });
       cfg.overflows.push_back(std::move(f));
+    } else if (kind == "stuck") {
+      StuckFault f;
+      parse_pairs(clause, body, [&](std::string_view k, std::string_view v) {
+        if (k == "every") {
+          const double e = parse_num(clause, v);
+          if (e < 1.0) throw bad(clause, "every must be >= 1");
+          f.every = static_cast<std::uint64_t>(e);
+        } else if (k == "kernel") {
+          f.kernel = std::string(v);
+        } else {
+          return false;
+        }
+        return true;
+      });
+      cfg.stucks.push_back(std::move(f));
+    } else if (kind == "torncrash") {
+      TornCrashFault f;
+      bool have_epoch = false;
+      parse_pairs(clause, body, [&](std::string_view k, std::string_view v) {
+        if (k == "epoch") {
+          const double e = parse_num(clause, v);
+          if (e < 0.0) throw bad(clause, "epoch must be >= 0");
+          f.epoch = static_cast<int>(e);
+          have_epoch = true;
+        } else if (k == "at") {
+          const double a = parse_num(clause, v);
+          if (a < 0.0) throw bad(clause, "at must be >= 0");
+          f.at = static_cast<std::uint64_t>(a);
+        } else {
+          return false;
+        }
+        return true;
+      });
+      if (!have_epoch) throw bad(clause, "torncrash requires epoch=");
+      cfg.torncrashes.push_back(f);
     } else {
       throw bad(clause, "unknown fault kind '" + std::string(kind) +
-                            "' (expected bitflip|launchfail|overflow)");
+                            "' (expected "
+                            "bitflip|launchfail|overflow|stuck|torncrash)");
     }
   }
   return cfg;
+}
+
+std::string FaultConfig::grammar_help() {
+  return
+      "HALFGNN_FAULTS grammar: ';'-separated clauses, each kind:key=val,...\n"
+      "  bitflip:rate=1e-6,seed=7[,kernel=<substr>]\n"
+      "      flip one random bit of each loaded/stored half/float element\n"
+      "      with probability rate (indices are never corrupted)\n"
+      "  launchfail:every=500[,kernel=<substr>]\n"
+      "      every N-th matching launch throws a retryable LaunchFault\n"
+      "      before any output byte is written\n"
+      "  overflow:kernel=spmm[,cta=12]\n"
+      "      matching kernel's CTA (omitted = all) saturates every store\n"
+      "      to +INF\n"
+      "  stuck:every=3[,kernel=<substr>]\n"
+      "      every N-th matching launch never completes; reaped as a\n"
+      "      LaunchHang when HALFGNN_WATCHDOG_MS is set\n"
+      "  torncrash:epoch=4[,at=128]\n"
+      "      simulated process death during the checkpoint write at that\n"
+      "      epoch, persisting only `at` bytes (omitted = full write,\n"
+      "      then death)\n";
 }
 
 FaultConfig FaultConfig::from_env() {
@@ -171,9 +242,29 @@ void FaultInjector::arm(const std::string& kernel,
   st.flip_seed = 0;
   st.overflow = false;
   st.overflow_cta = -1;
+  st.stuck = false;
   st.flips.store(0, std::memory_order_relaxed);
   st.overflows.store(0, std::memory_order_relaxed);
 
+  for (auto& f : cfg_.stucks) {
+    if (!kernel_matches(f.kernel, kernel)) continue;
+    if (++f.matched % f.every == 0) {
+      // Published at arm time (deterministic: ordinal under the launch
+      // mutex); the reap itself is wall-clock work and publishes nothing.
+      ++stucks_;
+      st.stuck = true;
+      if (obs::registry().enabled()) {
+        obs::registry().add_counter("fault.stuck");
+        obs::registry().add_counter("fault.stuck." + kernel);
+      }
+      if (obs::tracer().enabled()) {
+        obs::tracer().instant("fault:stuck", "fault",
+                              {{"kernel", kernel},
+                               {"ordinal", static_cast<std::int64_t>(ord)}});
+      }
+      break;
+    }
+  }
   for (auto& f : cfg_.launchfails) {
     if (!kernel_matches(f.kernel, kernel)) continue;
     if (++f.matched % f.every == 0) {

@@ -14,6 +14,17 @@
 //       Every element the matching kernel's CTA `cta` (-1 / omitted = all
 //       CTAs) stores or accumulates saturates to +INF — the paper's Fig. 1
 //       reduction-overflow hazard, on demand.
+//   stuck:every=3[,kernel=<substr>]
+//       Every `every`-th matching launch never completes (the kernel-hang
+//       model). With a watchdog armed (HALFGNN_WATCHDOG_MS) the launch is
+//       reaped at the deadline as a typed LaunchHang, which rides the same
+//       TrainGuard retry/fallback ladder as LaunchFault; without one it
+//       hangs for real, exactly like hardware.
+//   torncrash:epoch=4[,at=128]
+//       Simulated process death during the checkpoint write at epoch
+//       `epoch`: the data file stops after `at` bytes (omitted / past the
+//       end = full write, then death) and ckpt::SimulatedCrash is thrown.
+//       Consumed by the ckpt::Store, not the launch path.
 //
 // Determinism contract (same as the executor's): a faulted run is
 // bit-reproducible at every HALFGNN_THREADS. Bit-flip decisions are a
@@ -49,9 +60,25 @@ class LaunchFault : public std::runtime_error {
   const std::string& kernel() const noexcept { return kernel_; }
   std::uint64_t ordinal() const noexcept { return ordinal_; }
 
+ protected:
+  // Subclass hook (LaunchHang): same fields, custom message.
+  LaunchFault(std::string message, std::string kernel, std::uint64_t ordinal);
+
  private:
   std::string kernel_;
   std::uint64_t ordinal_;
+};
+
+// A launch that exceeded the watchdog deadline (a `stuck` fault reaped by
+// HALFGNN_WATCHDOG_MS). Derives from LaunchFault so every existing
+// `catch (const LaunchFault&)` retry site handles hangs with no new code.
+class LaunchHang : public LaunchFault {
+ public:
+  LaunchHang(std::string kernel, std::uint64_t ordinal, double deadline_ms);
+  double deadline_ms() const noexcept { return deadline_ms_; }
+
+ private:
+  double deadline_ms_;
 };
 
 struct BitflipFault {
@@ -72,13 +99,30 @@ struct OverflowFault {
   int cta = -1;  // -1: every CTA
 };
 
+struct StuckFault {
+  std::uint64_t every = 1;
+  std::string kernel;
+  std::uint64_t matched = 0;  // arm-time count (guarded by the launch mutex)
+};
+
+// Checkpoint-write crash plan; consumed by ckpt::Store, not the launch path.
+struct TornCrashFault {
+  int epoch = 0;
+  std::uint64_t at = ~std::uint64_t{0};  // bytes persisted; default = all
+};
+
 struct FaultConfig {
   std::vector<BitflipFault> bitflips;
   std::vector<LaunchfailFault> launchfails;
   std::vector<OverflowFault> overflows;
+  std::vector<StuckFault> stucks;
+  std::vector<TornCrashFault> torncrashes;
 
+  // Launch-path activity only: torncrash clauses never touch the launch
+  // path, so a config carrying just those keeps arm_faults a no-op.
   bool active() const noexcept {
-    return !bitflips.empty() || !launchfails.empty() || !overflows.empty();
+    return !bitflips.empty() || !launchfails.empty() || !overflows.empty() ||
+           !stucks.empty();
   }
 
   // Parses the grammar above; throws std::invalid_argument naming the
@@ -86,6 +130,8 @@ struct FaultConfig {
   static FaultConfig parse(std::string_view spec);
   // HALFGNN_FAULTS, read once per call; unset/empty = inactive config.
   static FaultConfig from_env();
+  // The full supported grammar, for CLI error messages.
+  static std::string grammar_help();
 };
 
 namespace detail {
@@ -150,6 +196,7 @@ struct LaunchFaultState {
   std::uint64_t flip_seed = 0;       // clause seed mixed with launch ordinal
   bool overflow = false;
   int overflow_cta = -1;
+  bool stuck = false;  // this launch hangs (consumed before any CTA runs)
   std::atomic<std::uint64_t> flips{0};
   std::atomic<std::uint64_t> overflows{0};
 
@@ -184,6 +231,7 @@ class FaultInjector {
   std::uint64_t total_bitflips() const noexcept { return bitflips_; }
   std::uint64_t total_overflows() const noexcept { return overflows_; }
   std::uint64_t total_launchfails() const noexcept { return launchfails_; }
+  std::uint64_t total_stucks() const noexcept { return stucks_; }
   std::uint64_t launches_seen() const noexcept { return ordinal_; }
 
  private:
@@ -192,6 +240,7 @@ class FaultInjector {
   std::uint64_t bitflips_ = 0;
   std::uint64_t overflows_ = 0;
   std::uint64_t launchfails_ = 0;
+  std::uint64_t stucks_ = 0;
 };
 
 }  // namespace hg::simt

@@ -68,6 +68,27 @@ class Rng {
     return r * std::cos(theta);
   }
 
+  // Full generator image (xoshiro state + the Box-Muller cache), so a
+  // checkpoint restore continues the exact same stream — including a
+  // pending cached normal — rather than reseeding.
+  struct State {
+    std::uint64_t s[4] = {};
+    double cached = 0;
+    bool has_cached = false;
+  };
+  State state() const noexcept {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+  void set_state(const State& st) noexcept {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

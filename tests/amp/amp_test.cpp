@@ -104,5 +104,34 @@ TEST(GradScaler, HistoryRecordsPostUpdateTrajectory) {
   EXPECT_EQ(s.scale_history(), want);
 }
 
+TEST(GradScaler, RestoreStateRoundTripsExactlyUnlikeSetScale) {
+  GradScaler a(/*init_scale=*/8.0f, /*growth=*/2.0f, /*backoff=*/0.5f,
+               /*growth_interval=*/3);
+  a.update(false);
+  a.update(true);
+  a.update(false);  // mid-interval: clean streak 1 of 3
+  ASSERT_EQ(a.clean_steps(), 1);
+
+  // A scaler rebuilt from the captured fields must continue bit-identically
+  // — including the mid-interval streak and the history tail, which the
+  // clamping/streak-resetting set_scale() path would destroy.
+  GradScaler b(/*init_scale=*/8.0f, /*growth=*/2.0f, /*backoff=*/0.5f,
+               /*growth_interval=*/3);
+  b.restore_state(a.scale(), a.clean_steps(), a.skipped_steps(),
+                  a.taken_steps(), a.scale_history());
+  EXPECT_EQ(b.scale(), a.scale());
+  EXPECT_EQ(b.clean_steps(), a.clean_steps());
+  EXPECT_EQ(b.skipped_steps(), a.skipped_steps());
+  EXPECT_EQ(b.taken_steps(), a.taken_steps());
+  EXPECT_EQ(b.scale_history(), a.scale_history());
+
+  for (int i = 0; i < 4; ++i) {
+    a.update(false);
+    b.update(false);
+    EXPECT_EQ(b.scale(), a.scale()) << "diverged at step " << i;
+  }
+  EXPECT_EQ(b.scale_history(), a.scale_history());
+}
+
 }  // namespace
 }  // namespace hg::amp

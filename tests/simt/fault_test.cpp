@@ -29,7 +29,9 @@ TEST(FaultSpec, ParsesFullGrammar) {
   const FaultConfig cfg = FaultConfig::parse(
       "bitflip:rate=1e-6,seed=7,kernel=spmm;"
       "launchfail:every=500,kernel=spmm;"
-      "overflow:kernel=spmm,cta=12");
+      "overflow:kernel=spmm,cta=12;"
+      "stuck:every=3,kernel=sddmm;"
+      "torncrash:epoch=4,at=128");
   EXPECT_TRUE(cfg.active());
   ASSERT_EQ(cfg.bitflips.size(), 1u);
   EXPECT_DOUBLE_EQ(cfg.bitflips[0].rate, 1e-6);
@@ -42,6 +44,33 @@ TEST(FaultSpec, ParsesFullGrammar) {
   ASSERT_EQ(cfg.overflows.size(), 1u);
   EXPECT_EQ(cfg.overflows[0].kernel, "spmm");
   EXPECT_EQ(cfg.overflows[0].cta, 12);
+  ASSERT_EQ(cfg.stucks.size(), 1u);
+  EXPECT_EQ(cfg.stucks[0].every, 3u);
+  EXPECT_EQ(cfg.stucks[0].kernel, "sddmm");
+  ASSERT_EQ(cfg.torncrashes.size(), 1u);
+  EXPECT_EQ(cfg.torncrashes[0].epoch, 4);
+  EXPECT_EQ(cfg.torncrashes[0].at, 128u);
+}
+
+TEST(FaultSpec, TornCrashOnlySpecsStayOffTheLaunchPath) {
+  // torncrash lives in the checkpoint write path; a spec with nothing else
+  // must not arm the per-launch injector (and so cannot perturb kernels).
+  const FaultConfig cfg = FaultConfig::parse("torncrash:epoch=2");
+  EXPECT_FALSE(cfg.active());
+  ASSERT_EQ(cfg.torncrashes.size(), 1u);
+  EXPECT_EQ(cfg.torncrashes[0].epoch, 2);
+  // `at` omitted = die after the full write committed.
+  EXPECT_EQ(cfg.torncrashes[0].at, ~std::uint64_t{0});
+  // stuck, by contrast, is a launch fault.
+  EXPECT_TRUE(FaultConfig::parse("stuck:every=1").active());
+}
+
+TEST(FaultSpec, GrammarHelpNamesEveryKind) {
+  const std::string help = FaultConfig::grammar_help();
+  for (const char* kind :
+       {"bitflip", "launchfail", "overflow", "stuck", "torncrash"}) {
+    EXPECT_NE(help.find(kind), std::string::npos) << kind;
+  }
 }
 
 TEST(FaultSpec, EmptyAndWhitespaceSpecsAreInactive) {
@@ -72,6 +101,11 @@ TEST(FaultSpec, RejectsMalformedClauses) {
   EXPECT_THROW(FaultConfig::parse("launchfail:every=0"),
                std::invalid_argument);
   EXPECT_THROW(FaultConfig::parse("overflow:cta=notanumber"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("stuck:every=0"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("stuck:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("torncrash:at=64"), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::parse("torncrash:epoch=-1"),
                std::invalid_argument);
 }
 
@@ -281,6 +315,80 @@ TEST(FaultDeterminism, InjectedRunBitIdenticalAcrossThreadCounts) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     EXPECT_EQ(run_faulted_spmm(threads, spec), base);
   }
+}
+
+TEST(FaultDeterminism, TornCrashClauseNeverPerturbsTheDataPath) {
+  // torncrash is a checkpoint-write fault: with no Store in the loop it
+  // must be a no-op on kernel outputs, alone or composed with a data
+  // fault, at every pool size.
+  const auto clean = run_faulted_spmm(1, "");
+  const char* composed = "bitflip:rate=2e-4,seed=17;torncrash:epoch=3,at=64";
+  const auto flipped = run_faulted_spmm(1, "bitflip:rate=2e-4,seed=17");
+  for (const int threads : {1, 2, 7, 16}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(run_faulted_spmm(threads, "torncrash:epoch=3,at=64"), clean);
+    EXPECT_EQ(run_faulted_spmm(threads, composed), flipped);
+  }
+}
+
+// --- launch watchdog ---------------------------------------------------------
+
+TEST(Watchdog, ReapsStuckKernelAsTypedLaunchHang) {
+  Device clean(DeviceSpec{}, 2);
+  const auto base = run_copy(clean);
+
+  Device dev(DeviceSpec{}, 2);
+  dev.set_faults(FaultConfig::parse("stuck:every=2,kernel=copytest"));
+  dev.set_watchdog_ms(20);
+  EXPECT_EQ(run_copy(dev), base);  // launch 1 is clean
+  try {
+    run_copy(dev);  // launch 2 wedges; the watchdog reaps it
+    FAIL() << "expected LaunchHang";
+  } catch (const LaunchHang& h) {
+    EXPECT_EQ(h.kernel(), "copytest");
+    EXPECT_DOUBLE_EQ(h.deadline_ms(), 20.0);
+  }
+  EXPECT_EQ(dev.faults().total_stucks(), 1u);
+  // The device survives the reap: the next launch runs normally, and no
+  // output byte of the reaped launch was written before the hang.
+  EXPECT_EQ(run_copy(dev), base);
+}
+
+TEST(Watchdog, LaunchHangIsCatchableAsLaunchFault) {
+  // TrainGuard's retry ladder catches simt::LaunchFault; the hang must ride
+  // it with no new catch sites.
+  Device dev(DeviceSpec{}, 2);
+  dev.set_faults(FaultConfig::parse("stuck:every=1,kernel=copytest"));
+  dev.set_watchdog_ms(10);
+  EXPECT_THROW(run_copy(dev), LaunchFault);
+}
+
+TEST(Watchdog, StuckArmIsDeterministicAcrossThreadCounts) {
+  // The wall-clock reap publishes nothing; the deterministic part — which
+  // launch wedges, counted under the launch mutex — must not depend on the
+  // worker-pool size.
+  for (const int threads : {1, 2, 7}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Device clean(DeviceSpec{}, threads);
+    const auto base = run_copy(clean);
+    Device dev(DeviceSpec{}, threads);
+    dev.set_faults(FaultConfig::parse("stuck:every=3,kernel=copytest"));
+    dev.set_watchdog_ms(15);
+    EXPECT_EQ(run_copy(dev), base);
+    EXPECT_EQ(run_copy(dev), base);
+    EXPECT_THROW(run_copy(dev), LaunchHang);
+    EXPECT_EQ(run_copy(dev), base);
+    EXPECT_EQ(dev.faults().total_stucks(), 1u);
+  }
+}
+
+TEST(Watchdog, CleanLaunchesPayNoDeadline) {
+  // An armed watchdog must not reap launches that finish in time.
+  Device dev(DeviceSpec{}, 2);
+  dev.set_watchdog_ms(10000.0);
+  Device clean(DeviceSpec{}, 2);
+  const auto base = run_copy(clean);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(run_copy(dev), base);
 }
 
 }  // namespace
