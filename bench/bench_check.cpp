@@ -1,0 +1,82 @@
+// Static-gate bench: how much verification hgcheck buys per millisecond.
+//
+// Sweeps model x dtype on the accuracy datasets (quick mode: Cora +
+// Reddit) and reports, per cell, the site count the analyzer judged, the
+// verdict split, and host_ms for the whole static analysis — zero kernel
+// launches, so this is the cost CI pays *before* any dynamic suite runs.
+// Emits BENCH_check.json (halfgnn-bench-v1) under HALFGNN_REPORT_DIR.
+//
+// Usage: bench_check [output.json]  (default: BENCH_check.json in cwd)
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "check/check.hpp"
+#include "nn/trainer.hpp"
+
+namespace hg::bench {
+namespace {
+
+int run(const char* out_path) {
+  BenchTable table("check", "model/dtype/dataset",
+                   {{"sites", CellFmt::kRaw},
+                    {"safe", CellFmt::kRaw},
+                    {"needs_scaling", CellFmt::kRaw},
+                    {"unsafe", CellFmt::kRaw},
+                    {"host_ms", CellFmt::kRaw}});
+
+  int worst_unsafe = 0;
+  for (const DatasetId id : accuracy_dataset_ids()) {
+    Dataset d = make_dataset(id);
+    ensure_features(d);
+    for (const nn::ModelKind model :
+         {nn::ModelKind::kGcn, nn::ModelKind::kGat, nn::ModelKind::kGin}) {
+      for (const Dtype dt : all_dtypes()) {
+        check::CheckConfig cfg;
+        cfg.model = model;
+        cfg.dtype = dt;
+        cfg.epochs = epochs_override(4);
+        const auto t0 = std::chrono::steady_clock::now();
+        const check::CheckResult r = check::analyze(d, cfg);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double host_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+        int safe = 0, scaling = 0, unsafe = 0;
+        for (const check::SiteVerdict& v : r.verdicts) {
+          if (!v.active) continue;
+          switch (v.verdict) {
+            case check::Verdict::kSafe: ++safe; break;
+            case check::Verdict::kNeedsScaling: ++scaling; break;
+            case check::Verdict::kUnsafe: ++unsafe; break;
+          }
+        }
+        if (unsafe > worst_unsafe) worst_unsafe = unsafe;
+        const std::string row_id = std::string(nn::model_name(model)) + "/" +
+                                   std::string(dtype_name(dt)) + "/" +
+                                   short_name(d);
+        table.row(row_id,
+                  {static_cast<double>(safe + scaling + unsafe),
+                   static_cast<double>(safe), static_cast<double>(scaling),
+                   static_cast<double>(unsafe), host_ms});
+      }
+    }
+  }
+  table.report().summary("worst_unsafe_sites",
+                         static_cast<double>(worst_unsafe));
+  table.finish("hgcheck static verdict sweep (active dispatch level only)");
+  if (out_path != nullptr && !table.report().write(out_path)) {
+    std::fprintf(stderr, "bench_check: cannot write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hg::bench
+
+int main(int argc, char** argv) {
+  return hg::bench::run(argc > 1 ? argv[1] : "BENCH_check.json");
+}

@@ -57,4 +57,12 @@ bool autocast_promotes(std::string_view op, Dtype dt) {
 
 bool needs_loss_scaling(Dtype dt) { return dtype_needs_loss_scaling(dt); }
 
+std::span<const std::string_view> autocast_f32_ops() { return kPromoted; }
+
+std::span<const std::string_view> shadow_half_ops() { return kShadow; }
+
+std::span<const std::string_view> bf16_promoted_ops() {
+  return kBf16Promoted;
+}
+
 }  // namespace hg::amp

@@ -15,6 +15,7 @@
 //    reduction) no — which is why DGL-half still collapses in Fig. 1c.
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -43,6 +44,14 @@ bool autocast_promotes(std::string_view op, Dtype dt);
 // 5-bit exponent underflows small gradients. bf16 explicitly does NOT —
 // the trainer must leave the GradScaler disengaged (scale pinned at 1).
 bool needs_loss_scaling(Dtype dt);
+
+// Table enumeration for the static checker / metadata linter (src/check):
+// the same arrays the predicates above consult, exposed so a static pass
+// can verify every listed op has a transfer function and the docs name the
+// policy. Spans stay valid for the process lifetime.
+std::span<const std::string_view> autocast_f32_ops();    // f16 promotions
+std::span<const std::string_view> shadow_half_ops();     // Sec. 5.3 shadows
+std::span<const std::string_view> bf16_promoted_ops();   // precision-only
 
 class GradScaler {
  public:

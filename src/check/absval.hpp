@@ -1,0 +1,137 @@
+// hgcheck abstract domain (DESIGN.md Sec. 15): exponent-interval abstract
+// values for a static precision-safety analysis of the dispatch graph.
+//
+// An AbsVal over-approximates every value a tensor (or a kernel's store
+// sites) can hold: a magnitude interval [lo, hi] reported as binary
+// exponents, plus zero/subnormal/overflow/NaN reachability flags and the
+// structural facts plain intervals lose (softmax rows are convex weights).
+// Soundness story: transfer functions compute worst-case real-arithmetic
+// bounds; storage effects (f16 saturation at 65504, subnormal flush) are
+// applied per dtype when a value lands in memory. The dynamic profiler
+// (hgprof ExpHist) machine-checks containment in tests — see
+// tests/check/check_soundness_test.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "half/dtype.hpp"
+
+namespace hg::check {
+
+// Mirror of obs::prof::ExpHist's bin range, kept local so the domain stays
+// dependency-free; the bridge static_asserts they agree.
+inline constexpr int kMinExp = -32;
+inline constexpr int kMaxExp = 31;
+
+// Numeric range of each storage format in the precision lattice. The
+// switch is exhaustive over Dtype: a new lattice point fails the build
+// here (-Wswitch + the return-path error) instead of silently getting no
+// range model. i8/b1 store quantized integers but dequantize into f32
+// tensors, so their *stored float* range is the f32 range; their integer
+// accumulator headroom is checked separately (int32_headroom below).
+struct DtypeRange {
+  double max_finite;
+  double min_normal;
+  double min_subnormal;
+  bool can_overflow;  // a GNN-sized reduction can leave the range
+};
+
+constexpr DtypeRange dtype_range(Dtype dt) {
+  switch (dt) {
+    case Dtype::kF32:
+      return {3.4028234663852886e38, 1.1754943508222875e-38,
+              1.401298464324817e-45, false};
+    case Dtype::kF16:
+      return {65504.0, 6.103515625e-05, 5.960464477539063e-08, true};
+    case Dtype::kBf16:
+      return {3.3895313892515355e38, 1.1754943508222875e-38,
+              9.183549615799121e-41, false};
+    case Dtype::kI8:  // stored dequantized as f32; int32 accumulate
+      return {3.4028234663852886e38, 1.1754943508222875e-38,
+              1.401298464324817e-45, false};
+    case Dtype::kB1:  // popcount counts, alpha-scaled into f32
+      return {3.4028234663852886e38, 1.1754943508222875e-38,
+              1.401298464324817e-45, false};
+  }
+  return {0, 0, 0, true};  // unreachable; keeps -Wreturn-type quiet
+}
+
+// Largest int8 x int8 dot length whose int32 accumulation cannot wrap:
+// every product is at most 127*127.
+constexpr long long int8_dot_headroom() {
+  return (1LL << 31) / (127LL * 127LL);  // 133152 terms
+}
+
+struct AbsVal {
+  // Magnitude interval: every finite value v satisfies lo <= |v| <= hi or
+  // v == 0. lo == 0 means "can be arbitrarily small" (cancellation); most
+  // mixed-sign transfer functions reset it.
+  double hi = 0.0;
+  double lo = 0.0;
+  bool may_negative = true;
+  bool may_zero = true;
+  bool may_overflow = false;  // an Inf may have been produced upstream
+  bool may_nan = false;       // e.g. Inf - Inf once overflow is reachable
+  // Structural fact: nonnegative values whose per-row sum is <= 1 (edge
+  // softmax output). A weighted sum over such weights is a convex
+  // combination and cannot amplify magnitude.
+  bool row_stochastic = false;
+
+  static AbsVal bounded(double m) {
+    AbsVal v;
+    v.hi = m;
+    return v;
+  }
+  static AbsVal nonneg(double m_lo, double m_hi) {
+    AbsVal v;
+    v.hi = m_hi;
+    v.lo = m_lo;
+    v.may_negative = false;
+    return v;
+  }
+
+  // Binary-exponent interval, clamped to the ExpHist bin range (hgprof
+  // clamps the same way, so containment checks compare like with like).
+  int hi_exp() const {
+    if (hi <= 0) return kMinExp;
+    const int e = static_cast<int>(std::floor(std::log2(hi)));
+    return std::clamp(e, kMinExp, kMaxExp);
+  }
+  int lo_exp() const {
+    if (lo <= 0) return kMinExp;
+    const int e = static_cast<int>(std::floor(std::log2(lo)));
+    return std::clamp(e, kMinExp, kMaxExp);
+  }
+
+  AbsVal join(const AbsVal& o) const {
+    AbsVal v;
+    v.hi = std::max(hi, o.hi);
+    v.lo = std::min(lo, o.lo);
+    v.may_negative = may_negative || o.may_negative;
+    v.may_zero = may_zero || o.may_zero;
+    v.may_overflow = may_overflow || o.may_overflow;
+    v.may_nan = may_nan || o.may_nan;
+    v.row_stochastic = row_stochastic && o.row_stochastic;
+    return v;
+  }
+
+  // Storage effect: landing in `dt` saturates past max_finite (the Inf the
+  // profiler counts as an overflow event) and flushes below the subnormal
+  // floor toward zero.
+  AbsVal stored_as(Dtype dt) const {
+    const DtypeRange r = dtype_range(dt);
+    AbsVal v = *this;
+    if (v.hi > r.max_finite) {
+      v.may_overflow = true;
+      v.hi = r.max_finite;
+    }
+    if (v.lo > 0 && v.lo < r.min_subnormal) {
+      v.may_zero = true;
+      v.lo = 0;
+    }
+    return v;
+  }
+};
+
+}  // namespace hg::check

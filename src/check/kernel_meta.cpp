@@ -1,0 +1,190 @@
+#include "check/kernel_meta.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hg::check {
+
+namespace {
+
+using simt::ConflictPolicy;
+
+constexpr Dtype kF32 = Dtype::kF32;
+constexpr Dtype kF16 = Dtype::kF16;
+constexpr Dtype kBf16 = Dtype::kBf16;
+
+// Launched-name sets (LaunchDesc::name values a dispatch to the label can
+// produce). Kept in file-scope arrays so KernelMeta::launched spans stay
+// valid for the process lifetime.
+constexpr std::string_view kCusparseF32[] = {"spmm_cusparse_f32",
+                                             "scale_f32"};
+constexpr std::string_view kCusparseF16[] = {"spmm_cusparse_f16",
+                                             "scale_f16"};
+constexpr std::string_view kHalfgnn[] = {"spmm_halfgnn",
+                                         "spmm_halfgnn_followup",
+                                         "spmm_halfgnn_postscale"};
+constexpr std::string_view kBf16Spmm[] = {"spmm_bf16"};
+constexpr std::string_view kInt8Spmm[] = {"spmm_int8", "quantize_i8"};
+constexpr std::string_view kBinarySpmm[] = {"spmm_binary",
+                                            "binarize_pack_b1"};
+constexpr std::string_view kSddmmF32[] = {"sddmm_dgl_f32"};
+constexpr std::string_view kSddmmF16[] = {"sddmm_dgl_f16"};
+constexpr std::string_view kSddmmHalfgnn[] = {
+    "sddmm_halfgnn_h2", "sddmm_halfgnn_h4", "sddmm_halfgnn_h8"};
+constexpr std::string_view kSddmmBf16[] = {"sddmm_bf16"};
+constexpr std::span<const std::string_view> kNoLaunch{};
+
+constexpr std::string_view kSelf[] = {
+    // 1:1 labels: the label IS the launched kernel name. Indexed by the
+    // self_launch() helper below.
+    "edge_addscalar_f32",   "edge_addscalar_f16",   "edge_addscalar_bf16",
+    "edge_expsub_f32",      "edge_expsub_f16",      "edge_expsub_bf16",
+    "edge_divrow_f32",      "edge_divrow_f16",      "edge_divrow_bf16",
+    "edge_mul_f32",         "edge_mul_f16",         "edge_mul_bf16",
+    "edge_leaky_bwd_f32",   "edge_leaky_bwd_f16",   "edge_leaky_bwd_bf16",
+    "edge_softmax_bwd_f32", "edge_softmax_bwd_f16", "edge_softmax_bwd_bf16",
+    "edge_permute_f32",     "edge_permute_f16",     "edge_permute_bf16",
+    "edge_segreduce_f32",   "edge_segreduce_f16",   "edge_segreduce_bf16",
+    "scale_f32",       "scale_f16",
+};
+
+constexpr std::span<const std::string_view> self_launch(std::string_view n) {
+  for (std::size_t i = 0; i < std::size(kSelf); ++i) {
+    if (kSelf[i] == n) return {&kSelf[i], 1};
+  }
+  return {};
+}
+
+// The halfgnn SpMM runs per-feature-width geometry; batch_cap 128 in the
+// table is the widest segment (feat >= 64); per-site code refines it with
+// halfgnn_batch_cap(feat).
+constexpr KernelMeta kTable[] = {
+    // --- spmm dispatch-chain labels --------------------------------------
+    // DGL-style f32: staged-sum scatter accumulate, mean normalized by a
+    // separate scale_rows launch after the whole sum has landed.
+    {"spmm_cusparse_f32", kF32, Accum::kF32, MeanScale::kPostNorm, true, true,
+     ConflictPolicy::kStagedSum, true, 0, kCusparseF32},
+    // DGL-style f16: atomic *half* accumulate — the running sum itself is
+    // stored in binary16, the Fig. 1c overflow site.
+    {"spmm_cusparse_f16", kF16, Accum::kF16, MeanScale::kPostNorm, true, true,
+     ConflictPolicy::kStagedSum, true, 0, kCusparseF16},
+    // The paper's kernel: edge-parallel, discretized mean — each <=seg-edge
+    // partial is scaled by inv_deg at flush, so no running value ever holds
+    // more than min(deg, seg) unnormalized terms.
+    {"spmm_halfgnn", kF16, Accum::kF16, MeanScale::kDiscretized, true, false,
+     ConflictPolicy::kStagedSum, true, 128, kHalfgnn},
+    // Row-owned warps, register epilogue; bf16 has the f32 exponent so the
+    // pre-norm running sum cannot overflow.
+    {"spmm_bf16", kBf16, Accum::kBf16, MeanScale::kPostNorm, true, true,
+     ConflictPolicy::kNone, true, 0, kBf16Spmm},
+    // int8 dot in an int32 accumulator, dequantized (and mean-scaled) in
+    // the f32 epilogue. Overflow question is integer headroom, not range.
+    {"spmm_int8", kF32, Accum::kInt32, MeanScale::kPostNorm, true, true,
+     ConflictPolicy::kNone, true, 0, kInt8Spmm},
+    // Sign-domain popcount; magnitudes restored as alpha * (2c - deg) in
+    // the f32 epilogue. Counts are bounded by the degree.
+    {"spmm_binary", kF32, Accum::kInt32, MeanScale::kPostNorm, true, true,
+     ConflictPolicy::kNone, true, 0, kBinarySpmm},
+    {"spmm_reference", kF32, Accum::kF64Host, MeanScale::kPostNorm, true,
+     true, ConflictPolicy::kNone, false, 0, kNoLaunch},
+
+    // --- sddmm dispatch-chain labels -------------------------------------
+    // Per-edge K-dots; every edge owns its output, no conflicts.
+    {"sddmm_dgl_f32", kF32, Accum::kF32, MeanScale::kNone, true, false,
+     ConflictPolicy::kNone, true, 0, kSddmmF32},
+    {"sddmm_dgl_f16", kF16, Accum::kF16, MeanScale::kNone, true, false,
+     ConflictPolicy::kNone, true, 0, kSddmmF16},
+    {"sddmm_halfgnn", kF16, Accum::kF16, MeanScale::kNone, true, false,
+     ConflictPolicy::kNone, true, 0, kSddmmHalfgnn},
+    {"sddmm_bf16", kBf16, Accum::kBf16, MeanScale::kNone, true, false,
+     ConflictPolicy::kNone, true, 0, kSddmmBf16},
+    {"sddmm_reference", kF32, Accum::kF64Host, MeanScale::kNone, true, false,
+     ConflictPolicy::kNone, false, 0, kNoLaunch},
+
+    // --- GAT edge-op kernels (dispatched directly, not chain-registered) --
+    // seg_reduce: per-row sum/max over edge segments; rows are owned by one
+    // warp each, stores are disjoint -> no staged policy needed.
+    {"edge_segreduce_f32", kF32, Accum::kF32, MeanScale::kNone, true, true,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_segreduce_f32")},
+    {"edge_segreduce_f16", kF16, Accum::kF16, MeanScale::kNone, true, true,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_segreduce_f16")},
+    {"edge_segreduce_bf16", kBf16, Accum::kBf16, MeanScale::kNone, true, true,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_segreduce_bf16")},
+    // Elementwise per-edge ops: one store per edge, no reduction.
+    {"edge_addscalar_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_addscalar_f32")},
+    {"edge_addscalar_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_addscalar_f16")},
+    {"edge_addscalar_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false,
+     false, ConflictPolicy::kNone, true, 0,
+     self_launch("edge_addscalar_bf16")},
+    {"edge_expsub_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_expsub_f32")},
+    {"edge_expsub_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_expsub_f16")},
+    {"edge_expsub_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_expsub_bf16")},
+    {"edge_divrow_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_divrow_f32")},
+    {"edge_divrow_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_divrow_f16")},
+    {"edge_divrow_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_divrow_bf16")},
+    {"edge_mul_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_mul_f32")},
+    {"edge_mul_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_mul_f16")},
+    {"edge_mul_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_mul_bf16")},
+    {"edge_leaky_bwd_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_leaky_bwd_f32")},
+    {"edge_leaky_bwd_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_leaky_bwd_f16")},
+    {"edge_leaky_bwd_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false,
+     false, ConflictPolicy::kNone, true, 0,
+     self_launch("edge_leaky_bwd_bf16")},
+    {"edge_softmax_bwd_f32", kF32, Accum::kF32, MeanScale::kNone, false,
+     false, ConflictPolicy::kNone, true, 0,
+     self_launch("edge_softmax_bwd_f32")},
+    {"edge_softmax_bwd_f16", kF16, Accum::kF16, MeanScale::kNone, false,
+     false, ConflictPolicy::kNone, true, 0,
+     self_launch("edge_softmax_bwd_f16")},
+    {"edge_softmax_bwd_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false,
+     false, ConflictPolicy::kNone, true, 0,
+     self_launch("edge_softmax_bwd_bf16")},
+    {"edge_permute_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_permute_f32")},
+    {"edge_permute_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("edge_permute_f16")},
+    {"edge_permute_bf16", kBf16, Accum::kBf16, MeanScale::kNone, false,
+     false, ConflictPolicy::kNone, true, 0,
+     self_launch("edge_permute_bf16")},
+    // Post-norm helpers: one multiply per element, launched by the cusparse
+    // mean path (and the GCN backward pre-scale).
+    {"scale_f32", kF32, Accum::kF32, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("scale_f32")},
+    {"scale_f16", kF16, Accum::kF16, MeanScale::kNone, false, false,
+     ConflictPolicy::kNone, true, 0, self_launch("scale_f16")},
+};
+
+}  // namespace
+
+const KernelMeta* kernel_meta(std::string_view label) {
+  for (const KernelMeta& m : kTable) {
+    if (m.label == label) return &m;
+  }
+  return nullptr;
+}
+
+std::span<const KernelMeta> all_kernel_meta() { return kTable; }
+
+int halfgnn_batch_cap(int feat) {
+  // Mirrors spmm_halfgnn's make_geometry: 128 edges per warp, split across
+  // sub-warps when half the feature width leaves lanes idle.
+  const int half_f = std::max(1, feat / 2);
+  const int lanes_per_edge = std::min(32, half_f);
+  const int sub_warps = half_f >= 32 ? 1 : 32 / lanes_per_edge;
+  return (128 + sub_warps - 1) / sub_warps;
+}
+
+}  // namespace hg::check

@@ -1,0 +1,58 @@
+// Static metadata for every dispatch-chain kernel label: what format it
+// stores, what format it accumulates in, how it protects a mean reduction,
+// which ConflictPolicy its descriptor declares, and which device kernel
+// names a dispatch to this label can launch. This table is the checker's
+// model of the kernel zoo and the linter's ground truth — a chain label
+// with no row here fails lint, and a row whose declared policy contradicts
+// its reduction semantics fails lint.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "half/dtype.hpp"
+#include "simt/executor.hpp"
+
+namespace hg::check {
+
+// How the kernel keeps a mean reduction inside the storage range.
+enum class MeanScale {
+  kNone,         // not a reducing kernel / sum only
+  kPostNorm,     // sum first, divide after (DGL: running value unprotected)
+  kDiscretized,  // per-batch partial scaled by inv_deg at flush (Sec. 5.2.2)
+};
+
+enum class Accum {
+  kF16,      // half accumulate (saturates at 65504 mid-reduction)
+  kBf16,     // bf16 accumulate (f32-range exponent)
+  kF32,      // float accumulate
+  kInt32,    // integer accumulate (i8 dot / b1 popcount)
+  kF64Host,  // host reference, outside the simulated substrate
+};
+
+struct KernelMeta {
+  std::string_view label;    // dispatch-chain entry / edge-op kernel name
+  Dtype storage;             // dtype of values landing in memory
+  Accum accum;               // mid-reduction accumulator format
+  MeanScale mean_scale;      // mean-reduction protection
+  bool reducing;             // performs a fan-in reduction
+  bool max_reduce;           // kMax semantics available
+  simt::ConflictPolicy policy;  // declared write-conflict policy
+  bool launches;             // false: host path, no device stores profiled
+  int batch_cap;             // discretized segment cap (edges); 0 = n/a
+  // Device kernel names a dispatch can launch (LaunchDesc::name), for the
+  // soundness bridge's observed-kernel -> prediction mapping.
+  std::span<const std::string_view> launched;
+};
+
+// Row for `label`; nullptr when unknown (a lint failure).
+const KernelMeta* kernel_meta(std::string_view label);
+
+std::span<const KernelMeta> all_kernel_meta();
+
+// Segment cap of the halfgnn edge-parallel SpMM for feature width `feat`
+// (mirrors the kernel's make_geometry: edges_per_warp split across
+// sub-warps).
+int halfgnn_batch_cap(int feat);
+
+}  // namespace hg::check

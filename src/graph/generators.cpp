@@ -40,7 +40,7 @@ Coo sbm(vid_t n, int k, eid_t m, double frac_in, Rng& rng,
   for (eid_t e = 0; e < m; ++e) {
     const vid_t u = static_cast<vid_t>(rng.next_below(
         static_cast<std::uint64_t>(n)));
-    vid_t v;
+    vid_t v = 0;
     if (rng.next_double() < frac_in) {
       const vid_t b = static_cast<vid_t>(labels[static_cast<std::size_t>(u)]);
       const vid_t lo = b * block_size;
@@ -157,7 +157,7 @@ void plant_hubs(Coo& coo, int num_hubs, vid_t hub_degree, Rng& rng,
     std::unordered_set<vid_t> chosen;
     chosen.reserve(static_cast<std::size_t>(hub_degree) * 2);
     while (static_cast<vid_t>(chosen.size()) < hub_degree) {
-      vid_t v;
+      vid_t v = 0;
       if (!block_pool.empty() && rng.next_double() < 0.9) {
         v = block_pool[static_cast<std::size_t>(
             rng.next_below(block_pool.size()))];

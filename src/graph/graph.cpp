@@ -137,6 +137,42 @@ GraphStats compute_stats(const Csr& csr) {
   return s;
 }
 
+vid_t DegreeSummary::rows_maybe_above(vid_t threshold) const noexcept {
+  vid_t n = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const vid_t upper =
+        b >= 31 ? max_degree : static_cast<vid_t>((1u << (b + 1)) - 1);
+    if (upper > threshold) n += log2_buckets[static_cast<std::size_t>(b)];
+  }
+  return n;
+}
+
+DegreeSummary summarize_degrees(const Csr& csr) {
+  DegreeSummary s;
+  s.num_rows = csr.num_vertices;
+  if (csr.num_vertices == 0) return s;
+  s.min_degree = csr.degree(0);
+  eid_t total = 0;
+  for (vid_t v = 0; v < csr.num_vertices; ++v) {
+    const vid_t d = csr.degree(v);
+    total += d;
+    s.min_degree = std::min(s.min_degree, d);
+    if (d > s.max_degree) {
+      s.max_degree = d;
+      s.rows_at_max = 1;
+    } else if (d == s.max_degree) {
+      ++s.rows_at_max;
+    }
+    int b = 0;
+    for (vid_t x = std::max<vid_t>(1, d); x > 1; x >>= 1) ++b;
+    s.log2_buckets[static_cast<std::size_t>(
+        std::min(b, DegreeSummary::kBuckets - 1))]++;
+  }
+  s.avg_degree = static_cast<double>(total) /
+                 static_cast<double>(csr.num_vertices);
+  return s;
+}
+
 std::vector<eid_t> reverse_edge_permutation(const Csr& csr) {
   std::vector<eid_t> perm(static_cast<std::size_t>(csr.num_edges()));
   for (vid_t v = 0; v < csr.num_vertices; ++v) {

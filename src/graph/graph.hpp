@@ -8,6 +8,7 @@
 // monotonically increasing row IDs).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -78,6 +79,32 @@ struct GraphStats {
 };
 
 GraphStats compute_stats(const Csr& csr);
+
+// Log2-bucketed degree summary: bucket i counts rows whose degree d
+// satisfies floor(log2(max(1, d))) == i. This is the fan-in model the
+// static precision checker (src/check) feeds its reduction transfer
+// functions — an exponent-interval analysis only needs degree *exponents*,
+// not the full degree array.
+struct DegreeSummary {
+  static constexpr int kBuckets = 32;
+
+  vid_t num_rows = 0;
+  vid_t max_degree = 0;
+  vid_t min_degree = 0;
+  double avg_degree = 0;
+  std::array<vid_t, kBuckets> log2_buckets{};
+
+  // Exact count of rows at max_degree (the hub multiplicity the
+  // NEEDS-SCALING factor reports against).
+  vid_t rows_at_max = 0;
+
+  // Conservative count of rows whose degree may exceed `threshold`: every
+  // row in a bucket whose upper edge passes the threshold. Sound for the
+  // checker's "how many rows can trip this reduction" question.
+  vid_t rows_maybe_above(vid_t threshold) const noexcept;
+};
+
+DegreeSummary summarize_degrees(const Csr& csr);
 
 // Degrees as a dense array (float, for degree-norm tensors).
 std::vector<float> degrees_f32(const Csr& csr);

@@ -12,7 +12,9 @@
 // that).
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <iterator>
 #include <optional>
 #include <string_view>
 
@@ -40,8 +42,22 @@ constexpr DtypeInfo kDtypeInfo[] = {
     /* kB1   */ {"b1", 1, 128, false, false, false},
 };
 
+// Number of lattice points. Every dtype-keyed table in the stack (dispatch
+// chains, transfer functions, kernel metadata) is checked against this
+// count — adding an enum value without extending a table fails a
+// static_assert or the exhaustiveness test, not a runtime dispatch.
+inline constexpr int kNumDtypes = static_cast<int>(std::size(kDtypeInfo));
+
 constexpr const DtypeInfo& dtype_info(Dtype d) {
   return kDtypeInfo[static_cast<int>(d)];
+}
+
+// All lattice points in enum order, for grid sweeps and exhaustiveness
+// checks.
+constexpr std::array<Dtype, kNumDtypes> all_dtypes() {
+  std::array<Dtype, kNumDtypes> a{};
+  for (int i = 0; i < kNumDtypes; ++i) a[static_cast<std::size_t>(i)] = static_cast<Dtype>(i);
+  return a;
 }
 
 constexpr std::string_view dtype_name(Dtype d) { return dtype_info(d).name; }

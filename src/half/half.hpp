@@ -144,6 +144,7 @@ inline float half_bits_to_float_fast(std::uint16_t h) noexcept {
 // cannot be commuted and need no pinning.
 inline float ordered_fadd(float a, float b) noexcept {
 #if defined(__AVX__)
+  // NOLINTNEXTLINE(cppcoreguidelines-init-variables): asm output-only operand
   float r;
   asm("vaddss %2, %1, %0" : "=x"(r) : "x"(a), "x"(b));
   return r;
@@ -156,6 +157,7 @@ inline float ordered_fadd(float a, float b) noexcept {
 }
 inline float ordered_fmul(float a, float b) noexcept {
 #if defined(__AVX__)
+  // NOLINTNEXTLINE(cppcoreguidelines-init-variables): asm output-only operand
   float r;
   asm("vmulss %2, %1, %0" : "=x"(r) : "x"(a), "x"(b));
   return r;

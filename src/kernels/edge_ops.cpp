@@ -182,7 +182,7 @@ KernelStats edge_rowwise_impl(simt::Stream& stream,
           for (int l = 0; l < cnt; ++l) {
             const float v = as_f(edge_vals[static_cast<std::size_t>(l)]);
             const float rv = as_f(row_vals[static_cast<std::size_t>(l)]);
-            float res;
+            float res = 0.0f;
             if (mode == 1) {
               res = std::exp(v - rv);
             } else {

@@ -65,4 +65,16 @@ const DispatchChain& dispatch_chain(std::string_view op, SystemMode mode,
   return kSpmmUnknown;
 }
 
+namespace {
+constexpr std::string_view kDispatchOps[] = {"spmm", "sddmm"};
+}  // namespace
+
+std::span<const std::string_view> dispatch_ops() { return kDispatchOps; }
+
+bool is_reference_kernel(std::string_view kernel) {
+  constexpr std::string_view kSuffix = "_reference";
+  return kernel.size() > kSuffix.size() &&
+         kernel.substr(kernel.size() - kSuffix.size()) == kSuffix;
+}
+
 }  // namespace hg::nn

@@ -14,6 +14,7 @@
 // int arithmetic), so their only escape hatch is the reference.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,5 +40,13 @@ struct DispatchChain {
 // guessing at a kernel.
 const DispatchChain& dispatch_chain(std::string_view op, SystemMode mode,
                                     Dtype dt);
+
+// The ops with registered ladders, for exhaustive (op x mode x dtype)
+// sweeps by the metadata linter (src/check/lint). Spans stay valid for the
+// process lifetime.
+std::span<const std::string_view> dispatch_ops();
+
+// True for the host fp64 reference labels every ladder must end in.
+bool is_reference_kernel(std::string_view kernel);
 
 }  // namespace hg::nn

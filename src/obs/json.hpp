@@ -132,7 +132,7 @@ class Json {
  private:
   struct Parser {
     std::string_view s;
-    std::size_t pos;
+    std::size_t pos = 0;
 
     [[noreturn]] void fail(const char* what) const {
       throw std::runtime_error("json parse error at offset " +

@@ -105,7 +105,7 @@ double Registry::quantile_of(const Histogram& h, double q) {
     lo = std::clamp(lo, h.min, h.max);
     hi = std::clamp(hi, h.min, h.max);
     const double frac = (rank - before) / n;
-    double v;
+    double v = 0;
     if (lo > 0 && hi > 0) {
       // Decade buckets are geometric: interpolate in log space.
       v = std::exp(std::log(lo) + frac * (std::log(hi) - std::log(lo)));

@@ -79,7 +79,7 @@ void ExpHist::add_half_bits(std::uint16_t bits) noexcept {
     }
     return;
   }
-  int exponent;
+  int exponent = 0;
   if (e == 0) {
     if (man == 0) {
       ++zeros;
@@ -432,6 +432,16 @@ bool Profiler::write_report(const std::string& path) const {
   const std::string text = report_json().dump(1) + "\n";
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   return std::fclose(f) == 0 && ok;
+}
+
+std::map<std::string, ExpHist> Profiler::tensor_numerics_merged() const {
+  std::map<std::string, ExpHist> out;
+  for (const auto& [name, series] : tensors_) {
+    ExpHist merged;
+    for (const auto& [epoch, h] : series.by_epoch) merged.merge(h);
+    if (merged.total != 0) out[name] = merged;
+  }
+  return out;
 }
 
 void Profiler::clear() {

@@ -204,6 +204,17 @@ class Profiler {
   std::uint64_t launches_seen() const noexcept { return ordinal_; }
   const std::vector<AuditRecord>& audits() const noexcept { return audits_; }
 
+  // --- soundness-bridge accessors (src/check) ------------------------------
+  // Per-kernel-family store-site histograms, merged across launches. The
+  // static checker's tests compare every observed histogram against its
+  // statically predicted exponent interval.
+  const std::map<std::string, ExpHist>& kernel_numerics() const noexcept {
+    return kernel_numerics_;
+  }
+  // Trainer-side tensor histograms merged across epochs; empty map when the
+  // numerics analyzer is off.
+  std::map<std::string, ExpHist> tensor_numerics_merged() const;
+
   // --- report --------------------------------------------------------------
   // "halfgnn-prof-v1"; byte-identical across thread counts (no host_ms).
   Json report_json() const;

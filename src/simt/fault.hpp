@@ -166,6 +166,7 @@ inline void fault_flip(T& v, std::uint64_t h) noexcept {
     part = half_t::from_bits(
         static_cast<std::uint16_t>(part.bits() ^ (1u << (bit % 16))));
   } else {
+    // NOLINTNEXTLINE(cppcoreguidelines-init-variables): memcpy target
     std::uint32_t b;
     static_assert(sizeof(v) == sizeof(b));
     __builtin_memcpy(&b, &v, sizeof(b));

@@ -29,9 +29,10 @@ struct DenseCost {
     const double flops = 2.0 * static_cast<double>(m) *
                          static_cast<double>(n) * static_cast<double>(k);
     const double bytes =
-        (half ? 2.0 : 4.0) * (static_cast<double>(m) * k +
-                              static_cast<double>(k) * n +
-                              static_cast<double>(m) * n);
+        (half ? 2.0 : 4.0) *
+        (static_cast<double>(m) * static_cast<double>(k) +
+         static_cast<double>(k) * static_cast<double>(n) +
+         static_cast<double>(m) * static_cast<double>(n));
     const double t = std::max(flops / (half ? f16_flops : f32_flops),
                               bytes / hbm_bytes_per_s);
     return t * 1e3 + launch_us * 1e-3;
